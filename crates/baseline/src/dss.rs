@@ -1,0 +1,150 @@
+//! The shared-storage single-writer baseline (Aurora/PolarDB-style).
+//!
+//! §4: "DSS-DBs … do not support concurrent transactions among multiple
+//! compute nodes in order to avoid conflicts. Instead, only the primary
+//! node can support writes (aka single-writer) while all the other nodes
+//! are replicas for read-only transactions." The F2 scaling experiment
+//! contrasts this write ceiling with DSM-DB's multi-master execution.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rdma_sim::clock::SharedTimeline;
+use rdma_sim::{Endpoint, NetworkProfile};
+
+/// Primary CPU cost per write op (parse + apply + log dispatch).
+const WRITE_OP_NS: u64 = 5_000;
+/// Replica CPU cost per read op.
+const READ_OP_NS: u64 = 1_500;
+
+/// Aggregate counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DssStats {
+    /// Writes executed (all on the primary).
+    pub writes: u64,
+    /// Reads executed (load-balanced over replicas).
+    pub reads: u64,
+}
+
+/// A single-writer, N-replica shared-storage cluster.
+pub struct DssCluster {
+    primary_cpu: Arc<SharedTimeline>,
+    replica_cpus: Vec<Arc<SharedTimeline>>,
+    profile: NetworkProfile,
+    data: Mutex<std::collections::HashMap<u64, i64>>,
+    stats: Mutex<DssStats>,
+    rr: std::sync::atomic::AtomicUsize,
+}
+
+impl DssCluster {
+    /// One primary plus `replicas` read replicas over `profile`.
+    pub fn new(replicas: usize, profile: NetworkProfile) -> Self {
+        Self {
+            primary_cpu: SharedTimeline::new(),
+            replica_cpus: (0..replicas.max(1)).map(|_| SharedTimeline::new()).collect(),
+            profile,
+            data: Mutex::new(std::collections::HashMap::new()),
+            stats: Mutex::new(DssStats::default()),
+            rr: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DssStats {
+        *self.stats.lock()
+    }
+
+    /// Execute a write transaction of `(key, delta)` ops: routed to the
+    /// primary, which serializes all writers in the cluster.
+    pub fn write_txn(&self, ep: &Endpoint, ops: &[(u64, i64)]) {
+        // Client -> primary.
+        ep.charge_local(self.profile.send_cost_ns(ops.len() * 16));
+        let done = self
+            .primary_cpu
+            .reserve(ep.clock().now_ns(), ops.len() as u64 * WRITE_OP_NS);
+        ep.clock().advance_to(done);
+        // Primary -> client ack (log shipping to replicas is async).
+        ep.charge_local(self.profile.send_cost_ns(16));
+        {
+            let mut data = self.data.lock();
+            for &(k, d) in ops {
+                *data.entry(k).or_insert(0) += d;
+            }
+        }
+        self.stats.lock().writes += 1;
+    }
+
+    /// Execute a read-only transaction on some replica.
+    pub fn read_txn(&self, ep: &Endpoint, keys: &[u64]) -> Vec<i64> {
+        let idx = self.rr.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            % self.replica_cpus.len();
+        ep.charge_local(self.profile.send_cost_ns(keys.len() * 8));
+        let done = self.replica_cpus[idx]
+            .reserve(ep.clock().now_ns(), keys.len() as u64 * READ_OP_NS);
+        ep.clock().advance_to(done);
+        ep.charge_local(self.profile.send_cost_ns(keys.len() * 16));
+        self.stats.lock().reads += 1;
+        let data = self.data.lock();
+        keys.iter().map(|k| *data.get(k).unwrap_or(&0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_sim::Fabric;
+
+    #[test]
+    fn writes_serialize_on_primary() {
+        let c = DssCluster::new(4, NetworkProfile::rdma_cx6());
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        // Two clients writing "simultaneously": the second queues.
+        let ep1 = fabric.endpoint();
+        let ep2 = fabric.endpoint();
+        c.write_txn(&ep1, &[(1, 1); 10]);
+        c.write_txn(&ep2, &[(2, 1); 10]);
+        assert!(ep2.clock().now_ns() > ep1.clock().now_ns());
+        assert_eq!(c.read_txn(&fabric.endpoint(), &[1])[0], 10);
+    }
+
+    #[test]
+    fn reads_scale_across_replicas() {
+        let run = |replicas: usize| -> u64 {
+            let c = DssCluster::new(replicas, NetworkProfile::rdma_cx6());
+            let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+            // Drive logically-concurrent clients in lockstep so their
+            // virtual arrival times interleave (sequential per-client
+            // loops would serialize behind the shared device tail).
+            let eps: Vec<_> = (0..8).map(|_| fabric.endpoint()).collect();
+            let keys: Vec<u64> = (0..8).collect(); // replica-CPU-bound reads
+            for _ in 0..50 {
+                for ep in &eps {
+                    c.read_txn(ep, &keys);
+                }
+            }
+            eps.iter().map(|e| e.clock().now_ns()).max().unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(four * 2 < one, "4 replicas {four} vs 1 replica {one}");
+    }
+
+    #[test]
+    fn write_throughput_does_not_scale_with_clients() {
+        // The single-writer ceiling: with logically concurrent clients
+        // (lockstep arrivals) the makespan approaches total-writes x
+        // service, regardless of the client count.
+        let c = DssCluster::new(4, NetworkProfile::rdma_cx6());
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let eps: Vec<_> = (0..4).map(|_| fabric.endpoint()).collect();
+        for _ in 0..100 {
+            for ep in &eps {
+                c.write_txn(ep, &[(1, 1)]);
+            }
+        }
+        let makespan = eps.iter().map(|e| e.clock().now_ns()).max().unwrap();
+        // 400 writes x 5us service, primary-bound (allow slack for the
+        // client-side message-time overlap at the ends).
+        assert!(makespan >= 300 * WRITE_OP_NS, "makespan {makespan}");
+    }
+}

@@ -1,0 +1,24 @@
+//! # baseline — the competitor architectures DSM-DB is compared against
+//!
+//! §7 ("Distributed Shared-Nothing vs. DSM") and §8 call for "a benchmark
+//! that systematically compares the DSN-DBs and DSM-DBs". This crate
+//! provides the two classical baselines, built on the same virtual-time
+//! substrate as DSM-DB so the comparisons are apples-to-apples:
+//!
+//! * [`dsn::DsnCluster`] — a **distributed shared-nothing** main-memory
+//!   engine: every node owns a partition in local DRAM; single-partition
+//!   transactions run at local speed; cross-partition transactions pay
+//!   message rounds + 2PC; resharding physically **moves data** between
+//!   nodes (the cost §8 says DSM-DB avoids).
+//! * [`dss::DssCluster`] — a **shared-storage / single-writer** engine
+//!   (Aurora/PolarDB-style): one primary applies all writes (and
+//!   saturates), read replicas scale reads but serve slightly stale data.
+//!
+//! Experiments **F2** (multi-master scaling) and **C10** (skew shift /
+//! resharding) drive these against the DSM-DB engine.
+
+pub mod dsn;
+pub mod dss;
+
+pub use dsn::{DsnCluster, DsnStats};
+pub use dss::{DssCluster, DssStats};

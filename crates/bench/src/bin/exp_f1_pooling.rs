@@ -1,0 +1,140 @@
+//! Experiment F1 (Figure 1 + §1 advantages 1–2): memory pooling vs
+//! monolithic servers.
+//!
+//! Monolithic "converged" servers couple CPU and DRAM in a fixed ratio.
+//! Tenants do not: an in-memory cache wants lots of DRAM and few cores, a
+//! compute service the opposite. A monolithic fleet must provision
+//! `max(cores_needed, dram_needed)` worth of boxes, stranding whichever
+//! resource the workload doesn't stress. Memory disaggregation provisions
+//! compute nodes and memory nodes *independently* (Figure 1b), so each
+//! dimension is packed tight. Placement uses the real extent allocator in
+//! both configurations.
+//!
+//! Expected shape: monolithic DRAM utilization collapses as the tenant
+//! mix skews away from the server's CPU:DRAM ratio; pooled utilization
+//! stays high regardless, needing fewer DRAM units overall (§1: "higher
+//! memory utilization … lower total cost of ownership").
+
+use bench::table;
+use memnode::ExtentAllocator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Monolithic server: 32 cores coupled with 64 GiB.
+const SRV_CORES: u64 = 32;
+const SRV_DRAM: u64 = 64 << 30;
+/// Disaggregated units: a compute node (32 cores, 4 GiB scratch) and a
+/// memory node (64 GiB, weak CPU).
+const MEMNODE_DRAM: u64 = 64 << 30;
+
+#[derive(Clone, Copy)]
+struct Tenant {
+    cores: u64,
+    dram: u64,
+}
+
+/// Tenant mix: `mem_heavy_pct`% of tenants are caches/DB buffers (few
+/// cores, lots of DRAM), the rest are compute services (many cores,
+/// little DRAM).
+fn tenants(n: usize, mem_heavy_pct: u32, seed: u64) -> Vec<Tenant> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.gen_range(0..100) < mem_heavy_pct {
+                Tenant {
+                    cores: rng.gen_range(1..4),
+                    dram: (rng.gen_range(16..48) as u64) << 30,
+                }
+            } else {
+                Tenant {
+                    cores: rng.gen_range(8..24),
+                    dram: (rng.gen_range(1..8) as u64) << 30,
+                }
+            }
+        })
+        .collect()
+}
+
+/// First-fit both dimensions into coupled servers.
+fn place_monolithic(ts: &[Tenant]) -> (usize, u64) {
+    // (cores_free, dram allocator) per server.
+    let mut servers: Vec<(u64, ExtentAllocator)> = Vec::new();
+    for t in ts {
+        let mut placed = false;
+        for (cores_free, dram) in servers.iter_mut() {
+            if *cores_free >= t.cores && dram.alloc(t.dram).is_ok() {
+                *cores_free -= t.cores;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            let mut dram = ExtentAllocator::new(SRV_DRAM);
+            dram.alloc(t.dram).expect("tenant fits an empty server");
+            servers.push((SRV_CORES - t.cores, dram));
+        }
+    }
+    let used: u64 = servers.iter().map(|(_, d)| d.stats().allocated).sum();
+    let capacity = servers.len() as u64 * SRV_DRAM;
+    (servers.len(), capacity - used)
+}
+
+/// Pack cores into compute nodes and DRAM into pooled memory nodes,
+/// independently (DSM striping lets a tenant's memory span nodes).
+fn place_disaggregated(ts: &[Tenant]) -> (usize, usize, u64) {
+    let total_cores: u64 = ts.iter().map(|t| t.cores).sum();
+    let compute_nodes = total_cores.div_ceil(SRV_CORES) as usize;
+    let mut mem_nodes: Vec<ExtentAllocator> = vec![ExtentAllocator::new(MEMNODE_DRAM)];
+    for t in ts {
+        let mut remaining = t.dram;
+        while remaining > 0 {
+            let chunk = remaining.min(1 << 30);
+            if mem_nodes.iter_mut().any(|n| n.alloc(chunk).is_ok()) {
+                remaining -= chunk;
+            } else {
+                mem_nodes.push(ExtentAllocator::new(MEMNODE_DRAM));
+            }
+        }
+    }
+    let used: u64 = mem_nodes.iter().map(|n| n.stats().allocated).sum();
+    let capacity = mem_nodes.len() as u64 * MEMNODE_DRAM;
+    (compute_nodes, mem_nodes.len(), capacity - used)
+}
+
+fn main() {
+    println!("\nF1 — DRAM stranding: monolithic (32c+64GiB boxes) vs disaggregated pools\n");
+    table::header(&[
+        "mem-heavy %",
+        "mono boxes",
+        "mono strand",
+        "mono util%",
+        "cpu nodes",
+        "mem nodes",
+        "pool strand",
+        "pool util%",
+    ]);
+    for &mix in &[10u32, 30, 50, 70, 90] {
+        let ts = tenants(200, mix, 1_000 + mix as u64);
+        let (mono, mono_strand) = place_monolithic(&ts);
+        let (cn, mn, pool_strand) = place_disaggregated(&ts);
+        let dram_total: u64 = ts.iter().map(|t| t.dram).sum();
+        let mono_util = dram_total as f64 / (mono as f64 * SRV_DRAM as f64) * 100.0;
+        let pool_util = dram_total as f64 / (mn as f64 * MEMNODE_DRAM as f64) * 100.0;
+        table::row(&[
+            mix.to_string(),
+            mono.to_string(),
+            format!("{} GiB", mono_strand >> 30),
+            table::f1(mono_util),
+            cn.to_string(),
+            mn.to_string(),
+            format!("{} GiB", pool_strand >> 30),
+            table::f1(pool_util),
+        ]);
+    }
+    println!(
+        "\nShape check (§1): coupled boxes strand DRAM whenever the tenant \
+         mix departs from the hardware's fixed CPU:DRAM ratio; the pooled \
+         design keeps DRAM utilization high across every mix and usually \
+         provisions fewer 64 GiB units."
+    );
+}

@@ -1,0 +1,256 @@
+//! # bench — experiment harnesses for every figure and claim in the paper
+//!
+//! Each `exp_*` binary regenerates one experiment from DESIGN.md §4
+//! (`cargo run --release -p bench --bin exp_<id>`); Criterion
+//! microbenchmarks for the hot substrate paths live in `benches/`.
+//!
+//! This library holds the shared measurement machinery:
+//!
+//! * [`lockstep`] — drive N logically concurrent virtual clients from one
+//!   real thread, interleaving their operations so shared
+//!   [`rdma_sim::clock::SharedTimeline`]s see realistic arrival patterns
+//!   (sequential per-client loops would serialize behind device tails);
+//! * [`run_cluster_workload`] — the real-thread driver for
+//!   message-passing architectures (3b coherence, 3c 2PC): every session
+//!   runs its share and keeps serving peers until the fleet is done;
+//! * [`table`] — fixed-width table printing so experiment output reads
+//!   like the paper's tables.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dsmdb::{Cluster, Op, Session, TxnError};
+use rdma_sim::Endpoint;
+
+/// Drive `clients` virtual clients in lockstep for `rounds` rounds. The
+/// closure runs one operation for one client; returns the makespan (max
+/// virtual clock) in nanoseconds.
+pub fn lockstep<F>(eps: &[Endpoint], rounds: usize, mut f: F) -> u64
+where
+    F: FnMut(usize, &Endpoint),
+{
+    for _ in 0..rounds {
+        for (i, ep) in eps.iter().enumerate() {
+            f(i, ep);
+        }
+    }
+    eps.iter().map(|e| e.clock().now_ns()).max().unwrap_or(0)
+}
+
+/// Outcome of a cluster workload run.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadResult {
+    /// Committed transactions across all sessions.
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// Makespan: max session virtual time, ns.
+    pub makespan_ns: u64,
+    /// Sum of round trips across sessions.
+    pub round_trips: u64,
+}
+
+impl WorkloadResult {
+    /// Committed transactions per virtual second.
+    pub fn tps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.commits as f64 * 1e9 / self.makespan_ns as f64
+        }
+    }
+
+    /// Abort ratio over all attempts.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.commits + self.aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / total as f64
+        }
+    }
+
+    /// Mean round trips per committed transaction.
+    pub fn rts_per_txn(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.round_trips as f64 / self.commits as f64
+        }
+    }
+}
+
+/// Run `txns_per_session` transactions on every session of `cluster`
+/// using real worker threads (needed whenever sessions must answer each
+/// other: coherence acks, 2PC votes). `gen` produces the ops for session
+/// `(node, thread)`'s `i`-th transaction; aborted transactions retry
+/// until they commit (counted).
+pub fn run_cluster_workload<G>(
+    cluster: &std::sync::Arc<Cluster>,
+    txns_per_session: usize,
+    gen: G,
+) -> WorkloadResult
+where
+    G: Fn(usize, usize, usize) -> Vec<Op> + Sync,
+{
+    let nodes = cluster.config().compute_nodes;
+    let threads = cluster.config().threads_per_node;
+    let total_workers = nodes * threads;
+    let finished = AtomicUsize::new(0);
+    let commits = AtomicUsize::new(0);
+    let aborts = AtomicUsize::new(0);
+    let makespan = std::sync::atomic::AtomicU64::new(0);
+    let rts = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|sc| {
+        for n in 0..nodes {
+            for t in 0..threads {
+                let cluster = cluster.clone();
+                let gen = &gen;
+                let finished = &finished;
+                let commits = &commits;
+                let aborts = &aborts;
+                let makespan = &makespan;
+                let rts = &rts;
+                sc.spawn(move || {
+                    let mut s: Session = cluster.session(n, t);
+                    for i in 0..txns_per_session {
+                        let ops = gen(n, t, i);
+                        loop {
+                            match s.execute(&ops) {
+                                Ok(_) => {
+                                    commits.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(TxnError::Aborted(_)) => {
+                                    aborts.fetch_add(1, Ordering::Relaxed);
+                                    s.serve_pending(8);
+                                    // Real-thread fairness: give the lock
+                                    // holder a chance instead of spinning
+                                    // it off the CPU.
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("workload failed: {e}"),
+                            }
+                        }
+                    }
+                    finished.fetch_add(1, Ordering::Release);
+                    while finished.load(Ordering::Acquire) < total_workers {
+                        if !s.serve_pending(16) {
+                            std::thread::yield_now();
+                        }
+                    }
+                    s.serve_pending(usize::MAX >> 1);
+                    makespan.fetch_max(s.endpoint().clock().now_ns(), Ordering::Relaxed);
+                    rts.fetch_add(s.endpoint().stats().round_trips(), Ordering::Relaxed);
+                });
+            }
+        }
+    });
+    WorkloadResult {
+        commits: commits.load(Ordering::Relaxed) as u64,
+        aborts: aborts.load(Ordering::Relaxed) as u64,
+        makespan_ns: makespan.load(Ordering::Relaxed),
+        round_trips: rts.load(Ordering::Relaxed),
+    }
+}
+
+/// Scale factor for quick runs: set `BENCH_SCALE` (default 1) to divide
+/// workload sizes, e.g. `BENCH_SCALE=10` for a smoke run.
+pub fn scale_down(n: usize) -> usize {
+    let s: usize = std::env::var("BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    (n / s).max(1)
+}
+
+/// Fixed-width table printing.
+pub mod table {
+    /// Print a header row plus separator.
+    pub fn header(cols: &[&str]) {
+        let row = cols
+            .iter()
+            .map(|c| format!("{c:>14}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("{row}");
+        println!("{}", "-".repeat(row.len()));
+    }
+
+    /// Print one data row.
+    pub fn row(cells: &[String]) {
+        println!(
+            "{}",
+            cells
+                .iter()
+                .map(|c| format!("{c:>14}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+
+    /// Format helpers.
+    pub fn f2(x: f64) -> String {
+        format!("{x:.2}")
+    }
+    /// One-decimal float.
+    pub fn f1(x: f64) -> String {
+        format!("{x:.1}")
+    }
+    /// Integer with thousands grouping.
+    pub fn n(x: u64) -> String {
+        let s = x.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().rev().enumerate() {
+            if i > 0 && i % 3 == 0 {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out.chars().rev().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmdb::{Architecture, CcProtocol, ClusterConfig};
+    use rdma_sim::NetworkProfile;
+
+    #[test]
+    fn lockstep_returns_max_clock() {
+        let fabric = rdma_sim::Fabric::new(NetworkProfile::zero());
+        let eps: Vec<Endpoint> = (0..3).map(|_| fabric.endpoint()).collect();
+        let makespan = lockstep(&eps, 10, |i, ep| ep.charge_local((i as u64 + 1) * 10));
+        assert_eq!(makespan, 10 * 30);
+    }
+
+    #[test]
+    fn run_cluster_workload_counts_commits() {
+        let cluster = Cluster::build(ClusterConfig {
+            compute_nodes: 2,
+            threads_per_node: 1,
+            n_records: 32,
+            payload_size: 16,
+            profile: NetworkProfile::rdma_cx6(),
+            architecture: Architecture::NoCacheNoShard,
+            cc: CcProtocol::Occ,
+            ..Default::default()
+        })
+        .unwrap();
+        let r = run_cluster_workload(&cluster, 50, |n, _t, i| {
+            vec![Op::Rmw {
+                key: ((n * 50 + i) % 32) as u64,
+                delta: 1,
+            }]
+        });
+        assert_eq!(r.commits, 100);
+        assert!(r.makespan_ns > 0);
+        assert!(r.tps() > 0.0);
+    }
+
+    #[test]
+    fn table_number_grouping() {
+        assert_eq!(table::n(1_234_567), "1,234,567");
+        assert_eq!(table::n(42), "42");
+    }
+}

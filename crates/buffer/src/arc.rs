@@ -1,0 +1,282 @@
+//! ARC (Megiddo & Modha \[43\]): self-tuning between recency (T1) and
+//! frequency (T2) using ghost lists (B1, B2) and an adaptation target `p`.
+//! High hit rates across workload mixes, but the most bookkeeping of any
+//! policy here — exactly the trade experiment C5 puts under the microscope.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::cost::*;
+use crate::policy::{FrameId, FrameList, ReplacementPolicy};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    None,
+    T1,
+    T2,
+}
+
+/// The ARC replacement policy.
+pub struct ArcPolicy {
+    capacity: usize,
+    t1: FrameList,
+    t2: FrameList,
+    loc: Vec<Loc>,
+    frame_page: Vec<u64>,
+    /// Ghosts: pages recently evicted from T1 / T2.
+    b1: VecDeque<u64>,
+    b1_set: HashSet<u64>,
+    b2: VecDeque<u64>,
+    b2_set: HashSet<u64>,
+    /// Adaptation target for |T1|.
+    p: usize,
+}
+
+impl ArcPolicy {
+    /// ARC over `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            t1: FrameList::new(capacity),
+            t2: FrameList::new(capacity),
+            loc: vec![Loc::None; capacity],
+            frame_page: vec![0; capacity],
+            b1: VecDeque::new(),
+            b1_set: HashSet::new(),
+            b2: VecDeque::new(),
+            b2_set: HashSet::new(),
+            p: 0,
+        }
+    }
+
+    /// Current adaptation target (test/experiment introspection).
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    fn ghost_push(
+        list: &mut VecDeque<u64>,
+        set: &mut HashSet<u64>,
+        page: u64,
+        cap: usize,
+    ) -> u64 {
+        let mut cost = MAP_OP_NS + LIST_OP_NS;
+        list.push_back(page);
+        set.insert(page);
+        while list.len() > cap {
+            if let Some(old) = list.pop_front() {
+                set.remove(&old);
+            }
+            cost += MAP_OP_NS + LIST_OP_NS;
+        }
+        cost
+    }
+
+    fn ghost_remove(list: &mut VecDeque<u64>, set: &mut HashSet<u64>, page: u64) -> u64 {
+        set.remove(&page);
+        if let Some(pos) = list.iter().position(|&p| p == page) {
+            list.remove(pos);
+        }
+        2 * MAP_OP_NS
+    }
+}
+
+impl ReplacementPolicy for ArcPolicy {
+    fn name(&self) -> &'static str {
+        "arc"
+    }
+
+    fn on_hit(&mut self, frame: FrameId, _page: u64) -> u64 {
+        // Any hit promotes to MRU of T2 (frequency list).
+        match self.loc[frame] {
+            Loc::T1 => {
+                self.t1.unlink(frame);
+                self.t2.push_front(frame);
+                self.loc[frame] = Loc::T2;
+            }
+            Loc::T2 => {
+                self.t2.unlink(frame);
+                self.t2.push_front(frame);
+            }
+            Loc::None => {}
+        }
+        MAP_OP_NS + 4 * LIST_OP_NS
+    }
+
+    fn on_insert(&mut self, frame: FrameId, page: u64) -> u64 {
+        self.frame_page[frame] = page;
+        let mut cost = MAP_OP_NS;
+        if self.b1_set.contains(&page) {
+            // Case II: ghost hit in B1 -> favour recency, grow p.
+            let delta = (self.b2.len() / self.b1.len().max(1)).max(1);
+            self.p = (self.p + delta).min(self.capacity);
+            cost += Self::ghost_remove(&mut self.b1, &mut self.b1_set, page);
+            self.loc[frame] = Loc::T2;
+            self.t2.push_front(frame);
+        } else if self.b2_set.contains(&page) {
+            // Case III: ghost hit in B2 -> favour frequency, shrink p.
+            let delta = (self.b1.len() / self.b2.len().max(1)).max(1);
+            self.p = self.p.saturating_sub(delta);
+            cost += Self::ghost_remove(&mut self.b2, &mut self.b2_set, page);
+            self.loc[frame] = Loc::T2;
+            self.t2.push_front(frame);
+        } else {
+            // Case IV: cold miss -> T1.
+            self.loc[frame] = Loc::T1;
+            self.t1.push_front(frame);
+        }
+        cost + 2 * LIST_OP_NS
+    }
+
+    fn victim(&mut self) -> (FrameId, u64) {
+        // REPLACE: evict from T1 if it exceeds the target p, else T2.
+        let from_t1 = if self.t1.len() == 0 {
+            false
+        } else if self.t2.len() == 0 {
+            true
+        } else {
+            self.t1.len() > self.p.max(1) || self.t1.len() >= self.capacity
+        };
+        let (f, mut cost) = if from_t1 {
+            let f = self.t1.pop_back().expect("t1 nonempty");
+            let c = Self::ghost_push(
+                &mut self.b1,
+                &mut self.b1_set,
+                self.frame_page[f],
+                self.capacity,
+            );
+            (f, c)
+        } else {
+            let f = self.t2.pop_back().expect("t2 nonempty");
+            let c = Self::ghost_push(
+                &mut self.b2,
+                &mut self.b2_set,
+                self.frame_page[f],
+                self.capacity,
+            );
+            (f, c)
+        };
+        self.loc[f] = Loc::None;
+        cost += 2 * LIST_OP_NS;
+        (f, cost)
+    }
+
+    fn on_remove(&mut self, frame: FrameId) -> u64 {
+        match self.loc[frame] {
+            Loc::T1 => self.t1.unlink(frame),
+            Loc::T2 => self.t2.unlink(frame),
+            Loc::None => {}
+        }
+        self.loc[frame] = Loc::None;
+        2 * LIST_OP_NS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_misses_fill_t1_then_hits_promote_to_t2() {
+        let mut p = ArcPolicy::new(4);
+        for f in 0..4 {
+            p.on_insert(f, f as u64);
+        }
+        assert_eq!(p.t1.len(), 4);
+        p.on_hit(0, 0);
+        p.on_hit(1, 1);
+        assert_eq!(p.t2.len(), 2);
+        assert_eq!(p.t1.len(), 2);
+    }
+
+    #[test]
+    fn b1_ghost_hit_grows_p() {
+        let mut p = ArcPolicy::new(4);
+        for f in 0..4 {
+            p.on_insert(f, f as u64);
+        }
+        let (v, _) = p.victim(); // evicts LRU of T1 (frame 0, page 0) -> B1
+        assert_eq!(v, 0);
+        let before = p.p();
+        p.on_insert(0, 0); // ghost hit in B1
+        assert!(p.p() > before, "p should grow on B1 hit");
+        assert_eq!(p.t2.len(), 1, "ghost hit goes straight to T2");
+    }
+
+    #[test]
+    fn b2_ghost_hit_shrinks_p() {
+        let mut p = ArcPolicy::new(4);
+        for f in 0..4 {
+            p.on_insert(f, f as u64);
+        }
+        // Promote page 0 to T2, then evict it from T2 into B2.
+        p.on_hit(0, 0);
+        // Force T2 eviction: p = 0 and T1 nonempty means T1 evicts first;
+        // drain T1 (3 frames), then the next victim comes from T2.
+        let _ = p.victim();
+        let _ = p.victim();
+        let (v, _) = p.victim();
+        assert_eq!(v, 0, "third victim is the T2 resident");
+        // Grow p first so a shrink is observable.
+        p.on_insert(1, 10);
+        p.p = 3;
+        let before = p.p();
+        p.on_insert(0, 0); // ghost hit in B2
+        assert!(p.p() < before, "p should shrink on B2 hit");
+    }
+
+    #[test]
+    fn scan_resistance_beats_lru() {
+        // A loop over `capacity` hot pages plus a long one-timer scan:
+        // ARC should keep more hot pages resident than LRU.
+        use crate::policy::LruPolicy;
+        let capacity = 16;
+        let hot: Vec<u64> = (0..8).collect();
+        let run = |policy: &mut dyn ReplacementPolicy| -> usize {
+            // page -> frame simulation with a tiny pool model.
+            let mut page_of_frame = vec![u64::MAX; capacity];
+            let mut frame_of_page = std::collections::HashMap::new();
+            let mut free: Vec<usize> = (0..capacity).rev().collect();
+            let mut hits = 0;
+            let touch = |policy: &mut dyn ReplacementPolicy,
+                             page: u64,
+                             page_of_frame: &mut Vec<u64>,
+                             frame_of_page: &mut std::collections::HashMap<u64, usize>,
+                             free: &mut Vec<usize>,
+                             count: &mut usize| {
+                if let Some(&f) = frame_of_page.get(&page) {
+                    policy.on_hit(f, page);
+                    *count += 1;
+                } else {
+                    let f = free.pop().unwrap_or_else(|| {
+                        let (v, _) = policy.victim();
+                        frame_of_page.remove(&page_of_frame[v]);
+                        v
+                    });
+                    page_of_frame[f] = page;
+                    frame_of_page.insert(page, f);
+                    policy.on_insert(f, page);
+                }
+            };
+            // Warm the hot set.
+            for round in 0..20 {
+                for &h in &hot {
+                    touch(policy, h, &mut page_of_frame, &mut frame_of_page, &mut free, &mut hits);
+                }
+                // Interleave a scan segment of one-timers.
+                for s in 0..16 {
+                    let scan_page = 1_000 + round * 16 + s;
+                    touch(policy, scan_page, &mut page_of_frame, &mut frame_of_page, &mut free, &mut hits);
+                }
+            }
+            hits
+        };
+        let mut arc = ArcPolicy::new(capacity);
+        let mut lru = LruPolicy::new(capacity);
+        let arc_hits = run(&mut arc);
+        let lru_hits = run(&mut lru);
+        assert!(
+            arc_hits > lru_hits,
+            "ARC {arc_hits} should beat LRU {lru_hits} under scans"
+        );
+    }
+}

@@ -1,0 +1,518 @@
+//! The buffer pool: local frames over remote DSM pages.
+//!
+//! §5: "all the data is stored in remote memory with hot data being cached
+//! in local memory" — a two-level hierarchy with no disk underneath. The
+//! pool fetches whole pages from the [`dsm::DsmLayer`] on a miss, serves
+//! hits from local frames, and writes back (or through) on updates.
+//! Every software action is priced by [`crate::cost`] and charged to the
+//! calling endpoint, so experiments see lookup + maintenance +
+//! synchronization overhead exactly as §5 Challenge 8 demands.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dsm::{DsmLayer, DsmResult, GlobalAddr};
+use parking_lot::Mutex;
+use rdma_sim::Endpoint;
+
+use crate::cost::{copy_cost_ns, LOCK_NS, MAP_OP_NS};
+use crate::policy::{FrameId, ReplacementPolicy};
+
+/// When modified pages reach remote memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Every write is immediately propagated to DSM (simple coherence).
+    WriteThrough,
+    /// Writes dirty the frame; DSM is updated on eviction/flush.
+    WriteBack,
+}
+
+/// Aggregate pool counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Accesses served from a local frame.
+    pub hits: u64,
+    /// Accesses that fetched from DSM.
+    pub misses: u64,
+    /// Victim evictions performed.
+    pub evictions: u64,
+    /// Dirty evictions that wrote back to DSM.
+    pub writebacks: u64,
+    /// Pages dropped by [`BufferPool::invalidate`].
+    pub invalidations: u64,
+    /// Total software overhead charged, ns (policy + lookup + latch).
+    pub overhead_ns: u64,
+}
+
+impl PoolStats {
+    /// hits / (hits + misses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    data: Box<[u8]>,
+    /// Raw [`GlobalAddr`] of the resident page; `u64::MAX` when empty.
+    page: u64,
+    dirty: bool,
+}
+
+struct Inner {
+    policy: Box<dyn ReplacementPolicy>,
+    frames: Vec<Frame>,
+    page_table: HashMap<u64, FrameId>,
+    free: Vec<FrameId>,
+    stats: PoolStats,
+}
+
+/// A fixed-capacity page cache in compute-node local memory.
+pub struct BufferPool {
+    layer: Arc<DsmLayer>,
+    page_size: usize,
+    mode: WriteMode,
+    inner: Mutex<Inner>,
+}
+
+impl BufferPool {
+    /// A pool of `capacity_pages` frames of `page_size` bytes, managed by
+    /// `policy`, fronting `layer`.
+    pub fn new(
+        layer: Arc<DsmLayer>,
+        page_size: usize,
+        capacity_pages: usize,
+        policy: Box<dyn ReplacementPolicy>,
+        mode: WriteMode,
+    ) -> Self {
+        assert!(capacity_pages >= 1);
+        let frames = (0..capacity_pages)
+            .map(|_| Frame {
+                data: vec![0u8; page_size].into_boxed_slice(),
+                page: u64::MAX,
+                dirty: false,
+            })
+            .collect();
+        Self {
+            layer,
+            page_size,
+            mode,
+            inner: Mutex::new(Inner {
+                policy,
+                frames,
+                page_table: HashMap::with_capacity(capacity_pages * 2),
+                free: (0..capacity_pages).rev().collect(),
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().page_table.len()
+    }
+
+    /// Whether `addr`'s page is currently resident (no cost charged —
+    /// callers fold this into their own accounting).
+    pub fn contains(&self, addr: GlobalAddr) -> bool {
+        self.inner.lock().page_table.contains_key(&addr.to_raw())
+    }
+
+    /// The replacement policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.inner.lock().policy.name()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Zero the counters (between experiment phases).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = PoolStats::default();
+    }
+
+    fn charge(ep: &Endpoint, stats: &mut PoolStats, ns: u64) {
+        ep.charge_local(ns);
+        stats.overhead_ns += ns;
+    }
+
+    /// Read the page at `addr` into `dst` (must be `page_size` long).
+    /// Returns true on a local hit.
+    pub fn read_page(&self, ep: &Endpoint, addr: GlobalAddr, dst: &mut [u8]) -> DsmResult<bool> {
+        assert_eq!(dst.len(), self.page_size);
+        let key = addr.to_raw();
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        if let Some(&f) = inner.page_table.get(&key) {
+            // Hit: lookup + (latch unless the policy's hit path is
+            // latch-free) + policy maintenance + local copy.
+            let latch = if inner.policy.latch_free_hits() { 0 } else { LOCK_NS };
+            let pol = inner.policy.on_hit(f, key);
+            Self::charge(ep, &mut inner.stats, MAP_OP_NS + latch + pol);
+            ep.charge_local(copy_cost_ns(self.page_size));
+            dst.copy_from_slice(&inner.frames[f].data);
+            inner.stats.hits += 1;
+            return Ok(true);
+        }
+        // Miss: take the latch, pick a frame, maybe write back, fetch.
+        let mut overhead = MAP_OP_NS + LOCK_NS;
+        let f = match inner.free.pop() {
+            Some(f) => f,
+            None => {
+                let (victim, pol) = inner.policy.victim();
+                overhead += pol;
+                inner.stats.evictions += 1;
+                let old = &mut inner.frames[victim];
+                inner.page_table.remove(&old.page);
+                if old.dirty {
+                    self.layer.write(ep, GlobalAddr::from_raw(old.page), &old.data)?;
+                    old.dirty = false;
+                    inner.stats.writebacks += 1;
+                }
+                victim
+            }
+        };
+        self.layer.read(ep, addr, &mut inner.frames[f].data)?;
+        inner.frames[f].page = key;
+        inner.frames[f].dirty = false;
+        inner.page_table.insert(key, f);
+        overhead += inner.policy.on_insert(f, key) + MAP_OP_NS;
+        Self::charge(ep, &mut inner.stats, overhead);
+        ep.charge_local(copy_cost_ns(self.page_size));
+        dst.copy_from_slice(&inner.frames[f].data);
+        inner.stats.misses += 1;
+        Ok(false)
+    }
+
+    /// Write `src` (a full page) to `addr` through the cache.
+    pub fn write_page(&self, ep: &Endpoint, addr: GlobalAddr, src: &[u8]) -> DsmResult<()> {
+        assert_eq!(src.len(), self.page_size);
+        let key = addr.to_raw();
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let f = if let Some(&f) = inner.page_table.get(&key) {
+            let pol = inner.policy.on_hit(f, key);
+            Self::charge(ep, &mut inner.stats, MAP_OP_NS + LOCK_NS + pol);
+            inner.stats.hits += 1;
+            f
+        } else {
+            let mut overhead = MAP_OP_NS + LOCK_NS;
+            let f = match inner.free.pop() {
+                Some(f) => f,
+                None => {
+                    let (victim, pol) = inner.policy.victim();
+                    overhead += pol;
+                    inner.stats.evictions += 1;
+                    let old = &mut inner.frames[victim];
+                    inner.page_table.remove(&old.page);
+                    if old.dirty {
+                        self.layer.write(ep, GlobalAddr::from_raw(old.page), &old.data)?;
+                        old.dirty = false;
+                        inner.stats.writebacks += 1;
+                    }
+                    victim
+                }
+            };
+            inner.frames[f].page = key;
+            inner.page_table.insert(key, f);
+            overhead += inner.policy.on_insert(f, key) + MAP_OP_NS;
+            Self::charge(ep, &mut inner.stats, overhead);
+            inner.stats.misses += 1;
+            f
+        };
+        ep.charge_local(copy_cost_ns(self.page_size));
+        inner.frames[f].data.copy_from_slice(src);
+        match self.mode {
+            WriteMode::WriteThrough => {
+                self.layer.write(ep, addr, src)?;
+                inner.frames[f].dirty = false;
+            }
+            WriteMode::WriteBack => {
+                inner.frames[f].dirty = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop the cached copy of `addr` *without* writeback (coherence
+    /// invalidation: the writer holds the newer version). Returns whether
+    /// a copy was resident.
+    pub fn invalidate(&self, ep: &Endpoint, addr: GlobalAddr) -> bool {
+        let key = addr.to_raw();
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let Some(f) = inner.page_table.remove(&key) else {
+            Self::charge(ep, &mut inner.stats, MAP_OP_NS + LOCK_NS);
+            return false;
+        };
+        let pol = inner.policy.on_remove(f);
+        inner.frames[f].page = u64::MAX;
+        inner.frames[f].dirty = false;
+        inner.free.push(f);
+        inner.stats.invalidations += 1;
+        Self::charge(ep, &mut inner.stats, MAP_OP_NS + LOCK_NS + pol);
+        true
+    }
+
+    /// Overwrite the cached copy of `addr` in place if resident (coherence
+    /// *update* protocol). Returns whether a copy was resident.
+    pub fn update_if_resident(&self, ep: &Endpoint, addr: GlobalAddr, src: &[u8]) -> bool {
+        assert_eq!(src.len(), self.page_size);
+        let key = addr.to_raw();
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let Some(&f) = inner.page_table.get(&key) else {
+            Self::charge(ep, &mut inner.stats, MAP_OP_NS + LOCK_NS);
+            return false;
+        };
+        ep.charge_local(copy_cost_ns(self.page_size));
+        inner.frames[f].data.copy_from_slice(src);
+        Self::charge(ep, &mut inner.stats, MAP_OP_NS + LOCK_NS);
+        true
+    }
+
+    /// Drop every resident page without writeback (bulk invalidation
+    /// after a metadata-only reshard; write-through pools hold no dirty
+    /// state). Charged as one latched sweep.
+    pub fn drop_all(&self, ep: &Endpoint) {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let n = inner.page_table.len();
+        for (_, f) in inner.page_table.drain() {
+            inner.policy.on_remove(f);
+            inner.frames[f].page = u64::MAX;
+            inner.frames[f].dirty = false;
+            inner.free.push(f);
+        }
+        inner.stats.invalidations += n as u64;
+        Self::charge(ep, &mut inner.stats, LOCK_NS + n as u64 * 10);
+    }
+
+    /// Write back every dirty page (shutdown, checkpoint, or a coherence
+    /// downgrade).
+    pub fn flush_all(&self, ep: &Endpoint) -> DsmResult<()> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        for f in 0..inner.frames.len() {
+            if inner.frames[f].page != u64::MAX && inner.frames[f].dirty {
+                self.layer.write(
+                    ep,
+                    GlobalAddr::from_raw(inner.frames[f].page),
+                    &inner.frames[f].data,
+                )?;
+                inner.frames[f].dirty = false;
+                inner.stats.writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LruPolicy;
+    use dsm::DsmConfig;
+    use rdma_sim::{Fabric, NetworkProfile};
+
+    fn setup(frames: usize, mode: WriteMode) -> (Arc<Fabric>, Arc<DsmLayer>, BufferPool) {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let layer = DsmLayer::build(
+            &fabric,
+            DsmConfig {
+                memory_nodes: 1,
+                capacity_per_node: 1 << 20,
+                replication: 1,
+                mem_cores: 1,
+                weak_cpu_factor: 4.0,
+            },
+        );
+        let pool = BufferPool::new(
+            layer.clone(),
+            64,
+            frames,
+            Box::new(LruPolicy::new(frames)),
+            mode,
+        );
+        (fabric, layer, pool)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (f, layer, pool) = setup(4, WriteMode::WriteThrough);
+        let ep = f.endpoint();
+        let addr = layer.alloc(64).unwrap();
+        layer.write(&ep, addr, &[9u8; 64]).unwrap();
+
+        let mut buf = [0u8; 64];
+        assert!(!pool.read_page(&ep, addr, &mut buf).unwrap());
+        assert_eq!(buf, [9u8; 64]);
+        assert!(pool.read_page(&ep, addr, &mut buf).unwrap());
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!(s.overhead_ns > 0);
+    }
+
+    #[test]
+    fn hit_is_much_cheaper_than_miss_at_rdma_gap() {
+        let (f, layer, pool) = setup(4, WriteMode::WriteThrough);
+        let addr = layer.alloc(64).unwrap();
+        let miss_ep = f.endpoint();
+        let mut buf = [0u8; 64];
+        pool.read_page(&miss_ep, addr, &mut buf).unwrap();
+        let hit_ep = f.endpoint();
+        pool.read_page(&hit_ep, addr, &mut buf).unwrap();
+        assert!(hit_ep.clock().now_ns() * 4 < miss_ep.clock().now_ns());
+    }
+
+    #[test]
+    fn write_through_updates_dsm_immediately() {
+        let (f, layer, pool) = setup(4, WriteMode::WriteThrough);
+        let ep = f.endpoint();
+        let addr = layer.alloc(64).unwrap();
+        pool.write_page(&ep, addr, &[5u8; 64]).unwrap();
+        let mut direct = [0u8; 64];
+        layer.read(&ep, addr, &mut direct).unwrap();
+        assert_eq!(direct, [5u8; 64]);
+    }
+
+    #[test]
+    fn write_back_defers_until_eviction() {
+        let (f, layer, pool) = setup(2, WriteMode::WriteBack);
+        let ep = f.endpoint();
+        let a = layer.alloc(64).unwrap();
+        let b = layer.alloc(64).unwrap();
+        let c = layer.alloc(64).unwrap();
+        pool.write_page(&ep, a, &[1u8; 64]).unwrap();
+        let mut direct = [0u8; 64];
+        layer.read(&ep, a, &mut direct).unwrap();
+        assert_eq!(direct, [0u8; 64], "not yet written back");
+        // Evict `a` by filling the 2-frame pool.
+        let mut buf = [0u8; 64];
+        pool.read_page(&ep, b, &mut buf).unwrap();
+        pool.read_page(&ep, c, &mut buf).unwrap();
+        layer.read(&ep, a, &mut direct).unwrap();
+        assert_eq!(direct, [1u8; 64], "written back on eviction");
+        assert_eq!(pool.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_all_writes_every_dirty_page() {
+        let (f, layer, pool) = setup(4, WriteMode::WriteBack);
+        let ep = f.endpoint();
+        let addrs: Vec<_> = (0..3).map(|_| layer.alloc(64).unwrap()).collect();
+        for (i, a) in addrs.iter().enumerate() {
+            pool.write_page(&ep, *a, &[i as u8 + 1; 64]).unwrap();
+        }
+        pool.flush_all(&ep).unwrap();
+        for (i, a) in addrs.iter().enumerate() {
+            let mut direct = [0u8; 64];
+            layer.read(&ep, *a, &mut direct).unwrap();
+            assert_eq!(direct, [i as u8 + 1; 64]);
+        }
+        assert_eq!(pool.stats().writebacks, 3);
+    }
+
+    #[test]
+    fn invalidate_drops_without_writeback() {
+        let (f, layer, pool) = setup(4, WriteMode::WriteBack);
+        let ep = f.endpoint();
+        let addr = layer.alloc(64).unwrap();
+        layer.write(&ep, addr, &[7u8; 64]).unwrap();
+        pool.write_page(&ep, addr, &[8u8; 64]).unwrap();
+        assert!(pool.invalidate(&ep, addr));
+        assert!(!pool.invalidate(&ep, addr), "already gone");
+        // DSM still has the pre-write value: the dirty copy was dropped.
+        let mut direct = [0u8; 64];
+        layer.read(&ep, addr, &mut direct).unwrap();
+        assert_eq!(direct, [7u8; 64]);
+        // And a fresh read repopulates from DSM.
+        let mut buf = [0u8; 64];
+        assert!(!pool.read_page(&ep, addr, &mut buf).unwrap());
+        assert_eq!(buf, [7u8; 64]);
+    }
+
+    #[test]
+    fn update_if_resident_refreshes_copy() {
+        let (f, layer, pool) = setup(4, WriteMode::WriteThrough);
+        let ep = f.endpoint();
+        let addr = layer.alloc(64).unwrap();
+        let mut buf = [0u8; 64];
+        pool.read_page(&ep, addr, &mut buf).unwrap();
+        assert!(pool.update_if_resident(&ep, addr, &[3u8; 64]));
+        pool.read_page(&ep, addr, &mut buf).unwrap();
+        assert_eq!(buf, [3u8; 64]);
+        let other = layer.alloc(64).unwrap();
+        assert!(!pool.update_if_resident(&ep, other, &[4u8; 64]));
+    }
+
+    #[test]
+    fn capacity_is_respected_under_many_pages() {
+        let (f, layer, pool) = setup(8, WriteMode::WriteThrough);
+        let ep = f.endpoint();
+        let addrs: Vec<_> = (0..64).map(|_| layer.alloc(64).unwrap()).collect();
+        let mut buf = [0u8; 64];
+        for a in &addrs {
+            pool.read_page(&ep, *a, &mut buf).unwrap();
+        }
+        assert_eq!(pool.resident(), 8);
+        assert_eq!(pool.stats().evictions, 64 - 8);
+    }
+
+    #[test]
+    fn every_policy_survives_pool_integration() {
+        for policy in crate::all_policies(8) {
+            let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+            let layer = DsmLayer::build(
+                &fabric,
+                DsmConfig {
+                    memory_nodes: 1,
+                    capacity_per_node: 1 << 20,
+                    replication: 1,
+                    mem_cores: 1,
+                    weak_cpu_factor: 4.0,
+                },
+            );
+            let name = policy.name();
+            let pool = BufferPool::new(layer.clone(), 64, 8, policy, WriteMode::WriteBack);
+            let ep = fabric.endpoint();
+            let addrs: Vec<_> = (0..32).map(|_| layer.alloc(64).unwrap()).collect();
+            let mut buf = [0u8; 64];
+            // Mixed access pattern with rereads.
+            for round in 0..4 {
+                for (i, a) in addrs.iter().enumerate() {
+                    if (i + round) % 3 == 0 {
+                        pool.write_page(&ep, *a, &[i as u8; 64]).unwrap();
+                    } else {
+                        pool.read_page(&ep, *a, &mut buf).unwrap();
+                    }
+                }
+            }
+            pool.flush_all(&ep).unwrap();
+            // Verify final contents are coherent with DSM.
+            for (i, a) in addrs.iter().enumerate() {
+                let mut cached = [0u8; 64];
+                pool.read_page(&ep, *a, &mut cached).unwrap();
+                let mut direct = [0u8; 64];
+                layer.read(&ep, *a, &mut direct).unwrap();
+                assert_eq!(cached, direct, "policy {name} page {i} incoherent");
+            }
+        }
+    }
+}

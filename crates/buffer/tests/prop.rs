@@ -1,0 +1,132 @@
+//! Property-based tests: every buffer policy, checked against a
+//! reference model (a plain HashMap standing for the DSM ground truth).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use buffer::{all_policies, BufferPool, WriteMode};
+use dsm::{DsmConfig, DsmLayer, GlobalAddr};
+use proptest::prelude::*;
+use rdma_sim::{Fabric, NetworkProfile};
+
+const PAGE: usize = 32;
+const PAGES: u64 = 64;
+
+fn layer() -> Arc<DsmLayer> {
+    let fabric = Fabric::new(NetworkProfile::zero());
+    DsmLayer::build(
+        &fabric,
+        DsmConfig {
+            memory_nodes: 1,
+            capacity_per_node: 1 << 20,
+            replication: 1,
+            mem_cores: 1,
+            weak_cpu_factor: 4.0,
+        },
+    )
+}
+
+#[derive(Debug, Clone)]
+enum PoolOp {
+    Read(u64),
+    Write(u64, u8),
+    Invalidate(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        (0..PAGES).prop_map(PoolOp::Read),
+        ((0..PAGES), any::<u8>()).prop_map(|(k, v)| PoolOp::Write(k, v)),
+        (0..PAGES).prop_map(PoolOp::Invalidate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every policy, under arbitrary op interleavings on a tiny pool,
+    /// reads always return the most recently written value (the pool is
+    /// a *cache*, never a source of staleness) in both write modes.
+    #[test]
+    fn pool_is_transparent_for_every_policy(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        write_back in any::<bool>(),
+    ) {
+        for policy in all_policies(8) {
+            let name = policy.name();
+            let l = layer();
+            let base = l.alloc(PAGES * PAGE as u64).unwrap();
+            let addr = |k: u64| GlobalAddr::new(base.node(), base.offset() + k * PAGE as u64);
+            let mode = if write_back { WriteMode::WriteBack } else { WriteMode::WriteThrough };
+            let pool = BufferPool::new(l.clone(), PAGE, 8, policy, mode);
+            let ep = l.fabric().endpoint();
+            let mut model: HashMap<u64, u8> = HashMap::new();
+            let mut buf = vec![0u8; PAGE];
+            for op in &ops {
+                match *op {
+                    PoolOp::Read(k) => {
+                        pool.read_page(&ep, addr(k), &mut buf).unwrap();
+                        let expect = model.get(&k).copied().unwrap_or(0);
+                        prop_assert_eq!(buf[0], expect, "{}: stale read of {}", name, k);
+                    }
+                    PoolOp::Write(k, v) => {
+                        let mut page = vec![0u8; PAGE];
+                        page[0] = v;
+                        pool.write_page(&ep, addr(k), &page).unwrap();
+                        model.insert(k, v);
+                    }
+                    PoolOp::Invalidate(k) => {
+                        // Coherence-style invalidation discards the local
+                        // copy; in write-back mode unwritten dirt is lost,
+                        // so the model must fall back to the DSM state.
+                        pool.invalidate(&ep, addr(k));
+                        let mut direct = vec![0u8; PAGE];
+                        l.read(&ep, addr(k), &mut direct).unwrap();
+                        model.insert(k, direct[0]);
+                    }
+                }
+            }
+            // After a flush, DSM agrees with the model everywhere.
+            pool.flush_all(&ep).unwrap();
+            for (k, v) in &model {
+                let mut direct = vec![0u8; PAGE];
+                l.read(&ep, addr(*k), &mut direct).unwrap();
+                prop_assert_eq!(direct[0], *v, "{}: dsm divergence at {}", name, k);
+            }
+        }
+    }
+
+    /// Residency never exceeds capacity, and hit+miss counts equal the
+    /// number of reads+writes issued.
+    #[test]
+    fn accounting_invariants(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let l = layer();
+        let base = l.alloc(PAGES * PAGE as u64).unwrap();
+        let addr = |k: u64| GlobalAddr::new(base.node(), base.offset() + k * PAGE as u64);
+        let policy = all_policies(4).remove(1); // lru
+        let pool = BufferPool::new(l.clone(), PAGE, 4, policy, WriteMode::WriteThrough);
+        let ep = l.fabric().endpoint();
+        let mut accesses = 0u64;
+        let mut buf = vec![0u8; PAGE];
+        for op in &ops {
+            match *op {
+                PoolOp::Read(k) => {
+                    pool.read_page(&ep, addr(k), &mut buf).unwrap();
+                    accesses += 1;
+                }
+                PoolOp::Write(k, v) => {
+                    let mut page = vec![0u8; PAGE];
+                    page[0] = v;
+                    pool.write_page(&ep, addr(k), &page).unwrap();
+                    accesses += 1;
+                }
+                PoolOp::Invalidate(k) => {
+                    pool.invalidate(&ep, addr(k));
+                }
+            }
+            prop_assert!(pool.resident() <= 4);
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.hits + s.misses, accesses);
+    }
+}

@@ -1,0 +1,28 @@
+//! # cloudstore — simulated cloud durable storage
+//!
+//! §3 Challenge 2 Approach #1: "DSM-DB can choose cloud storage, e.g., AWS
+//! EBS and S3 are highly reliable with low cost … However, writing to cloud
+//! storage is relatively slow and is on the critical path for transaction
+//! commit." This crate provides the two storage services that approach
+//! needs, with calibrated latencies and *real* contents (so recovery
+//! actually replays bytes):
+//!
+//! * [`LogStore`] — an append-only, fully serialized write-ahead log device
+//!   (EBS-class by default). Because the device serializes appends, commit
+//!   throughput without batching caps at `1/latency`; [`LogStore::append_group`]
+//!   implements group commit (§3 cites DeWitt et al. \[24\]) and restores
+//!   throughput at the cost of batching delay. Experiment **C7** measures
+//!   exactly this.
+//! * [`ObjectStore`] — a put/get object store (S3-class by default) used
+//!   for checkpoints in the RAMCloud-style availability scheme (§3
+//!   Challenge 3) and measured in experiment **C8**.
+//!
+//! Both stores are in-memory behind the scenes — durability here means
+//! "survives simulated memory-node crashes", which is the property the
+//! paper's recovery protocols need.
+
+pub mod log;
+pub mod object;
+
+pub use log::{LogRecord, LogStore, Lsn};
+pub use object::ObjectStore;

@@ -1,0 +1,122 @@
+//! The checkpoint object store (S3-class).
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use rdma_sim::{Endpoint, NetworkProfile};
+
+/// A put/get object store with cloud-object-storage pricing.
+///
+/// Concurrency model: unlike the [`crate::LogStore`] device, object PUTs
+/// are independent requests that proceed in parallel (each caller pays the
+/// request latency on its own clock), which matches S3-class services.
+pub struct ObjectStore {
+    profile: NetworkProfile,
+    objects: RwLock<HashMap<String, Vec<u8>>>,
+}
+
+impl ObjectStore {
+    /// An object store priced by `profile` (use
+    /// [`NetworkProfile::cloud_s3`] for the paper's S3-class checkpoints).
+    pub fn new(profile: NetworkProfile) -> Self {
+        Self {
+            profile,
+            objects: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Durably store `data` under `key`, charging the caller one PUT.
+    pub fn put(&self, caller: &Endpoint, key: &str, data: Vec<u8>) {
+        caller.charge_local(self.profile.rw_cost_ns(data.len()));
+        self.objects.write().insert(key.to_owned(), data);
+    }
+
+    /// Fetch the object at `key`, charging the caller one GET.
+    pub fn get(&self, caller: &Endpoint, key: &str) -> Option<Vec<u8>> {
+        let guard = self.objects.read();
+        let data = guard.get(key).cloned();
+        caller.charge_local(
+            self.profile
+                .rw_cost_ns(data.as_ref().map_or(0, |d| d.len())),
+        );
+        data
+    }
+
+    /// Delete `key`; returns whether it existed. Priced as a small request.
+    pub fn delete(&self, caller: &Endpoint, key: &str) -> bool {
+        caller.charge_local(self.profile.rw_cost_ns(0));
+        self.objects.write().remove(key).is_some()
+    }
+
+    /// List keys with the given prefix (control-plane operation, priced as
+    /// one small request).
+    pub fn list(&self, caller: &Endpoint, prefix: &str) -> Vec<String> {
+        caller.charge_local(self.profile.rw_cost_ns(0));
+        let mut keys: Vec<String> = self
+            .objects
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// True when no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+
+    /// Total stored bytes (capacity accounting for experiment C8).
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(|v| v.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_sim::Fabric;
+
+    #[test]
+    fn put_get_roundtrip_charges_latency() {
+        let fabric = Fabric::new(NetworkProfile::zero());
+        let store = ObjectStore::new(NetworkProfile::cloud_s3());
+        let ep = fabric.endpoint();
+        store.put(&ep, "ckpt/0", vec![1, 2, 3]);
+        let after_put = ep.clock().now_ns();
+        assert!(after_put >= NetworkProfile::cloud_s3().rt_latency_ns);
+        assert_eq!(store.get(&ep, "ckpt/0").unwrap(), vec![1, 2, 3]);
+        assert!(ep.clock().now_ns() > after_put);
+        assert!(store.get(&ep, "missing").is_none());
+    }
+
+    #[test]
+    fn list_filters_by_prefix_sorted() {
+        let fabric = Fabric::new(NetworkProfile::zero());
+        let store = ObjectStore::new(NetworkProfile::zero());
+        let ep = fabric.endpoint();
+        store.put(&ep, "ckpt/2", vec![]);
+        store.put(&ep, "ckpt/1", vec![]);
+        store.put(&ep, "log/1", vec![]);
+        assert_eq!(store.list(&ep, "ckpt/"), vec!["ckpt/1", "ckpt/2"]);
+    }
+
+    #[test]
+    fn delete_removes() {
+        let fabric = Fabric::new(NetworkProfile::zero());
+        let store = ObjectStore::new(NetworkProfile::zero());
+        let ep = fabric.endpoint();
+        store.put(&ep, "a", vec![0; 100]);
+        assert_eq!(store.total_bytes(), 100);
+        assert!(store.delete(&ep, "a"));
+        assert!(!store.delete(&ep, "a"));
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Logical global addresses.
+//!
+//! §3 Challenge 1: "the memory address must be a logical address, e.g.,
+//! virtual node ID and offset." A [`GlobalAddr`] packs a 16-bit logical
+//! node id and a 48-bit byte offset into one `u64`, so addresses are cheap
+//! to store inside remote data structures (index nodes hold them) and
+//! survive the replacement of a crashed memory node: the fabric re-binds
+//! the logical id to fresh hardware while every stored pointer stays valid.
+
+use rdma_sim::NodeId;
+
+/// A logical address in the distributed shared-memory space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalAddr(u64);
+
+const OFFSET_BITS: u32 = 48;
+const OFFSET_MASK: u64 = (1 << OFFSET_BITS) - 1;
+
+impl GlobalAddr {
+    /// The all-zero address, used as "null" in remote structures. Node 0
+    /// offset 0 is never handed out by the layer (it burns the first 8
+    /// bytes of node 0 so that 0 can mean null).
+    pub const NULL: GlobalAddr = GlobalAddr(0);
+
+    /// Build from a node id and byte offset (offset must fit in 48 bits).
+    #[inline]
+    pub fn new(node: NodeId, offset: u64) -> Self {
+        debug_assert!(offset <= OFFSET_MASK, "offset {offset} exceeds 48 bits");
+        GlobalAddr(((node as u64) << OFFSET_BITS) | (offset & OFFSET_MASK))
+    }
+
+    /// The owning logical memory node.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        (self.0 >> OFFSET_BITS) as NodeId
+    }
+
+    /// Byte offset within the node's region.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0 & OFFSET_MASK
+    }
+
+    /// The packed representation (for storing inside remote memory).
+    #[inline]
+    pub fn to_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a packed representation.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        GlobalAddr(raw)
+    }
+
+    /// True for the null address.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// This address displaced by `delta` bytes (same node).
+    #[inline]
+    pub fn offset_by(self, delta: u64) -> Self {
+        debug_assert!(self.offset() + delta <= OFFSET_MASK);
+        GlobalAddr(self.0 + delta)
+    }
+}
+
+impl std::fmt::Debug for GlobalAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_null() {
+            write!(f, "GlobalAddr(NULL)")
+        } else {
+            write!(f, "GlobalAddr(n{}+{:#x})", self.node(), self.offset())
+        }
+    }
+}
+
+impl std::fmt::Display for GlobalAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        <Self as std::fmt::Debug>::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let a = GlobalAddr::new(513, 0x0000_1234_5678_9ABC);
+        assert_eq!(a.node(), 513);
+        assert_eq!(a.offset(), 0x0000_1234_5678_9ABC);
+        assert_eq!(GlobalAddr::from_raw(a.to_raw()), a);
+    }
+
+    #[test]
+    fn null_is_node0_offset0() {
+        assert!(GlobalAddr::NULL.is_null());
+        assert!(!GlobalAddr::new(0, 8).is_null());
+        assert!(!GlobalAddr::new(1, 0).is_null());
+    }
+
+    #[test]
+    fn offset_by_stays_on_node() {
+        let a = GlobalAddr::new(7, 100);
+        let b = a.offset_by(28);
+        assert_eq!(b.node(), 7);
+        assert_eq!(b.offset(), 128);
+    }
+
+    #[test]
+    fn ordering_is_node_major() {
+        let a = GlobalAddr::new(1, u64::from(u32::MAX));
+        let b = GlobalAddr::new(2, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn debug_formats_readably() {
+        let a = GlobalAddr::new(3, 0x40);
+        assert_eq!(format!("{a:?}"), "GlobalAddr(n3+0x40)");
+        assert_eq!(format!("{}", GlobalAddr::NULL), "GlobalAddr(NULL)");
+    }
+}

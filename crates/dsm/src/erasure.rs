@@ -1,0 +1,515 @@
+//! Erasure coding for the DSM layer.
+//!
+//! §3 Challenge 3 lists erasure coding [34, 52] as the middle point between
+//! full replication (fast recovery, k× memory) and single-copy+checkpoint
+//! (1× memory, slow recovery): `(k, m)` striping stores `k+m` shards for a
+//! memory overhead of `(k+m)/k` and tolerates any `m` shard losses, at the
+//! cost of a decode on degraded reads and a longer rebuild.
+//!
+//! The codec is a systematic Reed–Solomon code over GF(2^8) built from a
+//! Vandermonde-derived encoding matrix (the classic construction used by
+//! XOR-elephants-style storage systems \[52\]). `m = 1` degenerates to plain
+//! XOR parity. Implemented from scratch — no external crates.
+
+use std::sync::Arc;
+
+use rdma_sim::Endpoint;
+
+use crate::addr::GlobalAddr;
+use crate::layer::{DsmError, DsmLayer, DsmResult};
+
+// ---------------------------------------------------------------------------
+// GF(2^8) arithmetic (polynomial 0x11D, generator 2).
+// ---------------------------------------------------------------------------
+
+/// Log/antilog tables for GF(2^8).
+struct Gf256 {
+    log: [u8; 256],
+    exp: [u8; 512],
+}
+
+impl Gf256 {
+    fn new() -> Self {
+        let mut log = [0u8; 256];
+        let mut exp = [0u8; 512];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x11D;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Self { log, exp }
+    }
+
+    #[inline]
+    fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    #[inline]
+    fn inv(&self, a: u8) -> u8 {
+        debug_assert!(a != 0, "inverse of zero");
+        self.exp[255 - self.log[a as usize] as usize]
+    }
+
+}
+
+fn gf() -> &'static Gf256 {
+    use std::sync::OnceLock;
+    static GF: OnceLock<Gf256> = OnceLock::new();
+    GF.get_or_init(Gf256::new)
+}
+
+// ---------------------------------------------------------------------------
+// Reed–Solomon codec
+// ---------------------------------------------------------------------------
+
+/// `(data_shards, parity_shards)` configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErasureConfig {
+    /// Number of data shards `k`.
+    pub data_shards: usize,
+    /// Number of parity shards `m` (tolerated failures).
+    pub parity_shards: usize,
+}
+
+impl ErasureConfig {
+    /// Memory overhead factor `(k+m)/k`.
+    pub fn overhead(&self) -> f64 {
+        (self.data_shards + self.parity_shards) as f64 / self.data_shards as f64
+    }
+}
+
+/// The systematic encoding matrix rows for the parity shards:
+/// `parity[r] = Σ_c vand[r][c] * data[c]` with `vand[r][c] = (c+1)^r`
+/// evaluated in GF(2^8). Rows are linearly independent for distinct column
+/// points, giving MDS behaviour for m <= 255.
+fn parity_matrix(cfg: ErasureConfig) -> Vec<Vec<u8>> {
+    let g = gf();
+    (0..cfg.parity_shards)
+        .map(|r| {
+            (0..cfg.data_shards)
+                .map(|c| {
+                    // (c+1)^r
+                    let mut acc = 1u8;
+                    for _ in 0..r {
+                        acc = g.mul(acc, (c + 1) as u8);
+                    }
+                    acc
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Encode `data` (length divisible by `k`) into `k + m` shards.
+pub fn encode(cfg: ErasureConfig, data: &[u8]) -> Vec<Vec<u8>> {
+    assert!(
+        data.len().is_multiple_of(cfg.data_shards),
+        "data length must be divisible by k"
+    );
+    let shard_len = data.len() / cfg.data_shards;
+    let g = gf();
+    let mut shards: Vec<Vec<u8>> = data.chunks(shard_len).map(|c| c.to_vec()).collect();
+    let pm = parity_matrix(cfg);
+    for row in &pm {
+        let mut parity = vec![0u8; shard_len];
+        for (c, coeff) in row.iter().enumerate() {
+            if *coeff == 0 {
+                continue;
+            }
+            for (p, &d) in parity.iter_mut().zip(&shards[c]) {
+                *p ^= g.mul(*coeff, d);
+            }
+        }
+        shards.push(parity);
+    }
+    shards
+}
+
+/// Reconstruct the original data from any `k` of the `k+m` shards.
+/// `shards[i] = None` marks shard `i` as lost.
+pub fn decode(cfg: ErasureConfig, shards: &[Option<Vec<u8>>]) -> Option<Vec<u8>> {
+    let k = cfg.data_shards;
+    let total = k + cfg.parity_shards;
+    assert_eq!(shards.len(), total);
+    let shard_len = shards.iter().flatten().next()?.len();
+    let g = gf();
+
+    // Fast path: all data shards present.
+    if shards[..k].iter().all(|s| s.is_some()) {
+        let mut out = Vec::with_capacity(k * shard_len);
+        for s in &shards[..k] {
+            out.extend_from_slice(s.as_ref().unwrap());
+        }
+        return Some(out);
+    }
+
+    // Build the system: each available shard gives one equation over the k
+    // data shards. Row for data shard i is the unit vector e_i; row for
+    // parity r is the parity matrix row.
+    let pm = parity_matrix(cfg);
+    let mut rows: Vec<(Vec<u8>, &Vec<u8>)> = Vec::with_capacity(k);
+    for (i, s) in shards.iter().enumerate() {
+        let Some(payload) = s else { continue };
+        let coeffs = if i < k {
+            let mut e = vec![0u8; k];
+            e[i] = 1;
+            e
+        } else {
+            pm[i - k].clone()
+        };
+        rows.push((coeffs, payload));
+        if rows.len() == k {
+            break;
+        }
+    }
+    if rows.len() < k {
+        return None; // more than m losses
+    }
+
+    // Gaussian elimination over GF(256) on the k x k system, applied
+    // simultaneously to all byte positions.
+    let mut a: Vec<Vec<u8>> = rows.iter().map(|(c, _)| c.clone()).collect();
+    let mut b: Vec<Vec<u8>> = rows.iter().map(|(_, p)| (*p).clone()).collect();
+    for col in 0..k {
+        // Find pivot.
+        let pivot = (col..k).find(|&r| a[r][col] != 0)?;
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Normalize pivot row.
+        let inv = g.inv(a[col][col]);
+        for x in a[col].iter_mut() {
+            *x = g.mul(*x, inv);
+        }
+        for x in b[col].iter_mut() {
+            *x = g.mul(*x, inv);
+        }
+        // Eliminate the column everywhere else. k is tiny (<= ~16), so
+        // cloning the pivot row keeps this simple and borrow-check clean.
+        let pivot_a = a[col].clone();
+        let pivot_b = b[col].clone();
+        for r in 0..k {
+            if r == col || a[r][col] == 0 {
+                continue;
+            }
+            let factor = a[r][col];
+            for (x, &p) in a[r].iter_mut().zip(&pivot_a) {
+                *x ^= g.mul(factor, p);
+            }
+            for (x, &p) in b[r].iter_mut().zip(&pivot_b) {
+                *x ^= g.mul(factor, p);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(k * shard_len);
+    for row in b.iter().take(k) {
+        out.extend_from_slice(row);
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------------
+// ErasureStore: striped pages over the DSM layer
+// ---------------------------------------------------------------------------
+
+/// A page store that stripes each page's shards across distinct mirror
+/// groups of a (replication = 1) [`DsmLayer`].
+pub struct ErasureStore {
+    layer: Arc<DsmLayer>,
+    cfg: ErasureConfig,
+    page_size: usize,
+}
+
+/// Handle to one striped page: shard addresses in shard order.
+#[derive(Debug, Clone)]
+pub struct StripedPage {
+    shards: Vec<GlobalAddr>,
+    shard_len: usize,
+}
+
+impl StripedPage {
+    /// Address of shard `i` (data shards first, then parity).
+    pub fn shard_addr(&self, i: usize) -> GlobalAddr {
+        self.shards[i]
+    }
+
+    /// Total shards (k + m).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Bytes per shard.
+    pub fn shard_len(&self) -> usize {
+        self.shard_len
+    }
+}
+
+impl ErasureStore {
+    /// Store pages of `page_size` bytes (divisible by `k`) with config
+    /// `cfg`; the layer must have at least `k+m` groups so shards land on
+    /// distinct failure domains.
+    pub fn new(layer: Arc<DsmLayer>, cfg: ErasureConfig, page_size: usize) -> Self {
+        assert!(page_size.is_multiple_of(cfg.data_shards));
+        assert!(layer.group_count() >= cfg.data_shards + cfg.parity_shards);
+        Self {
+            layer,
+            cfg,
+            page_size,
+        }
+    }
+
+    /// The configured code.
+    pub fn config(&self) -> ErasureConfig {
+        self.cfg
+    }
+
+    /// Encode and write `data` (exactly `page_size` bytes); shards are
+    /// placed on consecutive groups starting at `first_group`.
+    pub fn put(
+        &self,
+        ep: &Endpoint,
+        first_group: usize,
+        data: &[u8],
+    ) -> DsmResult<StripedPage> {
+        assert_eq!(data.len(), self.page_size);
+        let shards = encode(self.cfg, data);
+        let shard_len = shards[0].len();
+        let total = self.cfg.data_shards + self.cfg.parity_shards;
+        let mut addrs = Vec::with_capacity(total);
+        for (i, shard) in shards.iter().enumerate() {
+            let group = (first_group + i) % self.layer.group_count();
+            let addr = self.layer.alloc_on(group, shard_len as u64)?;
+            self.layer.write(ep, addr, shard)?;
+            addrs.push(addr);
+        }
+        Ok(StripedPage {
+            shards: addrs,
+            shard_len,
+        })
+    }
+
+    /// Read the page back, decoding around unreachable shards if needed.
+    /// Returns `(data, degraded)` where `degraded` is true when a decode
+    /// was required.
+    pub fn get(&self, ep: &Endpoint, page: &StripedPage) -> DsmResult<(Vec<u8>, bool)> {
+        let k = self.cfg.data_shards;
+        // Fast path: read the k data shards (batched in spirit; the layer
+        // charges each read).
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; page.shards.len()];
+        let mut missing = false;
+        for (slot, addr) in shards.iter_mut().zip(&page.shards).take(k) {
+            let mut buf = vec![0u8; page.shard_len];
+            match self.layer.read(ep, *addr, &mut buf) {
+                Ok(()) => *slot = Some(buf),
+                Err(DsmError::GroupUnavailable { .. }) => missing = true,
+                Err(e) => return Err(e),
+            }
+        }
+        if !missing {
+            let mut out = Vec::with_capacity(self.page_size);
+            for s in shards.into_iter().take(k) {
+                out.extend_from_slice(&s.unwrap());
+            }
+            return Ok((out, false));
+        }
+        // Degraded read: fetch parity shards until decodable.
+        for i in k..page.shards.len() {
+            let mut buf = vec![0u8; page.shard_len];
+            if self.layer.read(ep, page.shards[i], &mut buf).is_ok() {
+                shards[i] = Some(buf);
+            }
+        }
+        let data = decode(self.cfg, &shards).ok_or(DsmError::GroupUnavailable {
+            primary: page.shards[0].node(),
+        })?;
+        Ok((data, true))
+    }
+
+    /// Rebuild a lost shard's contents (recovery path for experiment C8):
+    /// reads k surviving shards, decodes, re-encodes the missing shard and
+    /// writes it to a fresh allocation on `target_group`. Returns the new
+    /// address.
+    pub fn rebuild_shard(
+        &self,
+        ep: &Endpoint,
+        page: &mut StripedPage,
+        lost: usize,
+        target_group: usize,
+    ) -> DsmResult<GlobalAddr> {
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; page.shards.len()];
+        for (i, addr) in page.shards.iter().enumerate() {
+            if i == lost {
+                continue;
+            }
+            let mut buf = vec![0u8; page.shard_len];
+            if self.layer.read(ep, *addr, &mut buf).is_ok() {
+                shards[i] = Some(buf);
+            }
+        }
+        let data = decode(self.cfg, &shards).ok_or(DsmError::GroupUnavailable {
+            primary: page.shards[lost].node(),
+        })?;
+        let all = encode(self.cfg, &data);
+        let addr = self.layer.alloc_on(target_group, page.shard_len as u64)?;
+        self.layer.write(ep, addr, &all[lost])?;
+        page.shards[lost] = addr;
+        Ok(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::DsmConfig;
+    use rdma_sim::{Fabric, NetworkProfile};
+
+    #[test]
+    fn gf256_field_axioms_spotcheck() {
+        let g = gf();
+        for a in 1..=255u8 {
+            assert_eq!(g.mul(a, g.inv(a)), 1, "a={a}");
+            assert_eq!(g.mul(a, 1), a);
+            assert_eq!(g.mul(a, 0), 0);
+        }
+        // Distributivity sample.
+        for &(a, b, c) in &[(3u8, 7u8, 250u8), (91, 17, 4), (255, 254, 253)] {
+            assert_eq!(g.mul(a, b ^ c), g.mul(a, b) ^ g.mul(a, c));
+        }
+    }
+
+    #[test]
+    fn encode_decode_no_loss() {
+        let cfg = ErasureConfig {
+            data_shards: 4,
+            parity_shards: 2,
+        };
+        let data: Vec<u8> = (0..64u8).collect();
+        let shards: Vec<Option<Vec<u8>>> =
+            encode(cfg, &data).into_iter().map(Some).collect();
+        assert_eq!(decode(cfg, &shards).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_survives_any_m_losses() {
+        let cfg = ErasureConfig {
+            data_shards: 4,
+            parity_shards: 2,
+        };
+        let data: Vec<u8> = (0..128).map(|i| (i * 31 % 251) as u8).collect();
+        let full = encode(cfg, &data);
+        // Try every pair of losses.
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                let mut shards: Vec<Option<Vec<u8>>> =
+                    full.iter().cloned().map(Some).collect();
+                shards[i] = None;
+                shards[j] = None;
+                assert_eq!(decode(cfg, &shards).unwrap(), data, "lost {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_fails_beyond_m_losses() {
+        let cfg = ErasureConfig {
+            data_shards: 3,
+            parity_shards: 1,
+        };
+        let data = vec![1u8; 30];
+        let full = encode(cfg, &data);
+        let mut shards: Vec<Option<Vec<u8>>> = full.into_iter().map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        assert!(decode(cfg, &shards).is_none());
+    }
+
+    #[test]
+    fn xor_fast_case_m1() {
+        let cfg = ErasureConfig {
+            data_shards: 2,
+            parity_shards: 1,
+        };
+        let data = vec![0xF0, 0x0F, 0xAA, 0x55];
+        let shards = encode(cfg, &data);
+        // Parity row for m=1 is all-ones -> XOR.
+        assert_eq!(shards[2], vec![0xF0 ^ 0xAA, 0x0F ^ 0x55]);
+    }
+
+    #[test]
+    fn overhead_math() {
+        let c = ErasureConfig {
+            data_shards: 4,
+            parity_shards: 2,
+        };
+        assert!((c.overhead() - 1.5).abs() < 1e-9);
+    }
+
+    fn store() -> (Arc<Fabric>, ErasureStore) {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let layer = DsmLayer::build(
+            &fabric,
+            DsmConfig {
+                memory_nodes: 6,
+                capacity_per_node: 1 << 20,
+                replication: 1,
+                mem_cores: 1,
+                weak_cpu_factor: 4.0,
+            },
+        );
+        let cfg = ErasureConfig {
+            data_shards: 4,
+            parity_shards: 2,
+        };
+        (fabric, ErasureStore::new(layer, cfg, 4096))
+    }
+
+    #[test]
+    fn striped_page_roundtrip() {
+        let (f, store) = store();
+        let ep = f.endpoint();
+        let data: Vec<u8> = (0..4096).map(|i| (i % 256) as u8).collect();
+        let page = store.put(&ep, 0, &data).unwrap();
+        let (back, degraded) = store.get(&ep, &page).unwrap();
+        assert!(!degraded);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn degraded_read_after_group_crash() {
+        let (f, store) = store();
+        let ep = f.endpoint();
+        let data: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+        let page = store.put(&ep, 0, &data).unwrap();
+        // Crash the group holding data shard 1.
+        f.crash(page.shards[1].node()).unwrap();
+        let (back, degraded) = store.get(&ep, &page).unwrap();
+        assert!(degraded);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn rebuild_shard_restores_fast_reads() {
+        let (f, store) = store();
+        let ep = f.endpoint();
+        let data: Vec<u8> = (0..4096).map(|i| (i % 249) as u8).collect();
+        let mut page = store.put(&ep, 0, &data).unwrap();
+        f.crash(page.shards[2].node()).unwrap();
+        // Rebuild shard 2 onto a surviving group (group 5 hosts parity,
+        // reuse it for the rebuilt shard).
+        store.rebuild_shard(&ep, &mut page, 2, 5).unwrap();
+        let (back, degraded) = store.get(&ep, &page).unwrap();
+        assert!(!degraded, "rebuilt shard should serve fast path");
+        assert_eq!(back, data);
+    }
+}

@@ -1,0 +1,414 @@
+//! Software cache coherence for the Figure 3b architecture.
+//!
+//! §4 Challenge 4, Approach #2: "a software-level cache coherence
+//! protocol is needed to broadcast changes made by a compute node …
+//! many implementation details can affect performance, e.g., invalidation-
+//! vs. update-based". Both flavours are here, built on:
+//!
+//! * a **directory** in DSM — one word per record holding the bitmap of
+//!   compute nodes that may cache it (64-node limit = 64 bits);
+//! * two-sided **coherence messages** between compute nodes; writers
+//!   block (in virtual time) until every sharer acknowledges, which keeps
+//!   the protocol sequentially consistent under the record locks the
+//!   lock-based CC already holds.
+//!
+//! Reads set the reader's directory bit *before* fetching, so a writer
+//! that follows always sees the sharer. Evictions do not clear bits —
+//! a later invalidation of a non-resident page is simply acked, trading a
+//! rare spurious message for a cheaper eviction path.
+
+use std::sync::Arc;
+
+use buffer::BufferPool;
+use dsm::{DsmLayer, DsmResult, GlobalAddr};
+use rdma_sim::{Endpoint, Mailbox, MailboxId, RdmaError};
+use txn::table::RecordTable;
+use txn::PayloadIo;
+
+use crate::config::CoherenceMode;
+
+/// Mailbox-id convention: compute node `n`'s coherence inbox.
+pub fn node_inbox_id(node: usize) -> MailboxId {
+    0x2000_0000 + node as u64
+}
+
+/// Mailbox-id convention: session-private reply box.
+pub fn session_inbox_id(node: usize, thread: usize) -> MailboxId {
+    0x3000_0000 + (node as u64) * 1024 + thread as u64
+}
+
+// Message kinds on coherence inboxes.
+const MSG_INVALIDATE: u8 = 1;
+const MSG_UPDATE: u8 = 2;
+const MSG_ACK: u8 = 3;
+
+/// The per-record sharer directory in DSM.
+pub struct Directory {
+    layer: Arc<DsmLayer>,
+    base: GlobalAddr,
+    n_records: u64,
+}
+
+impl Directory {
+    /// Allocate a directory for `n_records` (one u64 each) on group 0.
+    pub fn create(layer: &Arc<DsmLayer>, n_records: u64) -> DsmResult<Self> {
+        let base = layer.alloc_on(0, n_records * 8)?;
+        Ok(Self {
+            layer: layer.clone(),
+            base,
+            n_records,
+        })
+    }
+
+    fn addr(&self, key: u64) -> GlobalAddr {
+        assert!(key < self.n_records);
+        self.base.offset_by(key * 8)
+    }
+
+    /// Set `node`'s sharer bit; returns the bitmap *before* the change.
+    pub fn add_sharer(&self, ep: &Endpoint, key: u64, node: usize) -> DsmResult<u64> {
+        let bit = 1u64 << node;
+        let addr = self.addr(key);
+        let mut cur = self.layer.read_u64(ep, addr)?;
+        loop {
+            if cur & bit != 0 {
+                return Ok(cur);
+            }
+            let prev = self.layer.cas(ep, addr, cur, cur | bit)?;
+            if prev == cur {
+                return Ok(prev);
+            }
+            cur = prev;
+        }
+    }
+
+    /// Read the sharer bitmap.
+    pub fn sharers(&self, ep: &Endpoint, key: u64) -> DsmResult<u64> {
+        self.layer.read_u64(ep, self.addr(key))
+    }
+
+    /// Clear the given bits (post-invalidation).
+    pub fn clear_bits(&self, ep: &Endpoint, key: u64, bits: u64) -> DsmResult<()> {
+        let addr = self.addr(key);
+        let mut cur = self.layer.read_u64(ep, addr)?;
+        loop {
+            let next = cur & !bits;
+            if next == cur {
+                return Ok(());
+            }
+            let prev = self.layer.cas(ep, addr, cur, next)?;
+            if prev == cur {
+                return Ok(());
+            }
+            cur = prev;
+        }
+    }
+}
+
+/// Shared per-compute-node cache state: the buffer pool plus the node's
+/// coherence inbox (served by any of the node's sessions).
+pub struct NodeCache {
+    /// This compute node's id.
+    pub node: usize,
+    /// Record cache (page = one record payload, write-through).
+    pub pool: BufferPool,
+    /// Coherence inbox (multi-consumer).
+    pub inbox: Mailbox,
+}
+
+impl NodeCache {
+    /// Serve one pending coherence request, if any. Returns whether a
+    /// message was processed. Safe to call from any session of the node.
+    pub fn serve_one(&self, ep: &Endpoint) -> bool {
+        let Ok(msg) = self.inbox.try_recv() else {
+            return false;
+        };
+        ep.observe_delivery(&msg);
+        let kind = msg.payload[0];
+        let key_addr = GlobalAddr::from_raw(u64::from_le_bytes(
+            msg.payload[1..9].try_into().unwrap(),
+        ));
+        let reply_to = u64::from_le_bytes(msg.payload[9..17].try_into().unwrap());
+        match kind {
+            MSG_INVALIDATE => {
+                self.pool.invalidate(ep, key_addr);
+            }
+            MSG_UPDATE => {
+                self.pool
+                    .update_if_resident(ep, key_addr, &msg.payload[17..]);
+            }
+            _ => return true, // stray ack for a dead session: drop
+        }
+        let mut ack = vec![MSG_ACK];
+        ack.extend_from_slice(&key_addr.to_raw().to_le_bytes());
+        ack.extend_from_slice(&0u64.to_le_bytes());
+        // Receiver may be gone (session ended): ignore.
+        let _ = ep.send(reply_to, node_inbox_id(self.node), ack);
+        true
+    }
+}
+
+/// The Figure 3b payload path: pool hits locally, misses fetch from DSM,
+/// writes go through + run the coherence protocol. One per session.
+pub struct CoherentIo {
+    /// This node's shared cache.
+    pub cache: Arc<NodeCache>,
+    /// The record directory.
+    pub dir: Arc<Directory>,
+    /// Invalidate vs update.
+    pub mode: CoherenceMode,
+    /// Session-private reply inbox.
+    pub reply: Mailbox,
+    /// Its id (put into messages as reply-to).
+    pub reply_id: MailboxId,
+    /// Total compute nodes (bitmap width sanity).
+    pub compute_nodes: usize,
+}
+
+impl CoherentIo {
+    fn page_addr(table: &RecordTable, key: u64, v: usize) -> GlobalAddr {
+        table.payload_addr(key, v)
+    }
+
+    /// Run the writer side of the protocol for `key` after the DSM copy
+    /// is updated: notify every other sharer and wait for their acks.
+    fn propagate(
+        &self,
+        ep: &Endpoint,
+        table: &RecordTable,
+        key: u64,
+        new_data: &[u8],
+    ) -> DsmResult<()> {
+        let sharers = self.dir.sharers(ep, key)?;
+        let my_bit = 1u64 << self.cache.node;
+        let others = sharers & !my_bit;
+        if others == 0 {
+            return Ok(());
+        }
+        let addr = Self::page_addr(table, key, 0);
+        let mut pending = 0u32;
+        for node in 0..self.compute_nodes {
+            if others & (1 << node) == 0 {
+                continue;
+            }
+            let mut payload = vec![if self.mode == CoherenceMode::Invalidate {
+                MSG_INVALIDATE
+            } else {
+                MSG_UPDATE
+            }];
+            payload.extend_from_slice(&addr.to_raw().to_le_bytes());
+            payload.extend_from_slice(&self.reply_id.to_le_bytes());
+            if self.mode == CoherenceMode::Update {
+                payload.extend_from_slice(new_data);
+            }
+            match ep.send(node_inbox_id(node), self.reply_id, payload) {
+                Ok(()) => pending += 1,
+                // A node that never started (or already stopped) cannot
+                // hold a stale copy.
+                Err(RdmaError::NoReceiver(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Wait for acks; serve our own inbox meanwhile so two writers on
+        // different nodes cannot deadlock waiting on each other.
+        while pending > 0 {
+            match ep.try_recv(&self.reply) {
+                Ok(msg) if msg.payload.first() == Some(&MSG_ACK) => pending -= 1,
+                Ok(_) => {}
+                Err(_) => {
+                    if !self.cache.serve_one(ep) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        if self.mode == CoherenceMode::Invalidate {
+            self.dir.clear_bits(ep, key, others)?;
+        }
+        Ok(())
+    }
+}
+
+impl PayloadIo for CoherentIo {
+    fn read_payload(
+        &self,
+        ep: &Endpoint,
+        table: &RecordTable,
+        key: u64,
+        v: usize,
+        dst: &mut [u8],
+    ) -> DsmResult<()> {
+        let addr = Self::page_addr(table, key, v);
+        // Fast path: a resident copy implies our directory bit is already
+        // set (it was set at fill time and only cleared by invalidations,
+        // which also evict the copy) — no remote directory traffic.
+        if !self.cache.pool.contains(addr) {
+            // Register as a sharer *before* the fetch so any later writer
+            // sees us.
+            self.dir.add_sharer(ep, key, self.cache.node)?;
+        }
+        self.cache.pool.read_page(ep, addr, dst)?;
+        Ok(())
+    }
+
+    fn write_payload(
+        &self,
+        ep: &Endpoint,
+        table: &RecordTable,
+        key: u64,
+        v: usize,
+        src: &[u8],
+    ) -> DsmResult<()> {
+        let addr = Self::page_addr(table, key, v);
+        if !self.cache.pool.contains(addr) {
+            self.dir.add_sharer(ep, key, self.cache.node)?;
+        }
+        // Write-through: local copy + DSM copy.
+        self.cache.pool.write_page(ep, addr, src)?;
+        // Coherence: fix every other sharer's copy before returning (the
+        // record lock is held by our caller, making this atomic w.r.t.
+        // other transactions).
+        self.propagate(ep, table, key, src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffer::{LruPolicy, WriteMode};
+    use dsm::DsmConfig;
+    use rdma_sim::{Fabric, NetworkProfile};
+
+    struct Setup {
+        layer: Arc<DsmLayer>,
+        table: Arc<RecordTable>,
+        dir: Arc<Directory>,
+        caches: Vec<Arc<NodeCache>>,
+        ios: Vec<CoherentIo>,
+    }
+
+    fn setup(mode: CoherenceMode) -> Setup {
+        let fabric = Fabric::new(NetworkProfile::zero());
+        let layer = DsmLayer::build(
+            &fabric,
+            DsmConfig {
+                memory_nodes: 1,
+                capacity_per_node: 4 << 20,
+                replication: 1,
+                mem_cores: 1,
+                weak_cpu_factor: 4.0,
+            },
+        );
+        let table = Arc::new(RecordTable::create(&layer, 64, 16, 1).unwrap());
+        let dir = Arc::new(Directory::create(&layer, 64).unwrap());
+        let mut caches = Vec::new();
+        let mut ios = Vec::new();
+        for n in 0..2 {
+            let cache = Arc::new(NodeCache {
+                node: n,
+                pool: BufferPool::new(
+                    layer.clone(),
+                    16,
+                    32,
+                    Box::new(LruPolicy::new(32)),
+                    WriteMode::WriteThrough,
+                ),
+                inbox: fabric.mailboxes().register(node_inbox_id(n)),
+            });
+            caches.push(cache.clone());
+            let reply_id = session_inbox_id(n, 0);
+            ios.push(CoherentIo {
+                cache,
+                dir: dir.clone(),
+                mode,
+                reply: fabric.mailboxes().register(reply_id),
+                reply_id,
+                compute_nodes: 2,
+            });
+        }
+        Setup {
+            layer,
+            table,
+            dir,
+            caches,
+            ios,
+        }
+    }
+
+    #[test]
+    fn read_sets_directory_bit() {
+        let Setup { layer, table, dir, ios, .. } = setup(CoherenceMode::Invalidate);
+        let ep = layer.fabric().endpoint();
+        let mut buf = [0u8; 16];
+        ios[0].read_payload(&ep, &table, 5, 0, &mut buf).unwrap();
+        assert_eq!(dir.sharers(&ep, 5).unwrap(), 0b01);
+        ios[1].read_payload(&ep, &table, 5, 0, &mut buf).unwrap();
+        assert_eq!(dir.sharers(&ep, 5).unwrap(), 0b11);
+    }
+
+    #[test]
+    fn invalidation_drops_remote_copy() {
+        let Setup { layer, table, caches, ios, .. } = setup(CoherenceMode::Invalidate);
+        let ep0 = layer.fabric().endpoint();
+        let ep1 = layer.fabric().endpoint();
+        let mut buf = [0u8; 16];
+        // Node 1 caches key 3.
+        ios[1].read_payload(&ep1, &table, 3, 0, &mut buf).unwrap();
+        assert_eq!(caches[1].pool.resident(), 1);
+        // Node 0 writes key 3: the ack wait needs node 1 to serve, so run
+        // the write in a thread while node 1 polls.
+        std::thread::scope(|s| {
+            let writer = {
+                let table = table.clone();
+                let io0 = &ios[0];
+                s.spawn(move || {
+                    io0.write_payload(&ep0, &table, 3, 0, &[9u8; 16]).unwrap();
+                })
+            };
+            while !writer.is_finished() {
+                caches[1].serve_one(&ep1);
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(caches[1].pool.resident(), 0, "copy invalidated");
+        // Node 1 rereads: sees the new value.
+        ios[1].read_payload(&ep1, &table, 3, 0, &mut buf).unwrap();
+        assert_eq!(buf, [9u8; 16]);
+    }
+
+    #[test]
+    fn update_mode_refreshes_remote_copy_in_place() {
+        let Setup { layer, table, caches, ios, .. } = setup(CoherenceMode::Update);
+        let ep0 = layer.fabric().endpoint();
+        let ep1 = layer.fabric().endpoint();
+        let mut buf = [0u8; 16];
+        ios[1].read_payload(&ep1, &table, 7, 0, &mut buf).unwrap();
+        std::thread::scope(|s| {
+            let writer = {
+                let table = table.clone();
+                let io0 = &ios[0];
+                s.spawn(move || {
+                    io0.write_payload(&ep0, &table, 7, 0, &[4u8; 16]).unwrap();
+                })
+            };
+            while !writer.is_finished() {
+                caches[1].serve_one(&ep1);
+                std::thread::yield_now();
+            }
+        });
+        // Still resident AND fresh — and the reread is a pure hit.
+        assert_eq!(caches[1].pool.resident(), 1);
+        let before = caches[1].pool.stats().hits;
+        ios[1].read_payload(&ep1, &table, 7, 0, &mut buf).unwrap();
+        assert_eq!(buf, [4u8; 16]);
+        assert_eq!(caches[1].pool.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn write_with_no_sharers_sends_nothing() {
+        let Setup { layer, table, ios, .. } = setup(CoherenceMode::Invalidate);
+        let ep = layer.fabric().endpoint();
+        ios[0].write_payload(&ep, &table, 9, 0, &[1u8; 16]).unwrap();
+        assert_eq!(ep.stats().sends, 0);
+    }
+}

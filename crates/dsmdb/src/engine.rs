@@ -1,0 +1,1052 @@
+//! The DSM-DB cluster and its per-thread sessions.
+//!
+//! [`Cluster::build`] materializes Figure 2: a fabric, the DSM layer of
+//! memory nodes, one record table striped across them, and the chosen
+//! Figure 3 execution architecture. Worker threads obtain [`Session`]s
+//! and push transactions through [`Session::execute`]; all costs land on
+//! the session's virtual clock.
+//!
+//! Multi-master is the default: *every* session on *every* compute node
+//! executes read-write transactions (§8: "DSM-DB is main-memory-based
+//! that supports multi-masters"), with conflicts handled by the
+//! configured CC protocol (3a/3b) or by owner-local locking + 2PC
+//! function shipping (3c).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use buffer::{BufferPool, ClockPolicy, WriteMode};
+use dsm::{DsmConfig, DsmLayer};
+use parking_lot::Mutex;
+use rdma_sim::{Endpoint, Fabric, Mailbox, MailboxId};
+use txn::table::RecordTable;
+use txn::twopc::{decode as decode_2pc, encode as encode_2pc, MsgKind};
+use txn::{
+    ConcurrencyControl, DirectIo, FaaOracle, Mvcc, Occ, Op, PayloadIo, TwoPhaseLocking, Tso,
+    TxnError, TxnOutput,
+};
+
+use crate::coherence::{node_inbox_id, session_inbox_id, CoherentIo, Directory, NodeCache};
+use crate::config::{Architecture, CcProtocol, ClusterConfig};
+use crate::shard::{LockTable, ShardMap};
+
+/// Engine-level failures (everything else surfaces as [`TxnError`]).
+#[derive(Debug)]
+pub enum EngineError {
+    /// DSM bring-up failed (capacity, config).
+    Setup(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Setup(s) => write!(f, "cluster setup failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Per-session commit/abort counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SessionStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts (caller may have retried).
+    pub aborts: u64,
+    /// Cross-shard transactions coordinated (3c only).
+    pub cross_shard: u64,
+    /// Sub-transactions served for other nodes (3c only).
+    pub served_subtxns: u64,
+}
+
+/// Buffered writes of a (sub-)transaction: `(key, new payload)`.
+type StagedWrites = Vec<(u64, Vec<u8>)>;
+
+/// A transaction prepared on this node awaiting the 2PC decision.
+struct Prepared {
+    keys: Vec<u64>,
+    staged: StagedWrites,
+}
+
+/// Per-compute-node runtime shared by its sessions.
+struct NodeRuntime {
+    /// Figure 3b coherent cache (None for 3a/3c).
+    cache: Option<Arc<NodeCache>>,
+    /// Figure 3c owner cache (uncoherent by construction).
+    shard_pool: Option<BufferPool>,
+    /// Figure 3c message inbox (2PC traffic).
+    shard_inbox: Option<Mailbox>,
+    /// Figure 3c local lock table.
+    locks: LockTable,
+    /// Figure 3c prepared-transaction registry.
+    prepared: Mutex<HashMap<u64, Prepared>>,
+}
+
+/// The cluster: build once, then open one [`Session`] per worker thread.
+pub struct Cluster {
+    config: ClusterConfig,
+    fabric: Arc<Fabric>,
+    layer: Arc<DsmLayer>,
+    table: Arc<RecordTable>,
+    oracle: Option<Arc<FaaOracle>>,
+    directory: Option<Arc<Directory>>,
+    nodes: Vec<Arc<NodeRuntime>>,
+    shard_map: Arc<ShardMap>,
+    txn_ids: AtomicU64,
+}
+
+impl Cluster {
+    /// Build per `config`. Panics on invalid configs (see
+    /// [`ClusterConfig::validate`]).
+    pub fn build(config: ClusterConfig) -> Result<Arc<Self>, EngineError> {
+        config.validate();
+        let fabric = Fabric::new(config.profile);
+        let layer = DsmLayer::build(
+            &fabric,
+            DsmConfig {
+                memory_nodes: config.memory_nodes,
+                capacity_per_node: config.capacity_per_node,
+                replication: config.replication,
+                mem_cores: 2,
+                weak_cpu_factor: 4.0,
+            },
+        );
+        let table = Arc::new(
+            RecordTable::create(&layer, config.n_records, config.payload_size, config.versions)
+                .map_err(|e| EngineError::Setup(e.to_string()))?,
+        );
+        let oracle = match config.cc {
+            CcProtocol::Tso | CcProtocol::Mvcc => Some(Arc::new(
+                FaaOracle::new(&layer).map_err(|e| EngineError::Setup(e.to_string()))?,
+            )),
+            _ => None,
+        };
+        let directory = match config.architecture {
+            Architecture::CacheNoShard(_) => Some(Arc::new(
+                Directory::create(&layer, config.n_records)
+                    .map_err(|e| EngineError::Setup(e.to_string()))?,
+            )),
+            _ => None,
+        };
+        let mut nodes = Vec::with_capacity(config.compute_nodes);
+        for n in 0..config.compute_nodes {
+            let (cache, shard_pool, shard_inbox) = match config.architecture {
+                Architecture::NoCacheNoShard => (None, None, None),
+                Architecture::CacheNoShard(_) => (
+                    Some(Arc::new(NodeCache {
+                        node: n,
+                        pool: BufferPool::new(
+                            layer.clone(),
+                            config.payload_size,
+                            config.cache_frames,
+                            Box::new(ClockPolicy::new(config.cache_frames)),
+                            WriteMode::WriteThrough,
+                        ),
+                        inbox: fabric.mailboxes().register(node_inbox_id(n)),
+                    })),
+                    None,
+                    None,
+                ),
+                Architecture::CacheShard => (
+                    None,
+                    Some(BufferPool::new(
+                        layer.clone(),
+                        config.payload_size,
+                        config.cache_frames,
+                        Box::new(ClockPolicy::new(config.cache_frames)),
+                        WriteMode::WriteThrough,
+                    )),
+                    Some(fabric.mailboxes().register(node_inbox_id(n))),
+                ),
+            };
+            nodes.push(Arc::new(NodeRuntime {
+                cache,
+                shard_pool,
+                shard_inbox,
+                locks: LockTable::new(),
+                prepared: Mutex::new(HashMap::new()),
+            }));
+        }
+        Ok(Arc::new(Self {
+            config,
+            fabric: fabric.clone(),
+            layer,
+            table,
+            oracle,
+            directory,
+            nodes,
+            shard_map: Arc::new(ShardMap::equal(config.compute_nodes, config.n_records)),
+            txn_ids: AtomicU64::new(1),
+        }))
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The underlying fabric (endpoints, failure injection).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// The DSM layer.
+    pub fn layer(&self) -> &Arc<DsmLayer> {
+        &self.layer
+    }
+
+    /// The record table.
+    pub fn table(&self) -> &Arc<RecordTable> {
+        &self.table
+    }
+
+    /// The logical shard map (3c).
+    pub fn shard_map(&self) -> &Arc<ShardMap> {
+        &self.shard_map
+    }
+
+    /// Open the session for `(node, thread)`. Each worker thread gets
+    /// exactly one; sessions are not `Sync`.
+    pub fn session(self: &Arc<Self>, node: usize, thread: usize) -> Session {
+        assert!(node < self.config.compute_nodes);
+        assert!(thread < self.config.threads_per_node);
+        let ep = self.fabric.endpoint();
+        let reply_id = session_inbox_id(node, thread);
+        let reply = self.fabric.mailboxes().register(reply_id);
+        let worker_tag = (node * self.config.threads_per_node + thread + 1) as u64;
+        let cc: Option<Box<dyn ConcurrencyControl>> = match self.config.cc {
+            CcProtocol::TplExclusive => Some(Box::new(TwoPhaseLocking::exclusive())),
+            CcProtocol::TplSharedExclusive => Some(Box::new(TwoPhaseLocking::shared_exclusive())),
+            CcProtocol::Occ => Some(Box::new(Occ::new())),
+            CcProtocol::Tso => Some(Box::new(Tso::new(
+                self.oracle.as_ref().expect("oracle built").clone(),
+            ))),
+            CcProtocol::Mvcc => Some(Box::new(Mvcc::new(
+                self.oracle.as_ref().expect("oracle built").clone(),
+            ))),
+        };
+        let io: Box<dyn PayloadIo> = match self.config.architecture {
+            Architecture::NoCacheNoShard | Architecture::CacheShard => Box::new(DirectIo),
+            Architecture::CacheNoShard(mode) => Box::new(CoherentIo {
+                cache: self.nodes[node].cache.as_ref().expect("3b cache").clone(),
+                dir: self.directory.as_ref().expect("3b directory").clone(),
+                mode,
+                reply: self.fabric.mailboxes().register(reply_id),
+                reply_id,
+                compute_nodes: self.config.compute_nodes,
+            }),
+        };
+        Session {
+            cluster: self.clone(),
+            node,
+            ep,
+            reply,
+            reply_id,
+            cc,
+            io,
+            worker_tag,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Metadata-only resharding (3c): move `[low, high)` to `new_owner`.
+    /// The previous owners' cached copies are dropped wholesale (cheap:
+    /// write-through pools hold no dirty state). Returns the new map
+    /// version. Contrast with `baseline::DsnCluster::reshard`, which
+    /// physically copies records.
+    pub fn reshard(&self, ep: &Endpoint, low: u64, high: u64, new_owner: usize) -> u64 {
+        let v = self.shard_map.reshard(low, high, new_owner);
+        for node in &self.nodes {
+            if let Some(pool) = &node.shard_pool {
+                // Drop cached pages wholesale — write-through pools hold
+                // no dirty state, so losing clean copies costs only
+                // refetches.
+                pool.drop_all(ep);
+            }
+        }
+        v
+    }
+}
+
+/// A per-worker-thread handle for executing transactions.
+pub struct Session {
+    cluster: Arc<Cluster>,
+    node: usize,
+    ep: Endpoint,
+    reply: Mailbox,
+    reply_id: MailboxId,
+    cc: Option<Box<dyn ConcurrencyControl>>,
+    io: Box<dyn PayloadIo>,
+    worker_tag: u64,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// This session's compute node.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The session's endpoint (virtual clock + verb counters).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    /// Commit/abort counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Execute one transaction. `Err(TxnError::Aborted)` is retryable.
+    pub fn execute(&mut self, ops: &[Op]) -> Result<TxnOutput, TxnError> {
+        // Stay a good citizen: serve pending cluster work first.
+        self.serve_pending(4);
+        let result = match self.cluster.config.architecture {
+            Architecture::NoCacheNoShard | Architecture::CacheNoShard(_) => {
+                let ctx = txn::TxnCtx {
+                    ep: &self.ep,
+                    table: &self.cluster.table,
+                    io: self.io.as_ref(),
+                    worker_tag: self.worker_tag,
+                };
+                self.cc.as_ref().expect("cc configured").execute(&ctx, ops)
+            }
+            Architecture::CacheShard => self.execute_sharded(ops),
+        };
+        match &result {
+            Ok(_) => self.stats.commits += 1,
+            Err(_) => self.stats.aborts += 1,
+        }
+        result
+    }
+
+    /// Retry wrapper: execute until commit (bounded attempts).
+    pub fn execute_retrying(&mut self, ops: &[Op], max_attempts: u32) -> Result<TxnOutput, TxnError> {
+        let mut last = TxnError::Aborted("never-ran");
+        for _ in 0..max_attempts {
+            match self.execute(ops) {
+                Ok(out) => return Ok(out),
+                Err(TxnError::Aborted(why)) => last = TxnError::Aborted(why),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 3c: sharded execution
+    // ------------------------------------------------------------------
+
+    fn execute_sharded(&mut self, ops: &[Op]) -> Result<TxnOutput, TxnError> {
+        // Partition ops by owner.
+        let map = &self.cluster.shard_map;
+        let mut by_owner: HashMap<usize, Vec<Op>> = HashMap::new();
+        for op in ops {
+            by_owner
+                .entry(map.owner_of(op.key()))
+                .or_default()
+                .push(op.clone());
+        }
+        let local_ops = by_owner.remove(&self.node).unwrap_or_default();
+
+        if by_owner.is_empty() {
+            // Single-shard fast path: owner-local execution.
+            return self.execute_local_shard(&local_ops);
+        }
+        self.stats.cross_shard += 1;
+        self.coordinate_cross_shard(local_ops, by_owner)
+    }
+
+    /// Owner-local path: local no-wait locks + cached (write-through)
+    /// payload access. No RDMA locks: the shard map guarantees only this
+    /// node operates on these records (cross-shard writers come through
+    /// 2PC to *this* node too).
+    fn execute_local_shard(&mut self, ops: &[Op]) -> Result<TxnOutput, TxnError> {
+        let node = &self.cluster.nodes[self.node];
+        let mut keys: Vec<u64> = ops.iter().map(|o| o.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        self.ep.charge_local(50 * keys.len() as u64); // local lock table
+        if !node.locks.try_lock_all(&keys) {
+            return Err(TxnError::Aborted("local-lock-busy"));
+        }
+        let result = self.run_ops_on_pool(ops);
+        node.locks.unlock_all(&keys);
+        result
+    }
+
+    fn run_ops_on_pool(&self, ops: &[Op]) -> Result<TxnOutput, TxnError> {
+        let pool = self.cluster.nodes[self.node]
+            .shard_pool
+            .as_ref()
+            .expect("3c pool");
+        let table = &self.cluster.table;
+        let psize = self.cluster.config.payload_size;
+        let mut out = TxnOutput::default();
+        let mut buf = vec![0u8; psize];
+        for op in ops {
+            let addr = table.payload_addr(op.key(), 0);
+            match op {
+                Op::Read(k) => {
+                    pool.read_page(&self.ep, addr, &mut buf)?;
+                    out.reads.push((*k, buf.clone()));
+                }
+                Op::Update { value, .. } => {
+                    pool.write_page(&self.ep, addr, value)?;
+                }
+                Op::Rmw { key, delta } => {
+                    pool.read_page(&self.ep, addr, &mut buf)?;
+                    out.reads.push((*key, buf.clone()));
+                    let cur = i64::from_le_bytes(buf[0..8].try_into().unwrap());
+                    buf[0..8].copy_from_slice(&(cur + delta).to_le_bytes());
+                    pool.write_page(&self.ep, addr, &buf)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// 2PC across shard owners: this session is the coordinator and (if
+    /// it owns some keys) also a participant for its local part.
+    fn coordinate_cross_shard(
+        &mut self,
+        local_ops: Vec<Op>,
+        remote: HashMap<usize, Vec<Op>>,
+    ) -> Result<TxnOutput, TxnError> {
+        let node = self.cluster.nodes[self.node].clone();
+        let txn_id = self.cluster.txn_ids.fetch_add(1, Ordering::Relaxed);
+
+        // Phase 0: local prepare.
+        let mut local_keys: Vec<u64> = local_ops.iter().map(|o| o.key()).collect();
+        local_keys.sort_unstable();
+        local_keys.dedup();
+        self.ep.charge_local(50 * local_keys.len() as u64);
+        if !local_keys.is_empty() && !node.locks.try_lock_all(&local_keys) {
+            return Err(TxnError::Aborted("local-lock-busy"));
+        }
+        let local_exec = if local_ops.is_empty() {
+            Ok((TxnOutput::default(), Vec::new()))
+        } else {
+            self.prepare_ops(&local_ops)
+        };
+        let (local_out, local_staged) = match local_exec {
+            Ok(v) => v,
+            Err(e) => {
+                node.locks.unlock_all(&local_keys);
+                return Err(e);
+            }
+        };
+
+        // Phase 1: prepare fan-out.
+        let participants: Vec<usize> = remote.keys().copied().collect();
+        for (&owner, ops) in &remote {
+            let body = encode_subtxn(ops);
+            if self
+                .ep
+                .send(node_inbox_id(owner), self.reply_id, encode_2pc(MsgKind::Prepare, txn_id, &body))
+                .is_err()
+            {
+                node.locks.unlock_all(&local_keys);
+                return Err(TxnError::Aborted("owner-unreachable"));
+            }
+        }
+
+        // Collect votes while serving our own inbox.
+        let mut yes_bodies: Vec<Vec<u8>> = Vec::new();
+        let mut no = false;
+        let mut answered = 0;
+        while answered < participants.len() {
+            match self.ep.try_recv(&self.reply) {
+                Ok(msg) => {
+                    if let Some(m) = decode_2pc(&msg.payload) {
+                        if m.txn_id == txn_id {
+                            match m.kind {
+                                MsgKind::VoteYes => {
+                                    yes_bodies.push(m.body);
+                                    answered += 1;
+                                }
+                                MsgKind::VoteNo => {
+                                    no = true;
+                                    answered += 1;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    if !self.serve_pending(2) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+
+        // Phase 2: decision.
+        let decision = if no { MsgKind::Abort } else { MsgKind::Commit };
+        for &owner in &participants {
+            let _ = self
+                .ep
+                .send(node_inbox_id(owner), self.reply_id, encode_2pc(decision, txn_id, &[]));
+        }
+        // Local decision.
+        if decision == MsgKind::Commit {
+            let pool_result = self.apply_staged(&local_staged);
+            node.locks.unlock_all(&local_keys);
+            pool_result?;
+        } else {
+            node.locks.unlock_all(&local_keys);
+        }
+        // Acks.
+        let mut acks = 0;
+        while acks < participants.len() {
+            match self.ep.try_recv(&self.reply) {
+                Ok(msg) => {
+                    if let Some(m) = decode_2pc(&msg.payload) {
+                        if m.txn_id == txn_id && m.kind == MsgKind::Ack {
+                            acks += 1;
+                        }
+                    }
+                }
+                Err(_) => {
+                    if !self.serve_pending(2) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+
+        if no {
+            return Err(TxnError::Aborted("remote-vote-no"));
+        }
+        // Merge read results: local first, then remote in vote order.
+        let mut out = local_out;
+        for body in yes_bodies {
+            out.reads.extend(decode_reads(&body));
+        }
+        Ok(out)
+    }
+
+    /// Execute reads and stage writes (no pool mutation yet) for a
+    /// prepared (sub-)transaction.
+    fn prepare_ops(&self, ops: &[Op]) -> Result<(TxnOutput, StagedWrites), TxnError> {
+        let pool = self.cluster.nodes[self.node]
+            .shard_pool
+            .as_ref()
+            .expect("3c pool");
+        let table = &self.cluster.table;
+        let psize = self.cluster.config.payload_size;
+        let mut out = TxnOutput::default();
+        let mut staged: StagedWrites = Vec::new();
+        let mut buf = vec![0u8; psize];
+        let read_current =
+            |key: u64, staged: &[(u64, Vec<u8>)], buf: &mut Vec<u8>| -> Result<(), TxnError> {
+                if let Some((_, v)) = staged.iter().rev().find(|(k, _)| *k == key) {
+                    buf.copy_from_slice(v);
+                    return Ok(());
+                }
+                pool.read_page(&self.ep, table.payload_addr(key, 0), buf)?;
+                Ok(())
+            };
+        for op in ops {
+            match op {
+                Op::Read(k) => {
+                    read_current(*k, &staged, &mut buf)?;
+                    out.reads.push((*k, buf.clone()));
+                }
+                Op::Update { key, value } => {
+                    staged.push((*key, value.clone()));
+                }
+                Op::Rmw { key, delta } => {
+                    read_current(*key, &staged, &mut buf)?;
+                    out.reads.push((*key, buf.clone()));
+                    let cur = i64::from_le_bytes(buf[0..8].try_into().unwrap());
+                    let mut nv = buf.clone();
+                    nv[0..8].copy_from_slice(&(cur + delta).to_le_bytes());
+                    staged.push((*key, nv));
+                }
+            }
+        }
+        Ok((out, staged))
+    }
+
+    fn apply_staged(&self, staged: &[(u64, Vec<u8>)]) -> Result<(), TxnError> {
+        let pool = self.cluster.nodes[self.node]
+            .shard_pool
+            .as_ref()
+            .expect("3c pool");
+        let table = &self.cluster.table;
+        for (key, value) in staged {
+            pool.write_page(&self.ep, table.payload_addr(*key, 0), value)?;
+        }
+        Ok(())
+    }
+
+    /// Serve up to `budget` pending cluster messages addressed to this
+    /// node (coherence requests in 3b, 2PC participant work in 3c).
+    /// Returns whether anything was served. Workers call this between
+    /// transactions; waiters call it in their poll loops.
+    pub fn serve_pending(&mut self, budget: usize) -> bool {
+        let mut any = false;
+        match self.cluster.config.architecture {
+            Architecture::CacheNoShard(_) => {
+                if let Some(cache) = &self.cluster.nodes[self.node].cache {
+                    for _ in 0..budget {
+                        if !cache.serve_one(&self.ep) {
+                            break;
+                        }
+                        any = true;
+                    }
+                }
+            }
+            Architecture::CacheShard => {
+                for _ in 0..budget {
+                    if !self.serve_one_shard_msg() {
+                        break;
+                    }
+                    any = true;
+                }
+            }
+            Architecture::NoCacheNoShard => {}
+        }
+        any
+    }
+
+    fn serve_one_shard_msg(&mut self) -> bool {
+        let node = self.cluster.nodes[self.node].clone();
+        let Some(inbox) = &node.shard_inbox else {
+            return false;
+        };
+        let Ok(msg) = inbox.try_recv() else {
+            return false;
+        };
+        self.ep.observe_delivery(&msg);
+        let Some(m) = decode_2pc(&msg.payload) else {
+            return true;
+        };
+        match m.kind {
+            MsgKind::Prepare => {
+                let ops = decode_subtxn(&m.body);
+                let mut keys: Vec<u64> = ops.iter().map(|o| o.key()).collect();
+                keys.sort_unstable();
+                keys.dedup();
+                self.ep.charge_local(50 * keys.len() as u64);
+                if !node.locks.try_lock_all(&keys) {
+                    let _ = self.ep.send(
+                        msg.from,
+                        node_inbox_id(self.node),
+                        encode_2pc(MsgKind::VoteNo, m.txn_id, &[]),
+                    );
+                    return true;
+                }
+                match self.prepare_ops(&ops) {
+                    Ok((out, staged)) => {
+                        node.prepared.lock().insert(
+                            m.txn_id,
+                            Prepared {
+                                keys,
+                                staged,
+                            },
+                        );
+                        self.stats.served_subtxns += 1;
+                        let _ = self.ep.send(
+                            msg.from,
+                            node_inbox_id(self.node),
+                            encode_2pc(MsgKind::VoteYes, m.txn_id, &encode_reads(&out.reads)),
+                        );
+                    }
+                    Err(_) => {
+                        node.locks.unlock_all(&keys);
+                        let _ = self.ep.send(
+                            msg.from,
+                            node_inbox_id(self.node),
+                            encode_2pc(MsgKind::VoteNo, m.txn_id, &[]),
+                        );
+                    }
+                }
+            }
+            MsgKind::Commit | MsgKind::Abort => {
+                let prepared = node.prepared.lock().remove(&m.txn_id);
+                if let Some(p) = prepared {
+                    if m.kind == MsgKind::Commit {
+                        // Apply; failures here would need recovery — the
+                        // simulated DSM only fails when crashed, which the
+                        // experiments do not do mid-2PC.
+                        let _ = self.apply_staged(&p.staged);
+                    }
+                    node.locks.unlock_all(&p.keys);
+                }
+                let _ = self.ep.send(
+                    msg.from,
+                    node_inbox_id(self.node),
+                    encode_2pc(MsgKind::Ack, m.txn_id, &[]),
+                );
+            }
+            _ => {}
+        }
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sub-transaction wire codec
+// ---------------------------------------------------------------------------
+
+const OP_READ: u8 = 0;
+const OP_UPDATE: u8 = 1;
+const OP_RMW: u8 = 2;
+
+fn encode_subtxn(ops: &[Op]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + ops.len() * 12);
+    out.extend_from_slice(&(ops.len() as u16).to_le_bytes());
+    for op in ops {
+        match op {
+            Op::Read(k) => {
+                out.push(OP_READ);
+                out.extend_from_slice(&k.to_le_bytes());
+            }
+            Op::Update { key, value } => {
+                out.push(OP_UPDATE);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&(value.len() as u16).to_le_bytes());
+                out.extend_from_slice(value);
+            }
+            Op::Rmw { key, delta } => {
+                out.push(OP_RMW);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&delta.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+fn decode_subtxn(body: &[u8]) -> Vec<Op> {
+    let n = u16::from_le_bytes(body[0..2].try_into().unwrap()) as usize;
+    let mut ops = Vec::with_capacity(n);
+    let mut pos = 2;
+    for _ in 0..n {
+        let kind = body[pos];
+        let key = u64::from_le_bytes(body[pos + 1..pos + 9].try_into().unwrap());
+        pos += 9;
+        match kind {
+            OP_READ => ops.push(Op::Read(key)),
+            OP_UPDATE => {
+                let len = u16::from_le_bytes(body[pos..pos + 2].try_into().unwrap()) as usize;
+                pos += 2;
+                ops.push(Op::Update {
+                    key,
+                    value: body[pos..pos + len].to_vec(),
+                });
+                pos += len;
+            }
+            _ => {
+                let delta = i64::from_le_bytes(body[pos..pos + 8].try_into().unwrap());
+                pos += 8;
+                ops.push(Op::Rmw { key, delta });
+            }
+        }
+    }
+    ops
+}
+
+fn encode_reads(reads: &[(u64, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(reads.len() as u16).to_le_bytes());
+    for (k, v) in reads {
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+fn decode_reads(body: &[u8]) -> Vec<(u64, Vec<u8>)> {
+    if body.len() < 2 {
+        return Vec::new();
+    }
+    let n = u16::from_le_bytes(body[0..2].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 2;
+    for _ in 0..n {
+        let k = u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap());
+        let len = u16::from_le_bytes(body[pos + 8..pos + 10].try_into().unwrap()) as usize;
+        pos += 10;
+        out.push((k, body[pos..pos + len].to_vec()));
+        pos += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoherenceMode;
+    use rdma_sim::NetworkProfile;
+
+    fn config(arch: Architecture, cc: CcProtocol, nodes: usize, threads: usize) -> ClusterConfig {
+        ClusterConfig {
+            compute_nodes: nodes,
+            threads_per_node: threads,
+            memory_nodes: 2,
+            n_records: 64,
+            payload_size: 16,
+            versions: if cc == CcProtocol::Mvcc { 4 } else { 1 },
+            cache_frames: 64,
+            profile: NetworkProfile::zero(),
+            architecture: arch,
+            cc,
+            ..Default::default()
+        }
+    }
+
+    fn counter(out: &TxnOutput, idx: usize) -> i64 {
+        i64::from_le_bytes(out.reads[idx].1[0..8].try_into().unwrap())
+    }
+
+    #[test]
+    fn subtxn_codec_roundtrip() {
+        let ops = vec![
+            Op::Read(3),
+            Op::Update {
+                key: 9,
+                value: vec![1, 2, 3],
+            },
+            Op::Rmw { key: 5, delta: -7 },
+        ];
+        assert_eq!(decode_subtxn(&encode_subtxn(&ops)), ops);
+        let reads = vec![(1u64, vec![9u8; 16]), (2, vec![])];
+        assert_eq!(decode_reads(&encode_reads(&reads)), reads);
+    }
+
+    #[test]
+    fn single_node_executes_on_every_architecture() {
+        for arch in [
+            Architecture::NoCacheNoShard,
+            Architecture::CacheNoShard(CoherenceMode::Invalidate),
+            Architecture::CacheShard,
+        ] {
+            let cluster = Cluster::build(config(arch, CcProtocol::TplExclusive, 1, 1)).unwrap();
+            let mut s = cluster.session(0, 0);
+            s.execute(&[Op::Rmw { key: 1, delta: 5 }]).unwrap();
+            let out = s.execute(&[Op::Read(1)]).unwrap();
+            assert_eq!(counter(&out, 0), 5, "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn all_cc_protocols_run_on_3a() {
+        for cc in [
+            CcProtocol::TplExclusive,
+            CcProtocol::TplSharedExclusive,
+            CcProtocol::Occ,
+            CcProtocol::Tso,
+            CcProtocol::Mvcc,
+        ] {
+            let cluster =
+                Cluster::build(config(Architecture::NoCacheNoShard, cc, 1, 1)).unwrap();
+            let mut s = cluster.session(0, 0);
+            s.execute_retrying(&[Op::Rmw { key: 2, delta: 3 }], 10).unwrap();
+            let out = s.execute_retrying(&[Op::Read(2)], 10).unwrap();
+            assert_eq!(counter(&out, 0), 3, "{cc:?}");
+        }
+    }
+
+    #[test]
+    fn coherent_cache_hits_after_warm() {
+        let cluster = Cluster::build(config(
+            Architecture::CacheNoShard(CoherenceMode::Invalidate),
+            CcProtocol::TplExclusive,
+            1,
+            1,
+        ))
+        .unwrap();
+        let mut s = cluster.session(0, 0);
+        s.execute(&[Op::Read(7)]).unwrap();
+        s.execute(&[Op::Read(7)]).unwrap();
+        let pool = &cluster.nodes[0].cache.as_ref().unwrap().pool;
+        assert!(pool.stats().hits >= 1);
+    }
+
+    #[test]
+    fn multi_master_bank_invariant_3a() {
+        bank_run(Architecture::NoCacheNoShard, CcProtocol::Occ, 2, 2);
+    }
+
+    #[test]
+    fn multi_master_bank_invariant_3b() {
+        bank_run(
+            Architecture::CacheNoShard(CoherenceMode::Invalidate),
+            CcProtocol::TplExclusive,
+            2,
+            1,
+        );
+    }
+
+    #[test]
+    fn multi_master_bank_invariant_3b_update_mode() {
+        bank_run(
+            Architecture::CacheNoShard(CoherenceMode::Update),
+            CcProtocol::TplExclusive,
+            2,
+            1,
+        );
+    }
+
+    #[test]
+    fn multi_master_bank_invariant_3c() {
+        bank_run(Architecture::CacheShard, CcProtocol::TplExclusive, 2, 1);
+    }
+
+    /// The cross-architecture serializability smoke test: concurrent
+    /// transfers must conserve total balance.
+    fn bank_run(arch: Architecture, cc: CcProtocol, nodes: usize, threads: usize) {
+        let cluster = Cluster::build(config(arch, cc, nodes, threads)).unwrap();
+        let total_workers = nodes * threads;
+        let finished = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|sc| {
+            for n in 0..nodes {
+                for t in 0..threads {
+                    let cluster = cluster.clone();
+                    let finished = &finished;
+                    sc.spawn(move || {
+                        let mut s = cluster.session(n, t);
+                        let mut rng = 0x9E37u64.wrapping_add((n * 16 + t) as u64);
+                        let mut rand = move || {
+                            rng ^= rng << 13;
+                            rng ^= rng >> 7;
+                            rng ^= rng << 17;
+                            rng
+                        };
+                        for _ in 0..150 {
+                            let a = rand() % 64;
+                            let mut b = rand() % 64;
+                            while b == a {
+                                b = rand() % 64;
+                            }
+                            let ops = [
+                                Op::Rmw { key: a, delta: -3 },
+                                Op::Rmw { key: b, delta: 3 },
+                            ];
+                            loop {
+                                match s.execute(&ops) {
+                                    Ok(_) => break,
+                                    Err(TxnError::Aborted(_)) => {
+                                        s.serve_pending(8);
+                                        continue;
+                                    }
+                                    Err(e) => panic!("{e}"),
+                                }
+                            }
+                        }
+                        // Keep serving until every worker finished its
+                        // transactions: peers may still be mid-2PC or
+                        // waiting for coherence acks, and once everyone
+                        // is done no new requests can appear.
+                        finished.fetch_add(1, Ordering::Release);
+                        while finished.load(Ordering::Acquire) < total_workers {
+                            if !s.serve_pending(8) {
+                                std::thread::yield_now();
+                            }
+                        }
+                        s.serve_pending(usize::MAX >> 1);
+                    });
+                }
+            }
+        });
+
+        // Verify conservation with direct DSM reads.
+        let ep = cluster.fabric().endpoint();
+        let mut total = 0i64;
+        for k in 0..64u64 {
+            // Latest version = max wts slot.
+            let versions = cluster.config.versions;
+            let mut best = (0u64, 0i64);
+            for v in 0..versions {
+                let wts = cluster
+                    .layer()
+                    .read_u64(&ep, cluster.table().wts_addr(k, v))
+                    .unwrap();
+                let mut buf = vec![0u8; 16];
+                cluster
+                    .layer()
+                    .read(&ep, cluster.table().payload_addr(k, v), &mut buf)
+                    .unwrap();
+                let val = i64::from_le_bytes(buf[0..8].try_into().unwrap());
+                if wts >= best.0 {
+                    best = (wts, val);
+                }
+            }
+            total += best.1;
+        }
+        assert_eq!(total, 0, "{arch:?}/{cc:?} leaked money");
+    }
+
+    #[test]
+    fn sharded_cross_shard_transfer_works() {
+        let cluster =
+            Cluster::build(config(Architecture::CacheShard, CcProtocol::TplExclusive, 2, 1))
+                .unwrap();
+        // Keys 0..32 owned by node 0; 32..64 by node 1.
+        std::thread::scope(|sc| {
+            let c2 = cluster.clone();
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop2 = stop.clone();
+            let server = sc.spawn(move || {
+                let mut s = c2.session(1, 0);
+                while !stop2.load(Ordering::Relaxed) {
+                    if !s.serve_pending(16) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            let mut s0 = cluster.session(0, 0);
+            let out = s0
+                .execute_retrying(
+                    &[
+                        Op::Rmw { key: 1, delta: -10 }, // local shard
+                        Op::Rmw { key: 60, delta: 10 }, // remote shard
+                    ],
+                    50,
+                )
+                .unwrap();
+            assert_eq!(out.reads.len(), 2);
+            assert_eq!(s0.stats().cross_shard, 1);
+            // Read back both (cross-shard read).
+            let rb = s0
+                .execute_retrying(&[Op::Read(1), Op::Read(60)], 50)
+                .unwrap();
+            let vals: std::collections::HashMap<u64, i64> = rb
+                .reads
+                .iter()
+                .map(|(k, v)| (*k, i64::from_le_bytes(v[0..8].try_into().unwrap())))
+                .collect();
+            assert_eq!(vals[&1], -10);
+            assert_eq!(vals[&60], 10);
+            stop.store(true, Ordering::Relaxed);
+            server.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn reshard_is_metadata_only_and_preserves_data() {
+        let cluster =
+            Cluster::build(config(Architecture::CacheShard, CcProtocol::TplExclusive, 2, 1))
+                .unwrap();
+        let mut s0 = cluster.session(0, 0);
+        s0.execute(&[Op::Rmw { key: 5, delta: 42 }]).unwrap();
+        // Move node 0's whole range to node 1 — no bulk data transfer.
+        let ep = cluster.fabric().endpoint();
+        let before_bytes = ep.stats().total_bytes();
+        cluster.reshard(&ep, 0, 32, 1);
+        let moved_bytes = ep.stats().total_bytes() - before_bytes;
+        assert!(moved_bytes < 1024, "metadata-only, moved {moved_bytes}");
+        assert_eq!(cluster.shard_map().owner_of(5), 1);
+        // The new owner can operate on the key and sees the value.
+        let mut s1 = cluster.session(1, 0);
+        let out = s1.execute(&[Op::Read(5)]).unwrap();
+        assert_eq!(counter(&out, 0), 42);
+    }
+}

@@ -1,0 +1,244 @@
+//! Engine-level property and scenario tests.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dsmdb::{Architecture, CcProtocol, Cluster, ClusterConfig, Op, ShardMap, TxnError};
+use proptest::prelude::*;
+use rdma_sim::NetworkProfile;
+use workload::{TpccLiteWorkload, TpccTxn};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random reshard sequences: every key keeps exactly one owner, and a
+    /// key inside the most recent reshard range belongs to its target.
+    #[test]
+    fn shard_map_owner_is_last_writer(
+        nodes in 2usize..6,
+        reshards in proptest::collection::vec((0u64..900, 1u64..100, 0usize..6), 0..12),
+        probe in 0u64..1000,
+    ) {
+        let map = ShardMap::equal(nodes, 1_000);
+        let mut last_cover: Option<(u64, u64, usize)> = None;
+        let v0 = map.version();
+        for &(low, width, owner_raw) in &reshards {
+            let high = (low + width).min(1_000);
+            if low >= high {
+                continue;
+            }
+            let owner = owner_raw % nodes;
+            map.reshard(low, high, owner);
+            if probe >= low && probe < high {
+                last_cover = Some((low, high, owner));
+            }
+        }
+        let owner = map.owner_of(probe);
+        prop_assert!(owner < nodes);
+        if let Some((_, _, expect)) = last_cover {
+            prop_assert_eq!(owner, expect);
+        }
+        if !reshards.is_empty() {
+            prop_assert!(map.version() >= v0);
+        }
+    }
+
+    /// Single-session transactions over random op sequences match a
+    /// reference model on every architecture (no concurrency — pure
+    /// engine-path correctness, including the 3b/3c caching paths).
+    #[test]
+    fn engine_matches_reference_single_session(
+        ops in proptest::collection::vec((0u64..64, -20i64..20), 1..60),
+        arch_pick in 0usize..3,
+    ) {
+        let arch = [
+            Architecture::NoCacheNoShard,
+            Architecture::CacheNoShard(dsmdb::CoherenceMode::Invalidate),
+            Architecture::CacheShard,
+        ][arch_pick];
+        let cluster = Cluster::build(ClusterConfig {
+            compute_nodes: 1,
+            threads_per_node: 1,
+            memory_nodes: 2,
+            n_records: 64,
+            payload_size: 16,
+            cache_frames: 16, // tiny cache: plenty of evictions
+            profile: NetworkProfile::zero(),
+            architecture: arch,
+            cc: CcProtocol::TplExclusive,
+            ..Default::default()
+        }).unwrap();
+        let mut sess = cluster.session(0, 0);
+        let mut model = [0i64; 64];
+        for &(k, d) in &ops {
+            sess.execute(&[Op::Rmw { key: k, delta: d }]).unwrap();
+            model[k as usize] += d;
+        }
+        for k in 0..64u64 {
+            let out = sess.execute(&[Op::Read(k)]).unwrap();
+            prop_assert_eq!(
+                i64::from_le_bytes(out.reads[0].1[0..8].try_into().unwrap()),
+                model[k as usize],
+                "{:?} key {}", arch, k
+            );
+        }
+    }
+}
+
+/// TPC-C-lite over the sharded architecture: warehouses map to shards, so
+/// the generator's remote probability directly controls the engine's
+/// cross-shard 2PC rate.
+#[test]
+fn tpcc_lite_drives_cross_shard_2pc() {
+    const WAREHOUSES: u64 = 2;
+    const DISTRICTS: u64 = 10;
+    // Key space: warehouse-major district records.
+    let cluster = Cluster::build(ClusterConfig {
+        compute_nodes: 2,
+        threads_per_node: 1,
+        memory_nodes: 2,
+        n_records: WAREHOUSES * DISTRICTS,
+        payload_size: 32,
+        profile: NetworkProfile::zero(),
+        architecture: Architecture::CacheShard,
+        cc: CcProtocol::TplExclusive,
+        ..Default::default()
+    })
+    .unwrap();
+    // Shard split = warehouse split (10 records each).
+    let key_of = |w: u64, d: u64| w * DISTRICTS + d;
+
+    let finished = AtomicUsize::new(0);
+    let cross = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for n in 0..2usize {
+            let cluster = cluster.clone();
+            let finished = &finished;
+            let cross = &cross;
+            s.spawn(move || {
+                let mut sess = cluster.session(n, 0);
+                let mut wl = TpccLiteWorkload::with_remote_probs(WAREHOUSES, 0.3, 0.3, n as u64);
+                for _ in 0..150 {
+                    // Each node only originates transactions homed at its
+                    // own warehouse (realistic routing).
+                    let txn = loop {
+                        match wl.next_txn() {
+                            TpccTxn::Payment {
+                                warehouse,
+                                district,
+                                customer_warehouse,
+                                amount,
+                                ..
+                            } if warehouse == n as u64 => {
+                                break (district, customer_warehouse, amount)
+                            }
+                            _ => continue,
+                        }
+                    };
+                    let (district, cw, amount) = txn;
+                    if cw != n as u64 {
+                        cross.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Payment: warehouse YTD up, customer's warehouse
+                    // record down (keeps the sum invariant at zero).
+                    let ops = [
+                        Op::Rmw {
+                            key: key_of(n as u64, district),
+                            delta: amount,
+                        },
+                        Op::Rmw {
+                            key: key_of(cw, district),
+                            delta: -amount,
+                        },
+                    ];
+                    loop {
+                        match sess.execute(&ops) {
+                            Ok(_) => break,
+                            Err(TxnError::Aborted(_)) => {
+                                sess.serve_pending(8);
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                }
+                finished.fetch_add(1, Ordering::Release);
+                while finished.load(Ordering::Acquire) < 2 {
+                    if !sess.serve_pending(16) {
+                        std::thread::yield_now();
+                    }
+                }
+                sess.serve_pending(1 << 20);
+                if n == 0 {
+                    assert!(
+                        sess.stats().cross_shard > 0 || cross.load(Ordering::Relaxed) == 0,
+                        "remote payments must coordinate"
+                    );
+                }
+            });
+        }
+    });
+    // Conservation audit.
+    let ep = cluster.fabric().endpoint();
+    let mut total = 0i64;
+    for k in 0..WAREHOUSES * DISTRICTS {
+        let mut buf = vec![0u8; 32];
+        cluster
+            .layer()
+            .read(&ep, cluster.table().payload_addr(k, 0), &mut buf)
+            .unwrap();
+        total += i64::from_le_bytes(buf[0..8].try_into().unwrap());
+    }
+    assert_eq!(total, 0, "payments must conserve the YTD sum");
+    assert!(cross.load(Ordering::Relaxed) > 10, "mix produced cross txns");
+}
+
+/// A fully dead mirror group surfaces as an infrastructure error, not an
+/// abort (callers must not blindly retry).
+#[test]
+fn whole_group_failure_is_an_infrastructure_error() {
+    let cluster = Cluster::build(ClusterConfig {
+        compute_nodes: 1,
+        threads_per_node: 1,
+        memory_nodes: 1,
+        n_records: 16,
+        payload_size: 16,
+        profile: NetworkProfile::zero(),
+        architecture: Architecture::NoCacheNoShard,
+        cc: CcProtocol::TplExclusive,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut sess = cluster.session(0, 0);
+    sess.execute(&[Op::Rmw { key: 1, delta: 1 }]).unwrap();
+    cluster.layer().crash_member(0, 0).unwrap();
+    match sess.execute(&[Op::Read(1)]) {
+        Err(TxnError::Dsm(_)) => {}
+        other => panic!("expected infrastructure error, got {other:?}"),
+    }
+}
+
+/// Session statistics track commits, aborts and 2PC coordination.
+#[test]
+fn session_stats_are_accurate() {
+    let cluster = Cluster::build(ClusterConfig {
+        compute_nodes: 1,
+        threads_per_node: 1,
+        memory_nodes: 1,
+        n_records: 16,
+        payload_size: 16,
+        profile: NetworkProfile::zero(),
+        architecture: Architecture::NoCacheNoShard,
+        cc: CcProtocol::TplExclusive,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut sess = cluster.session(0, 0);
+    for i in 0..10u64 {
+        sess.execute(&[Op::Rmw { key: i % 16, delta: 1 }]).unwrap();
+    }
+    let s = sess.stats();
+    assert_eq!(s.commits, 10);
+    assert_eq!(s.aborts, 0);
+    assert_eq!(s.cross_shard, 0);
+}

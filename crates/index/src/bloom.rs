@@ -1,0 +1,108 @@
+//! A standard Bloom filter (double hashing, Kirsch–Mitzenmacher).
+//!
+//! Lives entirely in compute-node local memory; the LSM consults it
+//! before spending a round trip on a remote run (§6: filters "help
+//! protect from unnecessary round trips").
+
+/// A fixed-size Bloom filter over `u64` keys.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    n_bits: u64,
+    k: u32,
+}
+
+#[inline]
+fn hash2(key: u64) -> (u64, u64) {
+    // splitmix64 twice for two independent-ish hashes.
+    let mut x = key.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    let h1 = x ^ (x >> 31);
+    let mut y = h1.wrapping_add(0x9E3779B97F4A7C15);
+    y = (y ^ (y >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    y = (y ^ (y >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (h1, (y ^ (y >> 31)) | 1) // h2 odd so strides cover the table
+}
+
+impl BloomFilter {
+    /// A filter sized for `expected_items` at `bits_per_key` bits each
+    /// (10 bits/key ≈ 1% false positives).
+    pub fn new(expected_items: usize, bits_per_key: usize) -> Self {
+        let n_bits = (expected_items.max(1) * bits_per_key).max(64) as u64;
+        let k = ((bits_per_key as f64) * std::f64::consts::LN_2).round().max(1.0) as u32;
+        Self {
+            bits: vec![0u64; n_bits.div_ceil(64) as usize],
+            n_bits,
+            k,
+        }
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: u64) {
+        let (h1, h2) = hash2(key);
+        for i in 0..self.k as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.n_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Possibly-contains check: false means definitely absent.
+    pub fn contains(&self, key: u64) -> bool {
+        let (h1, h2) = hash2(key);
+        (0..self.k as u64).all(|i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.n_bits;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Size of the filter in bytes (local-memory footprint accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Virtual cost of one probe in nanoseconds (k cache-line touches).
+    pub fn probe_cost_ns(&self) -> u64 {
+        self.k as u64 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000, 10);
+        for k in 0..1000u64 {
+            f.insert(k * 7);
+        }
+        for k in 0..1000u64 {
+            assert!(f.contains(k * 7));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_design_point() {
+        let mut f = BloomFilter::new(10_000, 10);
+        for k in 0..10_000u64 {
+            f.insert(k);
+        }
+        let fps = (10_000..110_000u64).filter(|&k| f.contains(k)).count();
+        let rate = fps as f64 / 100_000.0;
+        assert!(rate < 0.03, "false-positive rate {rate}");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::new(100, 10);
+        assert!((0..1000u64).all(|k| !f.contains(k)));
+    }
+
+    #[test]
+    fn footprint_scales_with_items() {
+        let small = BloomFilter::new(1_000, 10);
+        let big = BloomFilter::new(100_000, 10);
+        assert!(big.size_bytes() > 50 * small.size_bytes());
+    }
+}

@@ -1,0 +1,668 @@
+//! A Sherman-style remote B+tree (§6, \[62\]).
+//!
+//! All data lives in DSM; compute nodes operate on it purely with
+//! one-sided verbs. Design points taken from Sherman:
+//!
+//! * **One-sided only** — a search descends by READing nodes; an insert
+//!   CASes the leaf's lock word, rewrites the leaf, bumps its version.
+//! * **Internal-node caching** — with `cache_internal = true` the handle
+//!   keeps every internal node it has seen in local memory (charged as
+//!   local DRAM), so a warm search costs a *single* round trip (the
+//!   leaf). Staleness after splits is caught by fence-key validation and
+//!   triggers a path invalidation + retry from the root. With the cache
+//!   off, every level costs one round trip — the naive baseline of
+//!   experiment C9.
+//! * **Coarse SMO lock** — splits take a tree-wide structure-modification
+//!   lock in DSM. Simpler than Sherman's fine-grained scheme and rare
+//!   enough under point workloads; the experiments measure the fast path.
+//!
+//! Node layout (fixed `NODE_SIZE` bytes in DSM):
+//!
+//! ```text
+//! [lock][version][meta: is_leaf|nkeys][fence_low][fence_high][next]
+//! [keys; FANOUT][vals_or_children; FANOUT]
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dsm::{DsmError, DsmLayer, DsmResult, GlobalAddr};
+use parking_lot::Mutex;
+use rdma_sim::Endpoint;
+
+/// Keys per node.
+pub const FANOUT: usize = 16;
+/// Node size in bytes.
+pub const NODE_SIZE: usize = 48 + FANOUT * 16;
+
+const OFF_LOCK: usize = 0;
+const OFF_VERSION: usize = 8;
+const OFF_META: usize = 16;
+const OFF_FENCE_LOW: usize = 24;
+const OFF_FENCE_HIGH: usize = 32;
+const OFF_NEXT: usize = 40;
+const OFF_KEYS: usize = 48;
+const OFF_VALS: usize = 48 + FANOUT * 8;
+
+/// Local decoded image of a remote node.
+#[derive(Debug, Clone)]
+struct Node {
+    lock: u64,
+    version: u64,
+    is_leaf: bool,
+    nkeys: usize,
+    fence_low: u64,
+    fence_high: u64,
+    next: u64,
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+}
+
+impl Node {
+    fn decode(buf: &[u8]) -> Node {
+        let u = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+        let meta = u(OFF_META);
+        let nkeys = (meta >> 1) as usize;
+        Node {
+            lock: u(OFF_LOCK),
+            version: u(OFF_VERSION),
+            is_leaf: meta & 1 == 1,
+            nkeys,
+            fence_low: u(OFF_FENCE_LOW),
+            fence_high: u(OFF_FENCE_HIGH),
+            next: u(OFF_NEXT),
+            keys: (0..nkeys).map(|i| u(OFF_KEYS + i * 8)).collect(),
+            vals: (0..nkeys).map(|i| u(OFF_VALS + i * 8)).collect(),
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; NODE_SIZE];
+        let mut put = |o: usize, v: u64| buf[o..o + 8].copy_from_slice(&v.to_le_bytes());
+        put(OFF_LOCK, self.lock);
+        put(OFF_VERSION, self.version);
+        put(OFF_META, ((self.nkeys as u64) << 1) | self.is_leaf as u64);
+        put(OFF_FENCE_LOW, self.fence_low);
+        put(OFF_FENCE_HIGH, self.fence_high);
+        put(OFF_NEXT, self.next);
+        for (i, &k) in self.keys.iter().enumerate() {
+            put(OFF_KEYS + i * 8, k);
+        }
+        for (i, &v) in self.vals.iter().enumerate() {
+            put(OFF_VALS + i * 8, v);
+        }
+        buf
+    }
+
+    fn covers(&self, key: u64) -> bool {
+        key >= self.fence_low && key < self.fence_high
+    }
+
+    /// Child to follow for `key` (internal nodes). `keys[i]` is the lower
+    /// separator of `vals[i+1]`; `vals\[0\]` covers everything below
+    /// `keys\[0\]`.
+    fn child_for(&self, key: u64) -> u64 {
+        let mut idx = 0;
+        while idx < self.nkeys - 1 && key >= self.keys[idx + 1] {
+            idx += 1;
+        }
+        self.vals[idx]
+    }
+}
+
+/// Per-op statistics counters for the C9 metrics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BTreeStats {
+    /// Searches served.
+    pub searches: u64,
+    /// Inserts applied.
+    pub inserts: u64,
+    /// Cache-stale retries (fence validation failures).
+    pub stale_retries: u64,
+    /// Node splits performed.
+    pub splits: u64,
+}
+
+/// A compute-node handle to a DSM-resident B+tree.
+///
+/// One handle per worker thread (handles share the tree through DSM, not
+/// through this struct). Cached internal nodes are per-handle, mirroring
+/// Sherman's per-compute-node index cache.
+pub struct RemoteBTree {
+    layer: Arc<DsmLayer>,
+    /// Root pointer cell in DSM: [root addr][smo lock].
+    meta: GlobalAddr,
+    cache_internal: bool,
+    cache: Mutex<HashMap<u64, Node>>,
+    stats: Mutex<BTreeStats>,
+    worker_tag: u64,
+}
+
+impl RemoteBTree {
+    /// Create a fresh tree in DSM; returns the handle and the tree's meta
+    /// address (share it to open more handles).
+    pub fn create(
+        layer: &Arc<DsmLayer>,
+        cache_internal: bool,
+        worker_tag: u64,
+    ) -> DsmResult<(Self, GlobalAddr)> {
+        let ep = layer.fabric().endpoint();
+        let meta = layer.alloc(16)?;
+        let root_addr = layer.alloc(NODE_SIZE as u64)?;
+        let root = Node {
+            lock: 0,
+            version: 1,
+            is_leaf: true,
+            nkeys: 0,
+            fence_low: 0,
+            fence_high: u64::MAX,
+            next: 0,
+            keys: vec![],
+            vals: vec![],
+        };
+        layer.write(&ep, root_addr, &root.encode())?;
+        layer.write_u64(&ep, meta, root_addr.to_raw())?;
+        layer.write_u64(&ep, meta.offset_by(8), 0)?;
+        Ok((Self::open(layer, meta, cache_internal, worker_tag), meta))
+    }
+
+    /// Open a handle onto an existing tree.
+    pub fn open(
+        layer: &Arc<DsmLayer>,
+        meta: GlobalAddr,
+        cache_internal: bool,
+        worker_tag: u64,
+    ) -> Self {
+        Self {
+            layer: layer.clone(),
+            meta,
+            cache_internal,
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(BTreeStats::default()),
+            worker_tag: worker_tag.max(1),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BTreeStats {
+        *self.stats.lock()
+    }
+
+    /// Bytes of local memory the internal-node cache currently uses.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.lock().len() * NODE_SIZE
+    }
+
+    fn root(&self, ep: &Endpoint) -> DsmResult<GlobalAddr> {
+        Ok(GlobalAddr::from_raw(self.layer.read_u64(ep, self.meta)?))
+    }
+
+    fn read_node(&self, ep: &Endpoint, addr: GlobalAddr) -> DsmResult<Node> {
+        let mut buf = vec![0u8; NODE_SIZE];
+        self.layer.read(ep, addr, &mut buf)?;
+        Ok(Node::decode(&buf))
+    }
+
+    /// Descend to the leaf that should cover `key`; returns
+    /// `(leaf_addr, leaf)` using cached internals when enabled.
+    fn descend(&self, ep: &Endpoint, key: u64) -> DsmResult<(GlobalAddr, Node)> {
+        'restart: loop {
+            let mut addr = self.root(ep)?;
+            loop {
+                // Try the local cache for internal nodes.
+                let node = if self.cache_internal {
+                    let cached = self.cache.lock().get(&addr.to_raw()).cloned();
+                    match cached {
+                        Some(n) => {
+                            ep.charge_local(60); // local map probe + node touch
+                            n
+                        }
+                        None => {
+                            let n = self.read_node(ep, addr)?;
+                            if !n.is_leaf {
+                                self.cache.lock().insert(addr.to_raw(), n.clone());
+                            }
+                            n
+                        }
+                    }
+                } else {
+                    self.read_node(ep, addr)?
+                };
+
+                if !node.covers(key) {
+                    // Stale cache: the *ancestors* that routed us here are
+                    // the stale ones, so drop the whole cached path —
+                    // evicting only this node would retry through the same
+                    // stale parent forever.
+                    self.cache.lock().clear();
+                    self.stats.lock().stale_retries += 1;
+                    continue 'restart;
+                }
+                if node.is_leaf {
+                    return Ok((addr, node));
+                }
+                addr = GlobalAddr::from_raw(node.child_for(key));
+            }
+        }
+    }
+
+    /// Point lookup. One round trip on a warm cached path.
+    pub fn search(&self, ep: &Endpoint, key: u64) -> DsmResult<Option<u64>> {
+        loop {
+            let (addr, leaf) = self.descend(ep, key)?;
+            if leaf.lock != 0 {
+                // Writer mid-update: the leaf image may be torn.
+                std::hint::spin_loop();
+                continue;
+            }
+            if !leaf.covers(key) {
+                self.stats.lock().stale_retries += 1;
+                let _ = addr;
+                continue;
+            }
+            self.stats.lock().searches += 1;
+            return Ok(leaf.keys.iter().position(|&k| k == key).map(|i| leaf.vals[i]));
+        }
+    }
+
+    /// Range scan: up to `limit` `(key, value)` pairs with `key >= low`,
+    /// following the leaf chain.
+    pub fn scan(&self, ep: &Endpoint, low: u64, limit: usize) -> DsmResult<Vec<(u64, u64)>> {
+        let mut out = Vec::with_capacity(limit);
+        let (mut addr, mut leaf) = self.descend(ep, low)?;
+        loop {
+            if leaf.lock == 0 {
+                for i in 0..leaf.nkeys {
+                    if leaf.keys[i] >= low && out.len() < limit {
+                        out.push((leaf.keys[i], leaf.vals[i]));
+                    }
+                }
+            } else {
+                // Re-read a locked leaf once it settles.
+                leaf = self.read_node(ep, addr)?;
+                continue;
+            }
+            if out.len() >= limit || leaf.next == 0 {
+                return Ok(out);
+            }
+            addr = GlobalAddr::from_raw(leaf.next);
+            leaf = self.read_node(ep, addr)?;
+        }
+    }
+
+    fn lock_node(&self, ep: &Endpoint, addr: GlobalAddr) -> DsmResult<bool> {
+        Ok(self.layer.cas(ep, addr, 0, self.worker_tag)? == 0)
+    }
+
+    fn unlock_node(&self, ep: &Endpoint, addr: GlobalAddr) -> DsmResult<()> {
+        self.layer.write_u64(ep, addr, 0)
+    }
+
+    /// Insert or update `key -> value`.
+    pub fn insert(&self, ep: &Endpoint, key: u64, value: u64) -> DsmResult<()> {
+        loop {
+            let (addr, _) = self.descend(ep, key)?;
+            if !self.lock_node(ep, addr)? {
+                std::hint::spin_loop();
+                continue;
+            }
+            // Re-read under the lock (authoritative image).
+            let mut leaf = self.read_node(ep, addr)?;
+            leaf.lock = self.worker_tag;
+            if !leaf.covers(key) || !leaf.is_leaf {
+                // Raced a split; retry from the root.
+                self.unlock_node(ep, addr)?;
+                self.stats.lock().stale_retries += 1;
+                continue;
+            }
+            if let Some(i) = leaf.keys.iter().position(|&k| k == key) {
+                leaf.vals[i] = value;
+                leaf.version += 1;
+                leaf.lock = 0;
+                self.layer.write(ep, addr, &leaf.encode())?;
+                self.stats.lock().inserts += 1;
+                return Ok(());
+            }
+            if leaf.nkeys < FANOUT {
+                let pos = leaf.keys.partition_point(|&k| k < key);
+                leaf.keys.insert(pos, key);
+                leaf.vals.insert(pos, value);
+                leaf.nkeys += 1;
+                leaf.version += 1;
+                leaf.lock = 0;
+                self.layer.write(ep, addr, &leaf.encode())?;
+                self.stats.lock().inserts += 1;
+                return Ok(());
+            }
+            // Full: split under the SMO lock.
+            self.unlock_node(ep, addr)?;
+            self.split(ep, key)?;
+        }
+    }
+
+    /// Remove `key`; returns whether it existed.
+    pub fn remove(&self, ep: &Endpoint, key: u64) -> DsmResult<bool> {
+        loop {
+            let (addr, _) = self.descend(ep, key)?;
+            if !self.lock_node(ep, addr)? {
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut leaf = self.read_node(ep, addr)?;
+            if !leaf.covers(key) {
+                self.unlock_node(ep, addr)?;
+                continue;
+            }
+            let existed = if let Some(i) = leaf.keys.iter().position(|&k| k == key) {
+                leaf.keys.remove(i);
+                leaf.vals.remove(i);
+                leaf.nkeys -= 1;
+                true
+            } else {
+                false
+            };
+            leaf.version += 1;
+            leaf.lock = 0;
+            self.layer.write(ep, addr, &leaf.encode())?;
+            return Ok(existed);
+        }
+    }
+
+    /// Split the leaf covering `key` (and its ancestors as needed),
+    /// serialized by the tree-wide SMO lock.
+    fn split(&self, ep: &Endpoint, key: u64) -> DsmResult<()> {
+        let smo = self.meta.offset_by(8);
+        while self.layer.cas(ep, smo, 0, self.worker_tag)? != 0 {
+            std::hint::spin_loop();
+        }
+        let result = self.split_locked(ep, key);
+        self.layer.write_u64(ep, smo, 0)?;
+        // The whole cached path may be stale now.
+        self.cache.lock().clear();
+        result
+    }
+
+    fn split_locked(&self, ep: &Endpoint, key: u64) -> DsmResult<()> {
+        // Re-descend remotely (no cache) recording the path.
+        let mut path: Vec<(GlobalAddr, Node)> = Vec::new();
+        let mut addr = self.root(ep)?;
+        loop {
+            let node = self.read_node(ep, addr)?;
+            let leaf = node.is_leaf;
+            path.push((addr, node));
+            if leaf {
+                break;
+            }
+            let n = &path.last().unwrap().1;
+            addr = GlobalAddr::from_raw(n.child_for(key));
+        }
+        let leaf_addr = path.last().unwrap().0;
+        // Exclude concurrent leaf writers for the duration of the split.
+        while !self.lock_node(ep, leaf_addr)? {
+            std::hint::spin_loop();
+        }
+        let mut leaf = self.read_node(ep, leaf_addr)?;
+        leaf.lock = 0; // the images we write below embed the release
+        if leaf.nkeys < FANOUT {
+            self.unlock_node(ep, leaf_addr)?;
+            return Ok(()); // someone else already split
+        }
+
+        // Split the leaf: upper half moves to a new node.
+        let mut left = leaf.clone();
+        let mid = FANOUT / 2;
+        let right = Node {
+            lock: 0,
+            version: 1,
+            is_leaf: true,
+            nkeys: FANOUT - mid,
+            fence_low: left.keys[mid],
+            fence_high: left.fence_high,
+            next: left.next,
+            keys: left.keys.split_off(mid),
+            vals: left.vals.split_off(mid),
+        };
+        let right_addr = self.layer.alloc(NODE_SIZE as u64)?;
+        let sep = right.fence_low;
+        left.nkeys = mid;
+        left.fence_high = sep;
+        left.next = right_addr.to_raw();
+        left.version += 1;
+        self.layer.write(ep, right_addr, &right.encode())?;
+        self.layer.write(ep, leaf_addr, &left.encode())?;
+
+        // Install the separator upward.
+        self.insert_into_parent(ep, &path[..path.len() - 1], leaf_addr, sep, right_addr)
+    }
+
+    fn insert_into_parent(
+        &self,
+        ep: &Endpoint,
+        ancestors: &[(GlobalAddr, Node)],
+        left_addr: GlobalAddr,
+        sep: u64,
+        right_addr: GlobalAddr,
+    ) -> DsmResult<()> {
+        self.stats.lock().splits += 1;
+        match ancestors.last() {
+            None => {
+                // Split the root: build a fresh internal root.
+                let left_node = self.read_node(ep, left_addr)?;
+                let new_root = Node {
+                    lock: 0,
+                    version: 1,
+                    is_leaf: false,
+                    nkeys: 2,
+                    fence_low: left_node.fence_low,
+                    fence_high: u64::MAX,
+                    next: 0,
+                    keys: vec![left_node.fence_low, sep],
+                    vals: vec![left_addr.to_raw(), right_addr.to_raw()],
+                };
+                let new_root_addr = self.layer.alloc(NODE_SIZE as u64)?;
+                self.layer.write(ep, new_root_addr, &new_root.encode())?;
+                self.layer.write_u64(ep, self.meta, new_root_addr.to_raw())?;
+                Ok(())
+            }
+            Some((parent_addr, _)) => {
+                let mut parent = self.read_node(ep, *parent_addr)?;
+                let pos = parent.keys.partition_point(|&k| k <= sep);
+                parent.keys.insert(pos, sep);
+                parent.vals.insert(pos, right_addr.to_raw());
+                parent.nkeys += 1;
+                parent.version += 1;
+                if parent.nkeys <= FANOUT {
+                    self.layer.write(ep, *parent_addr, &parent.encode())?;
+                    return Ok(());
+                }
+                // Parent overflows: split it too.
+                let mid = parent.nkeys / 2;
+                let right_parent = Node {
+                    lock: 0,
+                    version: 1,
+                    is_leaf: false,
+                    nkeys: parent.nkeys - mid,
+                    fence_low: parent.keys[mid],
+                    fence_high: parent.fence_high,
+                    next: 0,
+                    keys: parent.keys.split_off(mid),
+                    vals: parent.vals.split_off(mid),
+                };
+                let right_parent_addr = self.layer.alloc(NODE_SIZE as u64)?;
+                let up_sep = right_parent.fence_low;
+                parent.nkeys = mid;
+                parent.fence_high = up_sep;
+                self.layer.write(ep, right_parent_addr, &right_parent.encode())?;
+                self.layer.write(ep, *parent_addr, &parent.encode())?;
+                self.insert_into_parent(
+                    ep,
+                    &ancestors[..ancestors.len() - 1],
+                    *parent_addr,
+                    up_sep,
+                    right_parent_addr,
+                )
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for RemoteBTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBTree")
+            .field("cache_internal", &self.cache_internal)
+            .field("cached_nodes", &self.cache.lock().len())
+            .finish()
+    }
+}
+
+/// Map a DSM error to "retry at a higher level" semantics for tests.
+#[allow(dead_code)]
+fn is_transient(e: &DsmError) -> bool {
+    matches!(e, DsmError::Rdma(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm::DsmConfig;
+    use rdma_sim::{Fabric, NetworkProfile};
+
+    fn layer(profile: NetworkProfile) -> Arc<DsmLayer> {
+        let fabric = Fabric::new(profile);
+        DsmLayer::build(
+            &fabric,
+            DsmConfig {
+                memory_nodes: 2,
+                capacity_per_node: 16 << 20,
+                replication: 1,
+                mem_cores: 1,
+                weak_cpu_factor: 4.0,
+            },
+        )
+    }
+
+    #[test]
+    fn insert_search_roundtrip_small() {
+        let l = layer(NetworkProfile::zero());
+        let (t, _) = RemoteBTree::create(&l, true, 1).unwrap();
+        let ep = l.fabric().endpoint();
+        for k in 0..10u64 {
+            t.insert(&ep, k, k * 100).unwrap();
+        }
+        for k in 0..10u64 {
+            assert_eq!(t.search(&ep, k).unwrap(), Some(k * 100));
+        }
+        assert_eq!(t.search(&ep, 99).unwrap(), None);
+    }
+
+    #[test]
+    fn splits_preserve_all_keys() {
+        let l = layer(NetworkProfile::zero());
+        let (t, _) = RemoteBTree::create(&l, true, 1).unwrap();
+        let ep = l.fabric().endpoint();
+        // Enough keys to force multi-level splits (16 fanout).
+        let keys: Vec<u64> = (0..2_000u64).map(|i| (i * 2_654_435_761) % 100_000).collect();
+        for &k in &keys {
+            t.insert(&ep, k, k + 1).unwrap();
+        }
+        assert!(t.stats().splits > 50);
+        for &k in &keys {
+            assert_eq!(t.search(&ep, k).unwrap(), Some(k + 1), "key {k}");
+        }
+    }
+
+    #[test]
+    fn update_overwrites_in_place() {
+        let l = layer(NetworkProfile::zero());
+        let (t, _) = RemoteBTree::create(&l, true, 1).unwrap();
+        let ep = l.fabric().endpoint();
+        t.insert(&ep, 5, 1).unwrap();
+        t.insert(&ep, 5, 2).unwrap();
+        assert_eq!(t.search(&ep, 5).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn remove_deletes_key() {
+        let l = layer(NetworkProfile::zero());
+        let (t, _) = RemoteBTree::create(&l, true, 1).unwrap();
+        let ep = l.fabric().endpoint();
+        for k in 0..100u64 {
+            t.insert(&ep, k, k).unwrap();
+        }
+        assert!(t.remove(&ep, 50).unwrap());
+        assert!(!t.remove(&ep, 50).unwrap());
+        assert_eq!(t.search(&ep, 50).unwrap(), None);
+        assert_eq!(t.search(&ep, 51).unwrap(), Some(51));
+    }
+
+    #[test]
+    fn scan_returns_sorted_range() {
+        let l = layer(NetworkProfile::zero());
+        let (t, _) = RemoteBTree::create(&l, true, 1).unwrap();
+        let ep = l.fabric().endpoint();
+        for k in (0..200u64).rev() {
+            t.insert(&ep, k * 3, k).unwrap();
+        }
+        let out = t.scan(&ep, 30, 10).unwrap();
+        assert_eq!(out.len(), 10);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(out[0].0, 30);
+    }
+
+    #[test]
+    fn cached_tree_uses_fewer_round_trips_than_naive() {
+        // §6 / C9: Sherman's internal-node cache buys ~1-RT searches.
+        let l = layer(NetworkProfile::rdma_cx6());
+        let (cached, meta) = RemoteBTree::create(&l, true, 1).unwrap();
+        let naive = RemoteBTree::open(&l, meta, false, 2);
+        let ep_load = l.fabric().endpoint();
+        for k in 0..2_000u64 {
+            cached.insert(&ep_load, k, k).unwrap();
+        }
+        // Warm the cache.
+        let ep_warm = l.fabric().endpoint();
+        for k in (0..2_000u64).step_by(10) {
+            cached.search(&ep_warm, k).unwrap();
+        }
+        let ep_c = l.fabric().endpoint();
+        let ep_n = l.fabric().endpoint();
+        for k in 0..500u64 {
+            cached.search(&ep_c, k * 4).unwrap();
+            naive.search(&ep_n, k * 4).unwrap();
+        }
+        let rt_c = ep_c.stats().round_trips();
+        let rt_n = ep_n.stats().round_trips();
+        assert!(
+            rt_c * 2 <= rt_n,
+            "cached {rt_c} RTs vs naive {rt_n} RTs"
+        );
+        assert!(cached.cache_bytes() > 0);
+        assert_eq!(naive.cache_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_inserts_from_many_handles() {
+        let l = layer(NetworkProfile::zero());
+        let (t0, meta) = RemoteBTree::create(&l, true, 1).unwrap();
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let l = l.clone();
+                s.spawn(move || {
+                    let t = RemoteBTree::open(&l, meta, true, w + 10);
+                    let ep = l.fabric().endpoint();
+                    for i in 0..500u64 {
+                        let k = w * 10_000 + i;
+                        t.insert(&ep, k, k).unwrap();
+                    }
+                });
+            }
+        });
+        let ep = l.fabric().endpoint();
+        for w in 0..4u64 {
+            for i in (0..500u64).step_by(7) {
+                let k = w * 10_000 + i;
+                assert_eq!(t0.search(&ep, k).unwrap(), Some(k), "key {k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # index — RDMA-conscious index structures for DSM-DB
+//!
+//! §6 of the paper: "Index design needs to be hardware conscious … In
+//! DSM-DB, compute nodes access remote memory, i.e., the DSM layer, via
+//! RDMA. The intrinsic properties of RDMA networking need to be at the
+//! core of index design." The three designs the section discusses are all
+//! here, each instrumented for the §6 metrics (round trips per op, local
+//! memory footprint):
+//!
+//! * [`btree::RemoteBTree`] — a Sherman-style \[62\] B+tree: one-sided
+//!   verbs only, RDMA exclusive locks + version/fence validation for
+//!   writes, and an optional **local cache of internal nodes** ("Sherman
+//!   caches all internal nodes into local memory, which consumes more
+//!   memory"). With the cache off it doubles as the naive remote B+tree
+//!   baseline of experiment **C9**.
+//! * [`hash::RaceHash`] — a RACE-style \[76\] extendible hash: lookups in
+//!   one one-sided READ, inserts with slot-CAS, lock-free on the fast
+//!   path, directory cached locally and refreshed by version.
+//! * [`lsm::RemoteLsm`] — an LSM over the local/remote hierarchy (§6:
+//!   "LSM-trees can hold filters and fence pointers in compute nodes as
+//!   they help protect from unnecessary round trips"), with compaction
+//!   offloadable to the memory node's weak CPU.
+//!
+//! [`bloom::BloomFilter`] is the from-scratch filter the LSM keeps in
+//! compute-node memory.
+
+pub mod bloom;
+pub mod btree;
+pub mod hash;
+pub mod lsm;
+
+pub use bloom::BloomFilter;
+pub use btree::RemoteBTree;
+pub use hash::RaceHash;
+pub use lsm::RemoteLsm;

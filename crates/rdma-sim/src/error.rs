@@ -1,0 +1,79 @@
+//! Error types for fabric operations.
+
+use std::fmt;
+
+/// Result alias for fabric operations.
+pub type RdmaResult<T> = Result<T, RdmaError>;
+
+/// Errors surfaced by simulated verbs.
+///
+/// These mirror the failure classes a real ibverbs program must handle:
+/// unreachable peers (QP errors after node failure), protection faults
+/// (access outside a registered region), and alignment faults on atomics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdmaError {
+    /// The target node id has never been registered with the fabric.
+    UnknownNode(u16),
+    /// The target node is registered but currently crashed/unreachable.
+    NodeUnreachable(u16),
+    /// Access outside the bounds of the target's registered region.
+    OutOfBounds {
+        node: u16,
+        offset: u64,
+        len: usize,
+        region_len: usize,
+    },
+    /// Atomic verbs (CAS / FAA) require 8-byte-aligned remote addresses.
+    Misaligned { offset: u64 },
+    /// SEND to a mailbox nobody is listening on.
+    NoReceiver(u64),
+    /// RECV on an empty mailbox with no blocking allowed.
+    WouldBlock,
+}
+
+impl fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdmaError::UnknownNode(n) => write!(f, "unknown memory node {n}"),
+            RdmaError::NodeUnreachable(n) => write!(f, "memory node {n} is unreachable"),
+            RdmaError::OutOfBounds {
+                node,
+                offset,
+                len,
+                region_len,
+            } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) out of bounds on node {node} (region is {region_len} bytes)"
+            ),
+            RdmaError::Misaligned { offset } => {
+                write!(f, "atomic verb on misaligned offset {offset}")
+            }
+            RdmaError::NoReceiver(id) => write!(f, "no receiver registered for mailbox {id}"),
+            RdmaError::WouldBlock => write!(f, "receive would block"),
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable() {
+        let e = RdmaError::OutOfBounds {
+            node: 3,
+            offset: 100,
+            len: 16,
+            region_len: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("node 3"));
+        assert!(s.contains("100"));
+        assert_eq!(
+            RdmaError::Misaligned { offset: 7 }.to_string(),
+            "atomic verb on misaligned offset 7"
+        );
+    }
+}

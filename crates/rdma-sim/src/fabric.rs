@@ -1,0 +1,502 @@
+//! The fabric: registered nodes, endpoints, and verb execution.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::clock::{Clock, SharedTimeline};
+use crate::error::{RdmaError, RdmaResult};
+use crate::mailbox::{Mailbox, MailboxId, MailboxRegistry, Message};
+use crate::profile::NetworkProfile;
+use crate::region::Region;
+use crate::stats::{OpKind, OpStats, StatsSnapshot};
+
+/// Identifier of a registered memory target. This is a *logical* id: the
+/// backing [`Region`] can be swapped on node replacement ([`Fabric::replace`]),
+/// which is exactly the paper's argument for logical addressing (§3
+/// Challenge 1: "if a memory node crashes then recovers, the memory space
+/// changes and the old address cannot refer to the new memory").
+pub type NodeId = u16;
+
+struct NodeSlot {
+    region: Arc<Region>,
+    alive: AtomicBool,
+    /// The node NIC's atomic unit: CAS/FAA to this node serialize here.
+    atomic_unit: Arc<SharedTimeline>,
+}
+
+/// The cluster interconnect plus every registered memory region.
+///
+/// Cheap to share (`Arc<Fabric>`); create one per simulated cluster.
+pub struct Fabric {
+    profile: NetworkProfile,
+    nodes: RwLock<Vec<NodeSlot>>,
+    mailboxes: MailboxRegistry,
+}
+
+impl Fabric {
+    /// A fabric whose verbs are priced by `profile`.
+    pub fn new(profile: NetworkProfile) -> Arc<Self> {
+        Arc::new(Self {
+            profile,
+            nodes: RwLock::new(Vec::new()),
+            mailboxes: MailboxRegistry::new(),
+        })
+    }
+
+    /// The cost model in force.
+    pub fn profile(&self) -> NetworkProfile {
+        self.profile
+    }
+
+    /// Register a fresh zeroed region of `len_bytes` and return its id.
+    pub fn register_node(&self, len_bytes: usize) -> NodeId {
+        self.register_region(Arc::new(Region::new(len_bytes)))
+    }
+
+    /// Register an existing region (e.g. one owned by a `memnode`).
+    pub fn register_region(&self, region: Arc<Region>) -> NodeId {
+        let mut nodes = self.nodes.write();
+        let id = nodes.len() as NodeId;
+        nodes.push(NodeSlot {
+            region,
+            alive: AtomicBool::new(true),
+            atomic_unit: SharedTimeline::new(),
+        });
+        id
+    }
+
+    /// Number of registered nodes (alive or not).
+    pub fn node_count(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// Direct handle to a node's region *without* network charging — for
+    /// the code that runs *on* the memory node itself (offload handlers,
+    /// recovery) and for test assertions.
+    pub fn region(&self, node: NodeId) -> RdmaResult<Arc<Region>> {
+        let nodes = self.nodes.read();
+        let slot = nodes
+            .get(node as usize)
+            .ok_or(RdmaError::UnknownNode(node))?;
+        Ok(slot.region.clone())
+    }
+
+    fn live_region(&self, node: NodeId) -> RdmaResult<Arc<Region>> {
+        let nodes = self.nodes.read();
+        let slot = nodes
+            .get(node as usize)
+            .ok_or(RdmaError::UnknownNode(node))?;
+        if !slot.alive.load(Ordering::Acquire) {
+            return Err(RdmaError::NodeUnreachable(node));
+        }
+        Ok(slot.region.clone())
+    }
+
+    fn live_region_atomic(&self, node: NodeId) -> RdmaResult<(Arc<Region>, Arc<SharedTimeline>)> {
+        let nodes = self.nodes.read();
+        let slot = nodes
+            .get(node as usize)
+            .ok_or(RdmaError::UnknownNode(node))?;
+        if !slot.alive.load(Ordering::Acquire) {
+            return Err(RdmaError::NodeUnreachable(node));
+        }
+        Ok((slot.region.clone(), slot.atomic_unit.clone()))
+    }
+
+    /// Simulate a crash: verbs to `node` fail until revive/replace.
+    pub fn crash(&self, node: NodeId) -> RdmaResult<()> {
+        let nodes = self.nodes.read();
+        let slot = nodes
+            .get(node as usize)
+            .ok_or(RdmaError::UnknownNode(node))?;
+        slot.alive.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// Bring a crashed node back with its memory intact (power blip).
+    pub fn revive(&self, node: NodeId) -> RdmaResult<()> {
+        let nodes = self.nodes.read();
+        let slot = nodes
+            .get(node as usize)
+            .ok_or(RdmaError::UnknownNode(node))?;
+        slot.alive.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Replace a node with fresh hardware: the logical id survives, the
+    /// memory does not. Returns the new (zeroed) region for the recovery
+    /// machinery to repopulate.
+    pub fn replace(&self, node: NodeId, len_bytes: usize) -> RdmaResult<Arc<Region>> {
+        let mut nodes = self.nodes.write();
+        let slot = nodes
+            .get_mut(node as usize)
+            .ok_or(RdmaError::UnknownNode(node))?;
+        let fresh = Arc::new(Region::new(len_bytes));
+        slot.region = fresh.clone();
+        slot.alive.store(true, Ordering::Release);
+        Ok(fresh)
+    }
+
+    /// Whether a node currently accepts verbs.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes
+            .read()
+            .get(node as usize)
+            .map(|s| s.alive.load(Ordering::Acquire))
+            .unwrap_or(false)
+    }
+
+    /// The two-sided messaging registry.
+    pub fn mailboxes(&self) -> &MailboxRegistry {
+        &self.mailboxes
+    }
+
+    /// Create an endpoint (queue-pair handle). One per worker thread.
+    pub fn endpoint(self: &Arc<Self>) -> Endpoint {
+        Endpoint {
+            fabric: self.clone(),
+            profile: self.profile,
+            clock: Clock::new(),
+            stats: OpStats::new(),
+        }
+    }
+}
+
+fn fix_node(e: RdmaError, node: NodeId) -> RdmaError {
+    match e {
+        RdmaError::OutOfBounds {
+            offset,
+            len,
+            region_len,
+            ..
+        } => RdmaError::OutOfBounds {
+            node,
+            offset,
+            len,
+            region_len,
+        },
+        other => other,
+    }
+}
+
+/// A per-thread handle for issuing verbs. Owns a virtual [`Clock`] and
+/// op counters. Not `Sync`: create one per worker thread.
+pub struct Endpoint {
+    fabric: Arc<Fabric>,
+    profile: NetworkProfile,
+    clock: Clock,
+    stats: OpStats,
+}
+
+impl Endpoint {
+    /// The fabric this endpoint is attached to.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// This endpoint's virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Snapshot of op counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Reset clock and counters (between experiment phases).
+    pub fn reset(&self) {
+        self.clock.reset();
+        self.stats.reset();
+    }
+
+    /// Charge local CPU/DRAM work that is not a verb (buffer-pool
+    /// bookkeeping, local cache hits, compute).
+    #[inline]
+    pub fn charge_local(&self, ns: u64) {
+        self.clock.advance(ns);
+    }
+
+    /// One-sided READ of `dst.len()` bytes from `(node, offset)`.
+    pub fn read(&self, node: NodeId, offset: u64, dst: &mut [u8]) -> RdmaResult<()> {
+        let region = self.fabric.live_region(node)?;
+        region.read(offset, dst).map_err(|e| fix_node(e, node))?;
+        self.clock.advance(self.profile.rw_cost_ns(dst.len()));
+        self.stats.record(OpKind::Read, dst.len());
+        Ok(())
+    }
+
+    /// One-sided WRITE of `src` to `(node, offset)`.
+    pub fn write(&self, node: NodeId, offset: u64, src: &[u8]) -> RdmaResult<()> {
+        let region = self.fabric.live_region(node)?;
+        region.write(offset, src).map_err(|e| fix_node(e, node))?;
+        self.clock.advance(self.profile.rw_cost_ns(src.len()));
+        self.stats.record(OpKind::Write, src.len());
+        Ok(())
+    }
+
+    /// Doorbell-batched reads: the first pays a full round trip, the rest
+    /// pay the marginal batched cost. Targets may span nodes (multiple QPs
+    /// rung in one doorbell).
+    pub fn read_batch(&self, ops: &mut [(NodeId, u64, &mut [u8])]) -> RdmaResult<()> {
+        for (i, (node, offset, dst)) in ops.iter_mut().enumerate() {
+            let region = self.fabric.live_region(*node)?;
+            region.read(*offset, dst).map_err(|e| fix_node(e, *node))?;
+            let cost = if i == 0 {
+                self.profile.rw_cost_ns(dst.len())
+            } else {
+                self.profile.batched_cost_ns(dst.len())
+            };
+            self.clock.advance(cost);
+            self.stats.record(OpKind::Read, dst.len());
+        }
+        Ok(())
+    }
+
+    /// Doorbell-batched writes (see [`Endpoint::read_batch`]).
+    pub fn write_batch(&self, ops: &[(NodeId, u64, &[u8])]) -> RdmaResult<()> {
+        for (i, (node, offset, src)) in ops.iter().enumerate() {
+            let region = self.fabric.live_region(*node)?;
+            region.write(*offset, src).map_err(|e| fix_node(e, *node))?;
+            let cost = if i == 0 {
+                self.profile.rw_cost_ns(src.len())
+            } else {
+                self.profile.batched_cost_ns(src.len())
+            };
+            self.clock.advance(cost);
+            self.stats.record(OpKind::Write, src.len());
+        }
+        Ok(())
+    }
+
+    /// 8-byte compare-and-swap. Returns the pre-op value; the swap
+    /// installed iff the return equals `expected`. Atomics serialize at
+    /// the target NIC's atomic unit (queueing under contention).
+    pub fn cas(&self, node: NodeId, offset: u64, expected: u64, new: u64) -> RdmaResult<u64> {
+        let (region, unit) = self.fabric.live_region_atomic(node)?;
+        let prev = region
+            .cas_u64(offset, expected, new)
+            .map_err(|e| fix_node(e, node))?;
+        self.clock.advance(self.profile.atomic_cost_ns());
+        if self.profile.atomic_unit_ns > 0 {
+            let done = unit.reserve(self.clock.now_ns(), self.profile.atomic_unit_ns);
+            self.clock.advance_to(done);
+        }
+        self.stats.record(OpKind::Cas, 8);
+        if prev != expected {
+            self.stats.record_cas_failure();
+        }
+        Ok(prev)
+    }
+
+    /// 8-byte fetch-and-add. Returns the pre-add value. Serializes at the
+    /// target NIC's atomic unit like [`Endpoint::cas`].
+    pub fn faa(&self, node: NodeId, offset: u64, add: u64) -> RdmaResult<u64> {
+        let (region, unit) = self.fabric.live_region_atomic(node)?;
+        let prev = region
+            .faa_u64(offset, add)
+            .map_err(|e| fix_node(e, node))?;
+        self.clock.advance(self.profile.atomic_cost_ns());
+        if self.profile.atomic_unit_ns > 0 {
+            let done = unit.reserve(self.clock.now_ns(), self.profile.atomic_unit_ns);
+            self.clock.advance_to(done);
+        }
+        self.stats.record(OpKind::Faa, 8);
+        Ok(prev)
+    }
+
+    /// Aligned 8-byte read priced as a small one-sided READ.
+    pub fn read_u64(&self, node: NodeId, offset: u64) -> RdmaResult<u64> {
+        let region = self.fabric.live_region(node)?;
+        let v = region.read_u64(offset).map_err(|e| fix_node(e, node))?;
+        self.clock.advance(self.profile.rw_cost_ns(8));
+        self.stats.record(OpKind::Read, 8);
+        Ok(v)
+    }
+
+    /// Aligned 8-byte write priced as a small one-sided WRITE.
+    pub fn write_u64(&self, node: NodeId, offset: u64, value: u64) -> RdmaResult<()> {
+        let region = self.fabric.live_region(node)?;
+        region
+            .write_u64(offset, value)
+            .map_err(|e| fix_node(e, node))?;
+        self.clock.advance(self.profile.rw_cost_ns(8));
+        self.stats.record(OpKind::Write, 8);
+        Ok(())
+    }
+
+    /// Two-sided SEND: enqueue `payload` to mailbox `to`, stamped with the
+    /// virtual delivery time.
+    pub fn send(&self, to: MailboxId, from: MailboxId, payload: Vec<u8>) -> RdmaResult<()> {
+        let len = payload.len();
+        let cost = self.profile.send_cost_ns(len);
+        self.clock.advance(cost);
+        self.fabric.mailboxes.post(
+            to,
+            Message {
+                from,
+                payload,
+                deliver_at_ns: self.clock.now_ns(),
+            },
+        )?;
+        self.stats.record(OpKind::Send, len);
+        Ok(())
+    }
+
+    /// Receive from `mailbox`, advancing this endpoint's clock to the
+    /// message's delivery time (never backwards). Blocks the real thread if
+    /// the mailbox is empty.
+    pub fn recv(&self, mailbox: &Mailbox) -> RdmaResult<Message> {
+        let msg = mailbox.recv()?;
+        self.observe_delivery(&msg);
+        Ok(msg)
+    }
+
+    /// Non-blocking receive variant.
+    pub fn try_recv(&self, mailbox: &Mailbox) -> RdmaResult<Message> {
+        let msg = mailbox.try_recv()?;
+        self.observe_delivery(&msg);
+        Ok(msg)
+    }
+
+    /// Account for a message obtained outside [`Endpoint::recv`] (e.g.
+    /// after a `drain`).
+    pub fn observe_delivery(&self, msg: &Message) {
+        self.clock.advance_to(msg.deliver_at_ns);
+        self.stats.record(OpKind::Recv, msg.payload.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_charges_time() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(1024);
+        let ep = fabric.endpoint();
+        ep.write(node, 16, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        ep.read(node, 16, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        let p = NetworkProfile::rdma_cx6();
+        assert_eq!(ep.clock().now_ns(), 2 * p.rw_cost_ns(5));
+        let s = ep.stats();
+        assert_eq!((s.reads, s.writes), (1, 1));
+    }
+
+    #[test]
+    fn crash_makes_node_unreachable_then_revive_restores_data() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(64);
+        let ep = fabric.endpoint();
+        ep.write_u64(node, 0, 7).unwrap();
+        fabric.crash(node).unwrap();
+        assert_eq!(
+            ep.read_u64(node, 0).unwrap_err(),
+            RdmaError::NodeUnreachable(node)
+        );
+        fabric.revive(node).unwrap();
+        assert_eq!(ep.read_u64(node, 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn replace_wipes_memory_but_keeps_id() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(64);
+        let ep = fabric.endpoint();
+        ep.write_u64(node, 0, 7).unwrap();
+        fabric.crash(node).unwrap();
+        fabric.replace(node, 64).unwrap();
+        assert_eq!(ep.read_u64(node, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn cas_records_failures() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(64);
+        let ep = fabric.endpoint();
+        assert_eq!(ep.cas(node, 0, 0, 1).unwrap(), 0);
+        assert_eq!(ep.cas(node, 0, 0, 2).unwrap(), 1); // loses
+        let s = ep.stats();
+        assert_eq!(s.cas, 2);
+        assert_eq!(s.cas_failures, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_error_names_the_node() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(8);
+        let ep = fabric.endpoint();
+        match ep.read_u64(node, 64).unwrap_err() {
+            RdmaError::OutOfBounds { node: n, .. } => assert_eq!(n, node),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_cheaper_than_sequence() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(1024);
+        let seq = fabric.endpoint();
+        let bat = fabric.endpoint();
+        let mut bufs = [[0u8; 8]; 8];
+        for (i, b) in bufs.iter_mut().enumerate() {
+            seq.read(node, (i * 8) as u64, b).unwrap();
+        }
+        let mut ops: Vec<(NodeId, u64, &mut [u8])> = bufs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| (node, (i * 8) as u64, b.as_mut_slice()))
+            .collect();
+        bat.read_batch(&mut ops).unwrap();
+        assert!(bat.clock().now_ns() < seq.clock().now_ns() / 2);
+        assert_eq!(bat.stats().reads, seq.stats().reads);
+    }
+
+    #[test]
+    fn send_recv_advances_receiver_past_delivery_time() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let mb = fabric.mailboxes().register(42);
+        let tx = fabric.endpoint();
+        let rx = fabric.endpoint();
+        tx.charge_local(10_000);
+        tx.send(42, 1, vec![0xAB; 32]).unwrap();
+        let msg = rx.recv(&mb).unwrap();
+        assert_eq!(msg.payload.len(), 32);
+        assert!(rx.clock().now_ns() >= 10_000);
+        assert_eq!(rx.stats().recvs, 1);
+    }
+
+    #[test]
+    fn concurrent_cas_lock_mutual_exclusion() {
+        // A CAS spinlock over the fabric must actually exclude: 4 threads
+        // increment a non-atomic-looking counter (read, +1, write) 1000x
+        // each under the lock; the total must be exact.
+        let fabric = Fabric::new(NetworkProfile::zero());
+        let node = fabric.register_node(64);
+        const LOCK: u64 = 0;
+        const DATA: u64 = 8;
+        std::thread::scope(|s| {
+            for tid in 1..=4u64 {
+                let fabric = fabric.clone();
+                s.spawn(move || {
+                    let ep = fabric.endpoint();
+                    for _ in 0..1000 {
+                        while ep.cas(node, LOCK, 0, tid).unwrap() != 0 {
+                            std::thread::yield_now();
+                        }
+                        let v = ep.read_u64(node, DATA).unwrap();
+                        ep.write_u64(node, DATA, v + 1).unwrap();
+                        ep.write_u64(node, LOCK, 0).unwrap();
+                    }
+                });
+            }
+        });
+        let ep = fabric.endpoint();
+        assert_eq!(ep.read_u64(node, DATA).unwrap(), 4000);
+    }
+}

@@ -1,0 +1,208 @@
+//! Two-sided messaging (SEND/RECV) between simulation participants.
+//!
+//! Compute nodes use mailboxes for everything the paper says needs the
+//! remote CPU: software cache-coherence traffic (§4 Challenge 4, Approach
+//! #2), 2PC coordination between compute nodes (§4 Challenge 5), and
+//! function-offload RPCs to memory nodes (§3, §6).
+//!
+//! Virtual-time semantics: a message carries its *delivery time* —
+//! `sender_clock + send_latency`. On receive, the receiver's clock is
+//! advanced to at least that instant, so causality is respected across
+//! per-thread clocks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::RwLock;
+
+use crate::error::{RdmaError, RdmaResult};
+
+/// Address of a mailbox. Participants pick their own ids; the convention in
+/// this workspace is `compute node id` for compute nodes and
+/// `0x1000_0000 | node` for memory-node RPC queues.
+pub type MailboxId = u64;
+
+/// A delivered message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sender's mailbox id (0 if the sender has none).
+    pub from: MailboxId,
+    /// Opaque payload; layers above define their own encodings.
+    pub payload: Vec<u8>,
+    /// Virtual instant at which the message reaches the receiver.
+    pub deliver_at_ns: u64,
+}
+
+/// The cluster-wide mailbox registry. One per [`crate::Fabric`].
+#[derive(Default)]
+pub struct MailboxRegistry {
+    inner: RwLock<HashMap<MailboxId, Sender<Message>>>,
+}
+
+impl MailboxRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create and register a mailbox, returning its receiving half.
+    ///
+    /// Re-registering an id replaces the previous mailbox (its receiver
+    /// starts seeing a disconnected channel), which models a node restart.
+    pub fn register(&self, id: MailboxId) -> Mailbox {
+        let (tx, rx) = unbounded();
+        self.inner.write().insert(id, tx);
+        Mailbox { id, rx }
+    }
+
+    /// Remove a mailbox (node shutdown). Pending messages are dropped with
+    /// the channel.
+    pub fn unregister(&self, id: MailboxId) {
+        self.inner.write().remove(&id);
+    }
+
+    /// Deliver `msg` to mailbox `to`.
+    pub fn post(&self, to: MailboxId, msg: Message) -> RdmaResult<()> {
+        let guard = self.inner.read();
+        let tx = guard.get(&to).ok_or(RdmaError::NoReceiver(to))?;
+        tx.send(msg).map_err(|_| RdmaError::NoReceiver(to))
+    }
+
+    /// Whether anyone is listening on `id`.
+    pub fn has(&self, id: MailboxId) -> bool {
+        self.inner.read().contains_key(&id)
+    }
+}
+
+/// The receiving half of a registered mailbox.
+pub struct Mailbox {
+    id: MailboxId,
+    rx: Receiver<Message>,
+}
+
+impl Mailbox {
+    /// This mailbox's address.
+    pub fn id(&self) -> MailboxId {
+        self.id
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> RdmaResult<Message> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(m),
+            Err(TryRecvError::Empty) => Err(RdmaError::WouldBlock),
+            Err(TryRecvError::Disconnected) => Err(RdmaError::NoReceiver(self.id)),
+        }
+    }
+
+    /// Blocking receive (real-thread blocking; virtual-time advance is the
+    /// caller's job via the message's `deliver_at_ns`).
+    pub fn recv(&self) -> RdmaResult<Message> {
+        self.rx.recv().map_err(|_| RdmaError::NoReceiver(self.id))
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&self) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Ok(m) = self.rx.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Number of queued messages (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+/// Shared handle to a registry.
+pub type SharedRegistry = Arc<MailboxRegistry>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_and_receive() {
+        let reg = MailboxRegistry::new();
+        let mb = reg.register(7);
+        reg.post(
+            7,
+            Message {
+                from: 1,
+                payload: vec![1, 2, 3],
+                deliver_at_ns: 500,
+            },
+        )
+        .unwrap();
+        let m = mb.try_recv().unwrap();
+        assert_eq!(m.from, 1);
+        assert_eq!(m.payload, vec![1, 2, 3]);
+        assert_eq!(m.deliver_at_ns, 500);
+        assert_eq!(mb.try_recv().unwrap_err(), RdmaError::WouldBlock);
+    }
+
+    #[test]
+    fn post_to_missing_mailbox_fails() {
+        let reg = MailboxRegistry::new();
+        let err = reg
+            .post(
+                99,
+                Message {
+                    from: 0,
+                    payload: vec![],
+                    deliver_at_ns: 0,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, RdmaError::NoReceiver(99));
+    }
+
+    #[test]
+    fn reregister_replaces_mailbox() {
+        let reg = MailboxRegistry::new();
+        let old = reg.register(3);
+        let new = reg.register(3);
+        reg.post(
+            3,
+            Message {
+                from: 0,
+                payload: vec![9],
+                deliver_at_ns: 0,
+            },
+        )
+        .unwrap();
+        assert!(new.try_recv().is_ok());
+        // Old mailbox's sender was dropped by the replacement.
+        assert!(matches!(
+            old.try_recv(),
+            Err(RdmaError::WouldBlock) | Err(RdmaError::NoReceiver(_))
+        ));
+    }
+
+    #[test]
+    fn drain_collects_in_order() {
+        let reg = MailboxRegistry::new();
+        let mb = reg.register(1);
+        for i in 0..5u8 {
+            reg.post(
+                1,
+                Message {
+                    from: 0,
+                    payload: vec![i],
+                    deliver_at_ns: i as u64,
+                },
+            )
+            .unwrap();
+        }
+        let msgs = mb.drain();
+        assert_eq!(msgs.len(), 5);
+        assert!(msgs.windows(2).all(|w| w[0].payload[0] < w[1].payload[0]));
+    }
+}

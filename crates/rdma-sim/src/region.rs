@@ -1,0 +1,265 @@
+//! Registered memory regions.
+//!
+//! A [`Region`] is the simulated equivalent of an ibverbs memory region
+//! (`ibv_reg_mr`): a contiguous, remotely accessible span of a memory node's
+//! DRAM. Internally it is a slab of `AtomicU64` words so that:
+//!
+//! * 8-byte atomic verbs (CAS, FAA) are genuinely atomic, exactly like the
+//!   NIC's atomic unit;
+//! * plain READ/WRITE of arbitrary byte ranges are implemented with per-word
+//!   relaxed loads/stores — concurrent overlapping READ/WRITE may observe
+//!   mixed data, which is faithful to RDMA DMA semantics (the HCA gives no
+//!   atomicity guarantee for regular verbs either); crucially this is *not*
+//!   undefined behaviour, unlike racing on `&mut [u8]`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{RdmaError, RdmaResult};
+
+/// A registered, remotely accessible memory region.
+pub struct Region {
+    words: Box<[AtomicU64]>,
+    len_bytes: usize,
+}
+
+impl std::fmt::Debug for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Region")
+            .field("len_bytes", &self.len_bytes)
+            .finish()
+    }
+}
+
+impl Region {
+    /// Allocate a zeroed region of `len_bytes` (rounded up to 8 bytes).
+    pub fn new(len_bytes: usize) -> Self {
+        let words = len_bytes.div_ceil(8);
+        let mut v = Vec::with_capacity(words);
+        v.resize_with(words, || AtomicU64::new(0));
+        Self {
+            words: v.into_boxed_slice(),
+            len_bytes,
+        }
+    }
+
+    /// Region length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len_bytes
+    }
+
+    /// True if the region has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len_bytes == 0
+    }
+
+    #[inline]
+    fn check(&self, offset: u64, len: usize) -> RdmaResult<()> {
+        let end = offset.checked_add(len as u64);
+        match end {
+            Some(end) if end <= self.len_bytes as u64 => Ok(()),
+            _ => Err(RdmaError::OutOfBounds {
+                node: u16::MAX,
+                offset,
+                len,
+                region_len: self.len_bytes,
+            }),
+        }
+    }
+
+    /// Copy `dst.len()` bytes starting at `offset` into `dst`.
+    pub fn read(&self, offset: u64, dst: &mut [u8]) -> RdmaResult<()> {
+        self.check(offset, dst.len())?;
+        let mut pos = offset as usize;
+        let mut out = 0usize;
+        while out < dst.len() {
+            let word_idx = pos / 8;
+            let in_word = pos % 8;
+            let take = (8 - in_word).min(dst.len() - out);
+            let w = self.words[word_idx].load(Ordering::Acquire).to_le_bytes();
+            dst[out..out + take].copy_from_slice(&w[in_word..in_word + take]);
+            pos += take;
+            out += take;
+        }
+        Ok(())
+    }
+
+    /// Copy `src` into the region starting at `offset`.
+    ///
+    /// Partial-word writes use a CAS loop on the boundary words so that a
+    /// concurrent atomic verb on an *adjacent, non-overlapping* 8-byte slot
+    /// sharing the word is never clobbered. Full-word writes are plain
+    /// stores (racing full-word writers last-write-wins, as on hardware).
+    pub fn write(&self, offset: u64, src: &[u8]) -> RdmaResult<()> {
+        self.check(offset, src.len())?;
+        let mut pos = offset as usize;
+        let mut inn = 0usize;
+        while inn < src.len() {
+            let word_idx = pos / 8;
+            let in_word = pos % 8;
+            let take = (8 - in_word).min(src.len() - inn);
+            if take == 8 {
+                let w = u64::from_le_bytes(src[inn..inn + 8].try_into().unwrap());
+                self.words[word_idx].store(w, Ordering::Release);
+            } else {
+                // Read-modify-write of a partial word, preserving the other
+                // bytes against concurrent atomics on them.
+                let cell = &self.words[word_idx];
+                let mut cur = cell.load(Ordering::Acquire);
+                loop {
+                    let mut bytes = cur.to_le_bytes();
+                    bytes[in_word..in_word + take].copy_from_slice(&src[inn..inn + take]);
+                    let new = u64::from_le_bytes(bytes);
+                    match cell.compare_exchange_weak(
+                        cur,
+                        new,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => break,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+            pos += take;
+            inn += take;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn atomic_slot(&self, offset: u64) -> RdmaResult<&AtomicU64> {
+        if !offset.is_multiple_of(8) {
+            return Err(RdmaError::Misaligned { offset });
+        }
+        self.check(offset, 8)?;
+        Ok(&self.words[(offset / 8) as usize])
+    }
+
+    /// Atomic 8-byte compare-and-swap; returns the value observed *before*
+    /// the operation (the verb succeeded iff the return equals `expected`).
+    pub fn cas_u64(&self, offset: u64, expected: u64, new: u64) -> RdmaResult<u64> {
+        let slot = self.atomic_slot(offset)?;
+        Ok(
+            match slot.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(prev) => prev,
+                Err(prev) => prev,
+            },
+        )
+    }
+
+    /// Atomic 8-byte fetch-and-add; returns the pre-add value.
+    pub fn faa_u64(&self, offset: u64, add: u64) -> RdmaResult<u64> {
+        let slot = self.atomic_slot(offset)?;
+        Ok(slot.fetch_add(add, Ordering::AcqRel))
+    }
+
+    /// Atomic 8-byte read (aligned).
+    pub fn read_u64(&self, offset: u64) -> RdmaResult<u64> {
+        Ok(self.atomic_slot(offset)?.load(Ordering::Acquire))
+    }
+
+    /// Atomic 8-byte write (aligned).
+    pub fn write_u64(&self, offset: u64, value: u64) -> RdmaResult<u64> {
+        let slot = self.atomic_slot(offset)?;
+        Ok(slot.swap(value, Ordering::AcqRel))
+    }
+
+    /// Zero the whole region (simulates node replacement with fresh DRAM).
+    pub fn wipe(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_unaligned_ranges() {
+        let r = Region::new(64);
+        let data: Vec<u8> = (0..23).collect();
+        r.write(3, &data).unwrap();
+        let mut out = vec![0u8; 23];
+        r.read(3, &mut out).unwrap();
+        assert_eq!(out, data);
+        // Bytes around the range untouched.
+        let mut edge = [0u8; 3];
+        r.read(0, &mut edge).unwrap();
+        assert_eq!(edge, [0, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let r = Region::new(16);
+        let mut buf = [0u8; 8];
+        assert!(r.read(9, &mut buf).is_err());
+        assert!(r.write(u64::MAX, &buf).is_err());
+        assert!(r.read(16, &mut []).is_ok()); // zero-length at end is fine
+    }
+
+    #[test]
+    fn cas_succeeds_then_fails() {
+        let r = Region::new(16);
+        assert_eq!(r.cas_u64(8, 0, 42).unwrap(), 0); // success: saw expected
+        assert_eq!(r.cas_u64(8, 0, 99).unwrap(), 42); // failure: saw 42
+        assert_eq!(r.read_u64(8).unwrap(), 42);
+    }
+
+    #[test]
+    fn cas_rejects_misaligned() {
+        let r = Region::new(16);
+        assert_eq!(
+            r.cas_u64(4, 0, 1).unwrap_err(),
+            RdmaError::Misaligned { offset: 4 }
+        );
+    }
+
+    #[test]
+    fn faa_accumulates() {
+        let r = Region::new(8);
+        assert_eq!(r.faa_u64(0, 5).unwrap(), 0);
+        assert_eq!(r.faa_u64(0, 7).unwrap(), 5);
+        assert_eq!(r.read_u64(0).unwrap(), 12);
+    }
+
+    #[test]
+    fn partial_write_preserves_neighbour_atomic() {
+        // A 1-byte write into word 0 must not clobber a concurrent counter
+        // in the same word's other bytes... sequential check here, the
+        // concurrent one lives in the fabric loom-style tests.
+        let r = Region::new(8);
+        r.write_u64(0, 0x1122_3344_5566_7788).unwrap();
+        r.write(2, &[0xAA]).unwrap();
+        assert_eq!(r.read_u64(0).unwrap(), 0x1122_3344_55AA_7788);
+    }
+
+    #[test]
+    fn concurrent_faa_is_exact() {
+        let r = std::sync::Arc::new(Region::new(8));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        r.faa_u64(0, 1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.read_u64(0).unwrap(), 80_000);
+    }
+
+    #[test]
+    fn wipe_zeroes() {
+        let r = Region::new(32);
+        r.write(0, &[0xFF; 32]).unwrap();
+        r.wipe();
+        let mut buf = [0u8; 32];
+        r.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 32]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Per-endpoint operation statistics.
+//!
+//! The paper evaluates designs by *round trips per operation* (§6 Challenge
+//! 10) as much as by time; every endpoint therefore counts verbs and bytes.
+//! Counters are plain `u64` behind a `Cell` because an endpoint is owned by
+//! one thread; snapshots are cheap copies.
+
+use std::cell::Cell;
+
+/// The verb classes we account separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// One-sided remote read.
+    Read,
+    /// One-sided remote write.
+    Write,
+    /// 8-byte compare-and-swap.
+    Cas,
+    /// 8-byte fetch-and-add.
+    Faa,
+    /// Two-sided send (incl. RPC request).
+    Send,
+    /// Two-sided receive.
+    Recv,
+}
+
+/// Mutable per-endpoint counters.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    cas: Cell<u64>,
+    faa: Cell<u64>,
+    sends: Cell<u64>,
+    recvs: Cell<u64>,
+    bytes_read: Cell<u64>,
+    bytes_written: Cell<u64>,
+    cas_failures: Cell<u64>,
+}
+
+impl OpStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn record(&self, kind: OpKind, bytes: usize) {
+        match kind {
+            OpKind::Read => {
+                self.reads.set(self.reads.get() + 1);
+                self.bytes_read.set(self.bytes_read.get() + bytes as u64);
+            }
+            OpKind::Write => {
+                self.writes.set(self.writes.get() + 1);
+                self.bytes_written
+                    .set(self.bytes_written.get() + bytes as u64);
+            }
+            OpKind::Cas => self.cas.set(self.cas.get() + 1),
+            OpKind::Faa => self.faa.set(self.faa.get() + 1),
+            OpKind::Send => {
+                self.sends.set(self.sends.get() + 1);
+                self.bytes_written
+                    .set(self.bytes_written.get() + bytes as u64);
+            }
+            OpKind::Recv => {
+                self.recvs.set(self.recvs.get() + 1);
+                self.bytes_read.set(self.bytes_read.get() + bytes as u64);
+            }
+        }
+    }
+
+    /// A CAS verb that completed but did not install its new value.
+    #[inline]
+    pub fn record_cas_failure(&self) {
+        self.cas_failures.set(self.cas_failures.get() + 1);
+    }
+
+    /// Copy out the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            cas: self.cas.get(),
+            faa: self.faa.get(),
+            sends: self.sends.get(),
+            recvs: self.recvs.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+            cas_failures: self.cas_failures.get(),
+        }
+    }
+
+    /// Zero all counters (between experiment phases).
+    pub fn reset(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+        self.cas.set(0);
+        self.faa.set(0);
+        self.sends.set(0);
+        self.recvs.set(0);
+        self.bytes_read.set(0);
+        self.bytes_written.set(0);
+        self.cas_failures.set(0);
+    }
+}
+
+/// An immutable copy of endpoint counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub reads: u64,
+    pub writes: u64,
+    pub cas: u64,
+    pub faa: u64,
+    pub sends: u64,
+    pub recvs: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub cas_failures: u64,
+}
+
+impl StatsSnapshot {
+    /// Total one-sided + atomic round trips (the metric of §6).
+    pub fn round_trips(&self) -> u64 {
+        self.reads + self.writes + self.cas + self.faa + self.sends
+    }
+
+    /// Total bytes moved either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+    fn add(self, o: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads + o.reads,
+            writes: self.writes + o.writes,
+            cas: self.cas + o.cas,
+            faa: self.faa + o.faa,
+            sends: self.sends + o.sends,
+            recvs: self.recvs + o.recvs,
+            bytes_read: self.bytes_read + o.bytes_read,
+            bytes_written: self.bytes_written + o.bytes_written,
+            cas_failures: self.cas_failures + o.cas_failures,
+        }
+    }
+}
+
+impl std::iter::Sum for StatsSnapshot {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(StatsSnapshot::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_by_kind() {
+        let s = OpStats::new();
+        s.record(OpKind::Read, 64);
+        s.record(OpKind::Read, 64);
+        s.record(OpKind::Write, 128);
+        s.record(OpKind::Cas, 8);
+        s.record_cas_failure();
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.cas, 1);
+        assert_eq!(snap.cas_failures, 1);
+        assert_eq!(snap.bytes_read, 128);
+        assert_eq!(snap.bytes_written, 128);
+        assert_eq!(snap.round_trips(), 4);
+    }
+
+    #[test]
+    fn snapshots_sum() {
+        let a = StatsSnapshot {
+            reads: 1,
+            bytes_read: 10,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            reads: 2,
+            writes: 3,
+            bytes_read: 5,
+            ..Default::default()
+        };
+        let t: StatsSnapshot = [a, b].into_iter().sum();
+        assert_eq!(t.reads, 3);
+        assert_eq!(t.writes, 3);
+        assert_eq!(t.bytes_read, 15);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = OpStats::new();
+        s.record(OpKind::Faa, 8);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the fabric substrate.
+
+use proptest::prelude::*;
+use rdma_sim::{Fabric, NetworkProfile, Region};
+
+proptest! {
+    /// Sequential writes then reads of arbitrary (offset, data) pairs
+    /// behave exactly like a byte array.
+    #[test]
+    fn region_matches_reference_byte_array(
+        ops in proptest::collection::vec(
+            (0u64..1000, proptest::collection::vec(any::<u8>(), 1..64)),
+            1..40,
+        )
+    ) {
+        let region = Region::new(1064);
+        let mut reference = vec![0u8; 1064];
+        for (off, data) in &ops {
+            region.write(*off, data).unwrap();
+            reference[*off as usize..*off as usize + data.len()].copy_from_slice(data);
+        }
+        let mut out = vec![0u8; 1064];
+        region.read(0, &mut out).unwrap();
+        prop_assert_eq!(out, reference);
+    }
+
+    /// CAS success/failure mirrors a reference cell.
+    #[test]
+    fn cas_matches_reference_cell(ops in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..50)) {
+        let region = Region::new(8);
+        let mut reference = 0u64;
+        for (expected, new) in ops {
+            let prev = region.cas_u64(0, expected, new).unwrap();
+            prop_assert_eq!(prev, reference);
+            if reference == expected {
+                reference = new;
+            }
+        }
+        prop_assert_eq!(region.read_u64(0).unwrap(), reference);
+    }
+
+    /// Costs are monotone in transfer size for every profile.
+    #[test]
+    fn rw_cost_monotone_in_size(a in 0usize..1_000_000, b in 0usize..1_000_000) {
+        for p in [
+            NetworkProfile::local_dram(),
+            NetworkProfile::rdma_cx6(),
+            NetworkProfile::tcp_dc(),
+            NetworkProfile::nvme_ssd(),
+        ] {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(p.rw_cost_ns(lo) <= p.rw_cost_ns(hi));
+            prop_assert!(p.send_cost_ns(lo) <= p.send_cost_ns(hi));
+        }
+    }
+
+    /// Out-of-bounds accesses never panic and never succeed.
+    #[test]
+    fn out_of_bounds_is_error_not_panic(off in 0u64..10_000, len in 0usize..256) {
+        let region = Region::new(512);
+        let mut buf = vec![0u8; len];
+        let ok = off as usize + len <= 512;
+        prop_assert_eq!(region.read(off, &mut buf).is_ok(), ok);
+        prop_assert_eq!(region.write(off, &buf).is_ok(), ok);
+    }
+}
+
+#[test]
+fn endpoint_stats_count_every_verb_kind() {
+    let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+    let node = fabric.register_node(256);
+    let ep = fabric.endpoint();
+    let mut buf = [0u8; 16];
+    ep.read(node, 0, &mut buf).unwrap();
+    ep.write(node, 0, &buf).unwrap();
+    ep.cas(node, 0, 0, 1).unwrap();
+    ep.faa(node, 8, 1).unwrap();
+    let s = ep.stats();
+    assert_eq!((s.reads, s.writes, s.cas, s.faa), (1, 1, 1, 1));
+    assert_eq!(s.round_trips(), 4);
+    assert!(ep.clock().now_ns() > 0);
+}

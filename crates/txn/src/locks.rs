@@ -1,0 +1,368 @@
+//! RDMA lock primitives — §4 Challenge 6.
+//!
+//! "RDMA can only implement a simple exclusive spinlock within a single
+//! round trip through the CAS atomic primitive. Advanced lock types
+//! require more RDMA round trips, e.g., an RDMA shared-exclusive lock
+//! needs at least 2 round trips."
+//!
+//! * [`ExclusiveLock`]: one CAS to acquire (1 RT), one write to release.
+//! * [`SharedExclusiveLock`]: footnote 2's construction — a spinlock latch
+//!   guarding holder metadata. Round 1: CAS the latch; round 2 (doorbell-
+//!   batched): update the metadata and release the latch. Readers admit
+//!   concurrently; writers drain readers.
+//!
+//! Both are *no-wait with bounded retries*: after `max_retries` failed
+//! attempts the caller gets [`LockError::Busy`] and (in the protocols)
+//! aborts — the standard choice for RDMA CC where blocking remotely is
+//! expensive.
+
+use dsm::{DsmError, DsmLayer, GlobalAddr};
+use rdma_sim::Endpoint;
+
+/// Lock acquisition failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// Lock still held after the retry budget.
+    Busy,
+    /// Fabric/DSM failure.
+    Dsm(DsmError),
+}
+
+impl From<DsmError> for LockError {
+    fn from(e: DsmError) -> Self {
+        LockError::Dsm(e)
+    }
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Busy => write!(f, "lock busy"),
+            LockError::Dsm(e) => write!(f, "lock dsm error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// The 1-round-trip exclusive CAS spinlock.
+///
+/// Lock word semantics: 0 = free, `owner_tag` = held. The owner tag should
+/// be nonzero and unique per worker (e.g. `worker_id + 1`).
+pub struct ExclusiveLock;
+
+impl ExclusiveLock {
+    /// Try to acquire: one CAS per attempt, up to `max_retries + 1`
+    /// attempts.
+    pub fn acquire(
+        layer: &DsmLayer,
+        ep: &Endpoint,
+        lock: GlobalAddr,
+        owner_tag: u64,
+        max_retries: u32,
+    ) -> Result<(), LockError> {
+        debug_assert!(owner_tag != 0);
+        for _ in 0..=max_retries {
+            let prev = layer.cas(ep, lock, 0, owner_tag)?;
+            if prev == 0 {
+                return Ok(());
+            }
+        }
+        Err(LockError::Busy)
+    }
+
+    /// Release: one write. Only the owner may call this.
+    pub fn release(layer: &DsmLayer, ep: &Endpoint, lock: GlobalAddr) -> Result<(), LockError> {
+        layer.write_u64(ep, lock, 0)?;
+        Ok(())
+    }
+}
+
+/// Metadata encoding for the shared-exclusive lock: bit 63 = writer held,
+/// low 32 bits = reader count. The latch serializing metadata updates is
+/// the *same* 8-byte word's bits 32..63? No — footnote 2 uses a separate
+/// latch; we pack both into two adjacent words: `lock` = latch,
+/// `lock + 8` = metadata. Callers must reserve 16 bytes.
+const WRITER_BIT: u64 = 1 << 63;
+const READER_MASK: u64 = 0xFFFF_FFFF;
+
+/// The ≥2-round-trip shared-exclusive lock (footnote 2).
+pub struct SharedExclusiveLock;
+
+impl SharedExclusiveLock {
+    fn latch(addr: GlobalAddr) -> GlobalAddr {
+        addr
+    }
+    fn meta(addr: GlobalAddr) -> GlobalAddr {
+        addr.offset_by(8)
+    }
+
+    /// Round 1: CAS latch + read metadata. Returns the metadata or Busy.
+    fn enter(
+        layer: &DsmLayer,
+        ep: &Endpoint,
+        addr: GlobalAddr,
+        max_retries: u32,
+    ) -> Result<u64, LockError> {
+        for _ in 0..=max_retries {
+            if layer.cas(ep, Self::latch(addr), 0, 1)? == 0 {
+                // Same round trip in spirit (doorbell-batched with the
+                // CAS on real hardware); the read is charged separately
+                // but that is exactly the paper's "at least 2 round
+                // trips" accounting.
+                let meta = layer.read_u64(ep, Self::meta(addr))?;
+                return Ok(meta);
+            }
+        }
+        Err(LockError::Busy)
+    }
+
+    /// Round 2: write new metadata and release the latch (batched write).
+    fn exit(
+        _layer: &DsmLayer,
+        ep: &Endpoint,
+        addr: GlobalAddr,
+        new_meta: u64,
+    ) -> Result<(), LockError> {
+        // One doorbell: metadata update + latch release.
+        let meta_bytes = new_meta.to_le_bytes();
+        let zero = 0u64.to_le_bytes();
+        let ops = [
+            (Self::meta(addr).node(), Self::meta(addr).offset(), &meta_bytes[..]),
+            (Self::latch(addr).node(), Self::latch(addr).offset(), &zero[..]),
+        ];
+        ep.write_batch(&ops).map_err(DsmError::from)?;
+        Ok(())
+    }
+
+    /// Acquire in shared mode (2 round trips when uncontended).
+    pub fn acquire_shared(
+        layer: &DsmLayer,
+        ep: &Endpoint,
+        addr: GlobalAddr,
+        max_retries: u32,
+    ) -> Result<(), LockError> {
+        for _ in 0..=max_retries {
+            let meta = Self::enter(layer, ep, addr, max_retries)?;
+            if meta & WRITER_BIT != 0 {
+                // Writer holds it: release latch and retry.
+                Self::exit(layer, ep, addr, meta)?;
+                continue;
+            }
+            Self::exit(layer, ep, addr, meta + 1)?;
+            return Ok(());
+        }
+        Err(LockError::Busy)
+    }
+
+    /// Release shared mode.
+    pub fn release_shared(
+        layer: &DsmLayer,
+        ep: &Endpoint,
+        addr: GlobalAddr,
+        max_retries: u32,
+    ) -> Result<(), LockError> {
+        let meta = Self::enter(layer, ep, addr, max_retries)?;
+        debug_assert!(meta & READER_MASK > 0, "release_shared with no readers");
+        Self::exit(layer, ep, addr, meta - 1)
+    }
+
+    /// Acquire in exclusive mode: waits for readers to drain (within the
+    /// retry budget).
+    pub fn acquire_exclusive(
+        layer: &DsmLayer,
+        ep: &Endpoint,
+        addr: GlobalAddr,
+        max_retries: u32,
+    ) -> Result<(), LockError> {
+        for _ in 0..=max_retries {
+            let meta = Self::enter(layer, ep, addr, max_retries)?;
+            if meta != 0 {
+                Self::exit(layer, ep, addr, meta)?;
+                continue;
+            }
+            Self::exit(layer, ep, addr, WRITER_BIT)?;
+            return Ok(());
+        }
+        Err(LockError::Busy)
+    }
+
+    /// Release exclusive mode.
+    pub fn release_exclusive(
+        layer: &DsmLayer,
+        ep: &Endpoint,
+        addr: GlobalAddr,
+        max_retries: u32,
+    ) -> Result<(), LockError> {
+        let meta = Self::enter(layer, ep, addr, max_retries)?;
+        debug_assert!(meta & WRITER_BIT != 0, "release_exclusive without writer");
+        Self::exit(layer, ep, addr, meta & !WRITER_BIT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm::DsmConfig;
+    use rdma_sim::{Fabric, NetworkProfile};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Fabric>, Arc<DsmLayer>, GlobalAddr) {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let layer = DsmLayer::build(
+            &fabric,
+            DsmConfig {
+                memory_nodes: 1,
+                capacity_per_node: 1 << 20,
+                replication: 1,
+                mem_cores: 1,
+                weak_cpu_factor: 4.0,
+            },
+        );
+        let addr = layer.alloc(16).unwrap();
+        (fabric, layer, addr)
+    }
+
+    #[test]
+    fn exclusive_lock_is_one_round_trip_uncontended() {
+        let (f, l, a) = setup();
+        let ep = f.endpoint();
+        ExclusiveLock::acquire(&l, &ep, a, 1, 0).unwrap();
+        assert_eq!(ep.stats().cas, 1, "exactly one CAS");
+        ExclusiveLock::release(&l, &ep, a).unwrap();
+        assert_eq!(ep.stats().writes, 1, "exactly one release write");
+    }
+
+    #[test]
+    fn exclusive_lock_excludes_and_reports_busy() {
+        let (f, l, a) = setup();
+        let ep1 = f.endpoint();
+        let ep2 = f.endpoint();
+        ExclusiveLock::acquire(&l, &ep1, a, 1, 0).unwrap();
+        assert_eq!(
+            ExclusiveLock::acquire(&l, &ep2, a, 2, 3).unwrap_err(),
+            LockError::Busy
+        );
+        ExclusiveLock::release(&l, &ep1, a).unwrap();
+        ExclusiveLock::acquire(&l, &ep2, a, 2, 0).unwrap();
+    }
+
+    #[test]
+    fn shared_exclusive_costs_at_least_twice_the_exclusive() {
+        // §4 Challenge 6: the shared-exclusive lock needs >= 2 RTs.
+        let (f, l, a) = setup();
+        let ex = f.endpoint();
+        ExclusiveLock::acquire(&l, &ex, a, 1, 0).unwrap();
+        let ex_cost = ex.clock().now_ns();
+        let (f2, l2, a2) = setup();
+        let sh = f2.endpoint();
+        SharedExclusiveLock::acquire_shared(&l2, &sh, a2, 0).unwrap();
+        assert!(
+            sh.clock().now_ns() >= 2 * ex_cost,
+            "shared {} vs exclusive {}",
+            sh.clock().now_ns(),
+            ex_cost
+        );
+        let _ = a;
+    }
+
+    #[test]
+    fn readers_admit_concurrently_writer_excludes() {
+        let (f, l, a) = setup();
+        let r1 = f.endpoint();
+        let r2 = f.endpoint();
+        let w = f.endpoint();
+        SharedExclusiveLock::acquire_shared(&l, &r1, a, 4).unwrap();
+        SharedExclusiveLock::acquire_shared(&l, &r2, a, 4).unwrap();
+        assert_eq!(
+            SharedExclusiveLock::acquire_exclusive(&l, &w, a, 2).unwrap_err(),
+            LockError::Busy
+        );
+        SharedExclusiveLock::release_shared(&l, &r1, a, 4).unwrap();
+        SharedExclusiveLock::release_shared(&l, &r2, a, 4).unwrap();
+        SharedExclusiveLock::acquire_exclusive(&l, &w, a, 4).unwrap();
+        // Now readers bounce.
+        assert_eq!(
+            SharedExclusiveLock::acquire_shared(&l, &r1, a, 2).unwrap_err(),
+            LockError::Busy
+        );
+        SharedExclusiveLock::release_exclusive(&l, &w, a, 4).unwrap();
+        SharedExclusiveLock::acquire_shared(&l, &r1, a, 4).unwrap();
+    }
+
+    #[test]
+    fn exclusive_lock_mutual_exclusion_under_threads() {
+        let (f, l, a) = setup();
+        let data = l.alloc(8).unwrap();
+        std::thread::scope(|s| {
+            for tid in 1..=4u64 {
+                let (f, l) = (f.clone(), l.clone());
+                s.spawn(move || {
+                    let ep = f.endpoint();
+                    for _ in 0..500 {
+                        loop {
+                            if ExclusiveLock::acquire(&l, &ep, a, tid, 50).is_ok() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                        let v = l.read_u64(&ep, data).unwrap();
+                        l.write_u64(&ep, data, v + 1).unwrap();
+                        ExclusiveLock::release(&l, &ep, a).unwrap();
+                    }
+                });
+            }
+        });
+        let ep = f.endpoint();
+        assert_eq!(l.read_u64(&ep, data).unwrap(), 2000);
+    }
+
+    #[test]
+    fn shared_exclusive_counts_are_exact_under_threads() {
+        // Readers and writers hammering the same lock: meta must end at 0
+        // and a protected counter must equal the number of writer
+        // sections.
+        let (f, l, a) = setup();
+        let data = l.alloc(8).unwrap();
+        let writes_done = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let (f, l) = (f.clone(), l.clone());
+                let writes_done = &writes_done;
+                s.spawn(move || {
+                    let ep = f.endpoint();
+                    for i in 0..200 {
+                        if (t + i) % 4 == 0 {
+                            loop {
+                                if SharedExclusiveLock::acquire_exclusive(&l, &ep, a, 100).is_ok() {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                            let v = l.read_u64(&ep, data).unwrap();
+                            l.write_u64(&ep, data, v + 1).unwrap();
+                            writes_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            SharedExclusiveLock::release_exclusive(&l, &ep, a, 100).unwrap();
+                        } else {
+                            loop {
+                                if SharedExclusiveLock::acquire_shared(&l, &ep, a, 100).is_ok() {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                            let _ = l.read_u64(&ep, data).unwrap();
+                            SharedExclusiveLock::release_shared(&l, &ep, a, 100).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let ep = f.endpoint();
+        let final_meta = l.read_u64(&ep, a.offset_by(8)).unwrap();
+        assert_eq!(final_meta, 0, "all holders released");
+        assert_eq!(
+            l.read_u64(&ep, data).unwrap(),
+            writes_done.load(std::sync::atomic::Ordering::Relaxed)
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Two-phase locking over RDMA locks.
+//!
+//! Growing phase acquires every lock in sorted key order (deadlock-free),
+//! the transaction executes, then the shrinking phase releases everything.
+//! Two lock configurations per §4 Challenge 6:
+//!
+//! * `shared_locks = false` — the 1-RT exclusive spinlock for *every*
+//!   access, reads included. Cheap locks, zero read-read concurrency.
+//! * `shared_locks = true` — the 2-RT shared-exclusive lock: readers
+//!   admit concurrently, writers drain. More round trips per lock, more
+//!   concurrency. ("It remains open if the allowed extra concurrency can
+//!   offset the performance overhead of the advanced locks" — experiment
+//!   C2 answers this for our fabric.)
+//!
+//! Note: the shared-exclusive lock stores holder metadata in the record's
+//! `rts` word, so this configuration must not be mixed with TSO/MVCC on
+//! the same table.
+
+use super::{apply_delta, key_sets, ConcurrencyControl, Op, TxnCtx, TxnError, TxnOutput};
+use crate::locks::{ExclusiveLock, SharedExclusiveLock};
+
+/// 2PL with no-wait bounded-retry acquisition.
+pub struct TwoPhaseLocking {
+    /// Use shared-exclusive locks for read-only keys.
+    pub shared_locks: bool,
+    /// CAS retries before declaring a lock busy (aborting).
+    pub max_retries: u32,
+}
+
+impl TwoPhaseLocking {
+    /// Exclusive-only 2PL (the 1-RT lock everywhere).
+    pub fn exclusive() -> Self {
+        Self {
+            shared_locks: false,
+            max_retries: 3,
+        }
+    }
+
+    /// Shared-exclusive 2PL (readers share).
+    pub fn shared_exclusive() -> Self {
+        Self {
+            shared_locks: true,
+            max_retries: 3,
+        }
+    }
+}
+
+enum Held {
+    Exclusive(u64),
+    Shared(u64),
+    SharedExclusiveWrite(u64),
+}
+
+impl ConcurrencyControl for TwoPhaseLocking {
+    fn name(&self) -> &'static str {
+        if self.shared_locks {
+            "2pl-shared"
+        } else {
+            "2pl-excl"
+        }
+    }
+
+    fn execute(&self, ctx: &TxnCtx<'_>, ops: &[Op]) -> Result<TxnOutput, TxnError> {
+        let (all_keys, write_keys) = key_sets(ops);
+        let layer = ctx.table.layer();
+        let mut held: Vec<Held> = Vec::with_capacity(all_keys.len());
+
+        // Growing phase, sorted order.
+        let mut failed = None;
+        for &key in &all_keys {
+            let lock = ctx.table.lock_addr(key);
+            let is_write = write_keys.binary_search(&key).is_ok();
+            let result = if !self.shared_locks {
+                ExclusiveLock::acquire(layer, ctx.ep, lock, ctx.worker_tag, self.max_retries)
+                    .map(|()| Held::Exclusive(key))
+            } else if is_write {
+                SharedExclusiveLock::acquire_exclusive(layer, ctx.ep, lock, self.max_retries)
+                    .map(|()| Held::SharedExclusiveWrite(key))
+            } else {
+                SharedExclusiveLock::acquire_shared(layer, ctx.ep, lock, self.max_retries)
+                    .map(|()| Held::Shared(key))
+            };
+            match result {
+                Ok(h) => held.push(h),
+                Err(e) => {
+                    failed = Some(TxnError::from(e));
+                    break;
+                }
+            }
+        }
+
+        // Execute (only if fully locked).
+        let mut out = TxnOutput::default();
+        if failed.is_none() {
+            let psize = ctx.table.payload_size();
+            let mut buf = vec![0u8; psize];
+            for op in ops {
+                let r: Result<(), TxnError> = (|| {
+                    match op {
+                        Op::Read(key) => {
+                            ctx.io.read_payload(ctx.ep, ctx.table, *key, 0, &mut buf)?;
+                            out.reads.push((*key, buf.clone()));
+                        }
+                        Op::Update { key, value } => {
+                            ctx.io.write_payload(ctx.ep, ctx.table, *key, 0, value)?;
+                        }
+                        Op::Rmw { key, delta } => {
+                            ctx.io.read_payload(ctx.ep, ctx.table, *key, 0, &mut buf)?;
+                            out.reads.push((*key, buf.clone()));
+                            apply_delta(&mut buf, *delta);
+                            ctx.io.write_payload(ctx.ep, ctx.table, *key, 0, &buf)?;
+                        }
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = r {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+
+        // Shrinking phase: always release what we hold.
+        for h in held.into_iter().rev() {
+            let release = |key: u64| -> Result<(), TxnError> {
+                let lock = ctx.table.lock_addr(key);
+                match h {
+                    Held::Exclusive(_) => {
+                        ExclusiveLock::release(layer, ctx.ep, lock)?;
+                    }
+                    Held::Shared(_) => {
+                        // Releases must eventually succeed: retry hard.
+                        SharedExclusiveLock::release_shared(layer, ctx.ep, lock, 10_000)?;
+                    }
+                    Held::SharedExclusiveWrite(_) => {
+                        SharedExclusiveLock::release_exclusive(layer, ctx.ep, lock, 10_000)?;
+                    }
+                }
+                Ok(())
+            };
+            let key = match h {
+                Held::Exclusive(k) | Held::Shared(k) | Held::SharedExclusiveWrite(k) => k,
+            };
+            release(key)?;
+        }
+
+        match failed {
+            None => Ok(out),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::testutil::{bank_invariant_holds, table};
+    use crate::protocols::DirectIo;
+
+    #[test]
+    fn exclusive_2pl_preserves_bank_invariant() {
+        let t = table(16, 16, 1);
+        bank_invariant_holds(&TwoPhaseLocking::exclusive(), &t, 4, 300);
+    }
+
+    #[test]
+    fn shared_exclusive_2pl_preserves_bank_invariant() {
+        let t = table(16, 16, 1);
+        bank_invariant_holds(&TwoPhaseLocking::shared_exclusive(), &t, 4, 200);
+    }
+
+    #[test]
+    fn read_sees_committed_update() {
+        let t = table(8, 16, 1);
+        let ep = t.layer().fabric().endpoint();
+        let ctx = TxnCtx {
+            ep: &ep,
+            table: &t,
+            io: &DirectIo,
+            worker_tag: 1,
+        };
+        let cc = TwoPhaseLocking::exclusive();
+        let mut val = vec![0u8; 16];
+        val[0..8].copy_from_slice(&99i64.to_le_bytes());
+        cc.execute(&ctx, &[Op::Update { key: 3, value: val.clone() }])
+            .unwrap();
+        let out = cc.execute(&ctx, &[Op::Read(3)]).unwrap();
+        assert_eq!(out.reads[0].1, val);
+    }
+
+    #[test]
+    fn rmw_returns_pre_image() {
+        let t = table(8, 16, 1);
+        let ep = t.layer().fabric().endpoint();
+        let ctx = TxnCtx {
+            ep: &ep,
+            table: &t,
+            io: &DirectIo,
+            worker_tag: 1,
+        };
+        let cc = TwoPhaseLocking::exclusive();
+        cc.execute(&ctx, &[Op::Rmw { key: 0, delta: 10 }]).unwrap();
+        let out = cc.execute(&ctx, &[Op::Rmw { key: 0, delta: 5 }]).unwrap();
+        assert_eq!(
+            i64::from_le_bytes(out.reads[0].1[0..8].try_into().unwrap()),
+            10,
+            "rmw returns the pre-modification value"
+        );
+    }
+
+    #[test]
+    fn conflicting_writer_aborts_not_blocks() {
+        let t = table(4, 16, 1);
+        let ep1 = t.layer().fabric().endpoint();
+        let layer = t.layer();
+        // Manually hold key 2's lock.
+        ExclusiveLock::acquire(layer, &ep1, t.lock_addr(2), 42, 0).unwrap();
+        let ep2 = t.layer().fabric().endpoint();
+        let ctx = TxnCtx {
+            ep: &ep2,
+            table: &t,
+            io: &DirectIo,
+            worker_tag: 7,
+        };
+        let cc = TwoPhaseLocking::exclusive();
+        let err = cc
+            .execute(&ctx, &[Op::Rmw { key: 2, delta: 1 }])
+            .unwrap_err();
+        assert_eq!(err, TxnError::Aborted("lock-busy"));
+        // Locks on other keys must have been released: key 2 still held
+        // by us, everything else free.
+        assert_eq!(layer.read_u64(&ep1, t.lock_addr(2)).unwrap(), 42);
+        assert_eq!(layer.read_u64(&ep1, t.lock_addr(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn duplicate_keys_in_txn_lock_once() {
+        let t = table(4, 16, 1);
+        let ep = t.layer().fabric().endpoint();
+        let ctx = TxnCtx {
+            ep: &ep,
+            table: &t,
+            io: &DirectIo,
+            worker_tag: 1,
+        };
+        let cc = TwoPhaseLocking::exclusive();
+        // Same key twice: would self-deadlock if locked twice.
+        let out = cc
+            .execute(
+                &ctx,
+                &[Op::Rmw { key: 1, delta: 2 }, Op::Rmw { key: 1, delta: 3 }],
+            )
+            .unwrap();
+        assert_eq!(out.reads.len(), 2);
+        let read_back = cc.execute(&ctx, &[Op::Read(1)]).unwrap();
+        assert_eq!(
+            i64::from_le_bytes(read_back.reads[0].1[0..8].try_into().unwrap()),
+            5
+        );
+    }
+}

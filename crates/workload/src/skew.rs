@@ -1,0 +1,116 @@
+//! A hotspot that migrates across the keyspace over time.
+//!
+//! §2 benefit (4): "DSM-DB is more robust to query and data skew … as data
+//! can be easily resharded in DSM"; §8: "This makes DSM-DB more resilient
+//! to skew due to fast resharding." Experiment C10 drives both engines
+//! with this generator and measures the throughput dip around each hotspot
+//! shift.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::ZipfGenerator;
+
+/// A Zipfian hotspot whose center jumps every `shift_every` draws.
+pub struct ShiftingHotspot {
+    keyspace: u64,
+    hotspot_center: u64,
+    zipf: ZipfGenerator,
+    shift_every: u64,
+    draws: u64,
+    shifts: u64,
+    rng: StdRng,
+}
+
+impl ShiftingHotspot {
+    /// Hotspot over `keyspace` keys with skew `theta`, jumping to a new
+    /// random center every `shift_every` draws.
+    pub fn new(keyspace: u64, theta: f64, shift_every: u64, seed: u64) -> Self {
+        assert!(keyspace > 0 && shift_every > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hotspot_center = rng.gen_range(0..keyspace);
+        Self {
+            keyspace,
+            hotspot_center,
+            zipf: ZipfGenerator::new(keyspace, theta),
+            shift_every,
+            draws: 0,
+            shifts: 0,
+            rng,
+        }
+    }
+
+    /// Current hotspot center key.
+    pub fn center(&self) -> u64 {
+        self.hotspot_center
+    }
+
+    /// How many times the hotspot has moved.
+    pub fn shifts(&self) -> u64 {
+        self.shifts
+    }
+
+    /// Total draws so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Draw the next key: zipf rank distance from the moving center,
+    /// alternating above/below it.
+    pub fn next_key(&mut self) -> u64 {
+        self.draws += 1;
+        if self.draws.is_multiple_of(self.shift_every) {
+            self.hotspot_center = self.rng.gen_range(0..self.keyspace);
+            self.shifts += 1;
+        }
+        let rank = self.zipf.next(&mut self.rng);
+        let sign: bool = self.rng.gen();
+        if sign {
+            (self.hotspot_center + rank) % self.keyspace
+        } else {
+            (self.hotspot_center + self.keyspace - (rank % self.keyspace)) % self.keyspace
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_cluster_around_center_between_shifts() {
+        let mut g = ShiftingHotspot::new(1_000_000, 0.99, 1_000_000_000, 1);
+        let c = g.center();
+        let near = (0..10_000)
+            .filter(|_| {
+                let k = g.next_key();
+                let d = k.abs_diff(c).min(1_000_000 - k.abs_diff(c));
+                d < 10_000
+            })
+            .count();
+        assert!(near > 5_000, "only {near}/10000 near the hotspot");
+    }
+
+    #[test]
+    fn hotspot_shifts_on_schedule() {
+        let mut g = ShiftingHotspot::new(10_000, 0.99, 100, 2);
+        let c0 = g.center();
+        for _ in 0..100 {
+            g.next_key();
+        }
+        assert_eq!(g.shifts(), 1);
+        assert_ne!(g.center(), c0, "center should have moved (w.h.p.)");
+        for _ in 0..300 {
+            g.next_key();
+        }
+        assert_eq!(g.shifts(), 4);
+    }
+
+    #[test]
+    fn keys_in_range() {
+        let mut g = ShiftingHotspot::new(777, 1.1, 50, 3);
+        for _ in 0..5_000 {
+            assert!(g.next_key() < 777);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! SmallBank: the classic OLTP contention benchmark. Six transaction
+//! types over paired checking/savings accounts; multi-record read-write
+//! transactions produce natural write-write conflicts under skew, which is
+//! what the concurrency-control experiments (C2, C3) need.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::ZipfGenerator;
+
+/// One SmallBank transaction. Account ids are in `[0, accounts)`; each
+/// account has a checking row and a savings row (the engine maps them to
+/// keys `2*acct` and `2*acct + 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmallBankOp {
+    /// Read both balances of one customer.
+    Balance(u64),
+    /// Add to a checking account.
+    DepositChecking(u64, i64),
+    /// Add to a savings account.
+    TransactSavings(u64, i64),
+    /// Move everything from savings+checking of `from` into checking of `to`.
+    Amalgamate(u64, u64),
+    /// Transfer between two checking accounts.
+    SendPayment(u64, u64, i64),
+    /// Withdraw from checking (may overdraw, conditional on savings).
+    WriteCheck(u64, i64),
+}
+
+impl SmallBankOp {
+    /// Accounts touched by the transaction.
+    pub fn accounts(&self) -> Vec<u64> {
+        match *self {
+            SmallBankOp::Balance(a)
+            | SmallBankOp::DepositChecking(a, _)
+            | SmallBankOp::TransactSavings(a, _)
+            | SmallBankOp::WriteCheck(a, _) => vec![a],
+            SmallBankOp::Amalgamate(a, b) | SmallBankOp::SendPayment(a, b, _) => vec![a, b],
+        }
+    }
+
+    /// True for read-only transactions.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, SmallBankOp::Balance(_))
+    }
+}
+
+/// Seeded SmallBank transaction stream.
+pub struct SmallBankWorkload {
+    accounts: u64,
+    zipf: ZipfGenerator,
+    rng: StdRng,
+    read_fraction: f64,
+}
+
+impl SmallBankWorkload {
+    /// Stream over `accounts` customers with hotspot skew `theta` and the
+    /// given fraction of read-only (Balance) transactions.
+    pub fn new(accounts: u64, theta: f64, read_fraction: f64, seed: u64) -> Self {
+        assert!(accounts >= 2);
+        Self {
+            accounts,
+            zipf: ZipfGenerator::new(accounts, theta),
+            rng: StdRng::seed_from_u64(seed),
+            read_fraction,
+        }
+    }
+
+    /// Number of customer accounts.
+    pub fn accounts(&self) -> u64 {
+        self.accounts
+    }
+
+    fn pick(&mut self) -> u64 {
+        self.zipf.next(&mut self.rng)
+    }
+
+    fn pick_distinct_pair(&mut self) -> (u64, u64) {
+        let a = self.pick();
+        loop {
+            let b = self.pick();
+            if b != a {
+                return (a, b);
+            }
+        }
+    }
+
+    /// Generate the next transaction.
+    pub fn next_txn(&mut self) -> SmallBankOp {
+        if self.rng.gen::<f64>() < self.read_fraction {
+            return SmallBankOp::Balance(self.pick());
+        }
+        let amount = self.rng.gen_range(1..100) as i64;
+        match self.rng.gen_range(0..5) {
+            0 => SmallBankOp::DepositChecking(self.pick(), amount),
+            1 => SmallBankOp::TransactSavings(self.pick(), amount),
+            2 => {
+                let (a, b) = self.pick_distinct_pair();
+                SmallBankOp::Amalgamate(a, b)
+            }
+            3 => {
+                let (a, b) = self.pick_distinct_pair();
+                SmallBankOp::SendPayment(a, b, amount)
+            }
+            _ => SmallBankOp::WriteCheck(self.pick(), amount),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_fraction_respected() {
+        let mut w = SmallBankWorkload::new(1_000, 0.0, 0.3, 1);
+        let reads = (0..10_000).filter(|_| w.next_txn().is_read_only()).count();
+        assert!((2_500..3_500).contains(&reads), "{reads} reads");
+    }
+
+    #[test]
+    fn pair_txns_use_distinct_accounts() {
+        let mut w = SmallBankWorkload::new(10, 1.2, 0.0, 2);
+        for _ in 0..5_000 {
+            let t = w.next_txn();
+            let accts = t.accounts();
+            if accts.len() == 2 {
+                assert_ne!(accts[0], accts[1], "{t:?}");
+            }
+            assert!(accts.iter().all(|&a| a < 10));
+        }
+    }
+
+    #[test]
+    fn skew_drives_conflicts_onto_hot_accounts() {
+        let mut w = SmallBankWorkload::new(100_000, 1.2, 0.0, 3);
+        let mut hot = 0;
+        for _ in 0..10_000 {
+            if w.next_txn().accounts().iter().any(|&a| a < 100) {
+                hot += 1;
+            }
+        }
+        assert!(hot > 5_000, "only {hot}/10000 touched the hot 0.1%");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallBankWorkload::new(500, 0.9, 0.2, 7);
+        let mut b = SmallBankWorkload::new(500, 0.9, 0.2, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_txn(), b.next_txn());
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! TPC-C-lite: NewOrder and Payment with an explicit *remote* (cross-
+//! warehouse) probability. In the sharded architecture (Figure 3c) a
+//! warehouse maps to a shard, so the remote probability directly controls
+//! the cross-shard-transaction fraction that experiment C11 sweeps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Items per NewOrder (TPC-C uses 5–15).
+pub const MIN_LINES: usize = 5;
+/// Upper bound on order lines.
+pub const MAX_LINES: usize = 15;
+
+/// A generated transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TpccTxn {
+    /// NewOrder at `warehouse`/`district` with the given item stock keys;
+    /// each entry is `(warehouse, item)` — remote entries reference other
+    /// warehouses.
+    NewOrder {
+        /// Home warehouse.
+        warehouse: u64,
+        /// District within the warehouse (0..10).
+        district: u64,
+        /// Stock rows touched: (warehouse, item id).
+        lines: Vec<(u64, u64)>,
+    },
+    /// Payment by a customer of `warehouse`/`district`, possibly paying at
+    /// a remote warehouse.
+    Payment {
+        /// Home warehouse (its YTD row is updated).
+        warehouse: u64,
+        /// District row updated.
+        district: u64,
+        /// Customer's warehouse — differs from `warehouse` for remote
+        /// payments.
+        customer_warehouse: u64,
+        /// Customer id within the district.
+        customer: u64,
+        /// Payment amount.
+        amount: i64,
+    },
+}
+
+impl TpccTxn {
+    /// Warehouses this transaction touches.
+    pub fn warehouses(&self) -> Vec<u64> {
+        match self {
+            TpccTxn::NewOrder {
+                warehouse, lines, ..
+            } => {
+                let mut ws: Vec<u64> = std::iter::once(*warehouse)
+                    .chain(lines.iter().map(|&(w, _)| w))
+                    .collect();
+                ws.sort_unstable();
+                ws.dedup();
+                ws
+            }
+            TpccTxn::Payment {
+                warehouse,
+                customer_warehouse,
+                ..
+            } => {
+                let mut ws = vec![*warehouse, *customer_warehouse];
+                ws.sort_unstable();
+                ws.dedup();
+                ws
+            }
+        }
+    }
+
+    /// True when more than one warehouse (= shard) participates.
+    pub fn is_cross_warehouse(&self) -> bool {
+        self.warehouses().len() > 1
+    }
+}
+
+/// Seeded TPC-C-lite stream.
+pub struct TpccLiteWorkload {
+    warehouses: u64,
+    items: u64,
+    customers_per_district: u64,
+    /// Probability an order line references a remote warehouse (TPC-C
+    /// spec: 1%); experiment C11 sweeps this.
+    remote_line_prob: f64,
+    /// Probability a payment is remote (spec: 15%).
+    remote_payment_prob: f64,
+    /// Fraction of NewOrder vs Payment (spec mix is ~45/43; we use 50/50).
+    new_order_fraction: f64,
+    rng: StdRng,
+}
+
+impl TpccLiteWorkload {
+    /// Stream over `warehouses` with the spec's default remote
+    /// probabilities (1% lines, 15% payments).
+    pub fn new(warehouses: u64, seed: u64) -> Self {
+        Self::with_remote_probs(warehouses, 0.01, 0.15, seed)
+    }
+
+    /// Stream with explicit remote probabilities — the cross-shard knob.
+    pub fn with_remote_probs(
+        warehouses: u64,
+        remote_line_prob: f64,
+        remote_payment_prob: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(warehouses >= 1);
+        Self {
+            warehouses,
+            items: 100_000,
+            customers_per_district: 3_000,
+            remote_line_prob,
+            remote_payment_prob,
+            new_order_fraction: 0.5,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of warehouses.
+    pub fn warehouses(&self) -> u64 {
+        self.warehouses
+    }
+
+    /// Number of distinct items.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    fn remote_warehouse(&mut self, home: u64) -> u64 {
+        if self.warehouses == 1 {
+            return home;
+        }
+        loop {
+            let w = self.rng.gen_range(0..self.warehouses);
+            if w != home {
+                return w;
+            }
+        }
+    }
+
+    /// Generate the next transaction.
+    pub fn next_txn(&mut self) -> TpccTxn {
+        let home = self.rng.gen_range(0..self.warehouses);
+        let district = self.rng.gen_range(0..10);
+        if self.rng.gen::<f64>() < self.new_order_fraction {
+            let n = self.rng.gen_range(MIN_LINES..=MAX_LINES);
+            let lines = (0..n)
+                .map(|_| {
+                    let w = if self.rng.gen::<f64>() < self.remote_line_prob {
+                        self.remote_warehouse(home)
+                    } else {
+                        home
+                    };
+                    (w, self.rng.gen_range(0..self.items))
+                })
+                .collect();
+            TpccTxn::NewOrder {
+                warehouse: home,
+                district,
+                lines,
+            }
+        } else {
+            let customer_warehouse = if self.rng.gen::<f64>() < self.remote_payment_prob {
+                self.remote_warehouse(home)
+            } else {
+                home
+            };
+            TpccTxn::Payment {
+                warehouse: home,
+                district,
+                customer_warehouse,
+                customer: self.rng.gen_range(0..self.customers_per_district),
+                amount: self.rng.gen_range(1..5_000),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_defaults_give_mostly_local_txns() {
+        let mut w = TpccLiteWorkload::new(8, 1);
+        let cross = (0..10_000)
+            .filter(|_| w.next_txn().is_cross_warehouse())
+            .count();
+        // ~1% per line x ~10 lines for half the txns + 15% for the other
+        // half => roughly 8-14% cross.
+        assert!((500..2_000).contains(&cross), "{cross} cross-warehouse");
+    }
+
+    #[test]
+    fn remote_prob_knob_sweeps_cross_fraction() {
+        let mut zero = TpccLiteWorkload::with_remote_probs(8, 0.0, 0.0, 2);
+        assert!((0..5_000).all(|_| !zero.next_txn().is_cross_warehouse()));
+        let mut all = TpccLiteWorkload::with_remote_probs(8, 1.0, 1.0, 3);
+        let cross = (0..5_000)
+            .filter(|_| all.next_txn().is_cross_warehouse())
+            .count();
+        assert!(cross > 4_900, "{cross}");
+    }
+
+    #[test]
+    fn single_warehouse_never_cross() {
+        let mut w = TpccLiteWorkload::with_remote_probs(1, 1.0, 1.0, 4);
+        assert!((0..1_000).all(|_| !w.next_txn().is_cross_warehouse()));
+    }
+
+    #[test]
+    fn neworder_line_counts_in_spec_range() {
+        let mut w = TpccLiteWorkload::new(4, 5);
+        for _ in 0..2_000 {
+            if let TpccTxn::NewOrder { lines, .. } = w.next_txn() {
+                assert!((MIN_LINES..=MAX_LINES).contains(&lines.len()));
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! YCSB core workloads A–F over a single keyed table.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::{scramble, ZipfGenerator};
+
+/// Key-choice distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over the keyspace.
+    Uniform,
+    /// Zipfian with the given theta (0.99 = YCSB default), scrambled.
+    Zipfian(f64),
+    /// Skewed towards recently inserted keys (workload D).
+    Latest,
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Point read.
+    Read(u64),
+    /// Full-record update.
+    Update(u64),
+    /// Insert of a fresh key.
+    Insert(u64),
+    /// Range scan of `len` keys starting at the key.
+    Scan(u64, usize),
+    /// Read-modify-write.
+    Rmw(u64),
+}
+
+impl YcsbOp {
+    /// The primary key the op touches.
+    pub fn key(&self) -> u64 {
+        match *self {
+            YcsbOp::Read(k)
+            | YcsbOp::Update(k)
+            | YcsbOp::Insert(k)
+            | YcsbOp::Scan(k, _)
+            | YcsbOp::Rmw(k) => k,
+        }
+    }
+
+    /// True if the op writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, YcsbOp::Update(_) | YcsbOp::Insert(_) | YcsbOp::Rmw(_))
+    }
+}
+
+/// Operation mix specification (fractions must sum to 1).
+#[derive(Debug, Clone, Copy)]
+pub struct YcsbSpec {
+    /// Fraction of point reads.
+    pub read: f64,
+    /// Fraction of updates.
+    pub update: f64,
+    /// Fraction of inserts.
+    pub insert: f64,
+    /// Fraction of scans.
+    pub scan: f64,
+    /// Fraction of read-modify-writes.
+    pub rmw: f64,
+    /// Key distribution.
+    pub dist: KeyDist,
+    /// Max scan length (uniform in 1..=this).
+    pub max_scan_len: usize,
+}
+
+impl YcsbSpec {
+    /// Workload A: 50% read / 50% update, zipfian.
+    pub fn a() -> Self {
+        Self::mix(0.5, 0.5, 0.0, 0.0, 0.0, KeyDist::Zipfian(0.99))
+    }
+    /// Workload B: 95% read / 5% update, zipfian.
+    pub fn b() -> Self {
+        Self::mix(0.95, 0.05, 0.0, 0.0, 0.0, KeyDist::Zipfian(0.99))
+    }
+    /// Workload C: 100% read, zipfian.
+    pub fn c() -> Self {
+        Self::mix(1.0, 0.0, 0.0, 0.0, 0.0, KeyDist::Zipfian(0.99))
+    }
+    /// Workload D: 95% read / 5% insert, latest.
+    pub fn d() -> Self {
+        Self::mix(0.95, 0.0, 0.05, 0.0, 0.0, KeyDist::Latest)
+    }
+    /// Workload E: 95% scan / 5% insert, zipfian.
+    pub fn e() -> Self {
+        Self::mix(0.0, 0.0, 0.05, 0.95, 0.0, KeyDist::Zipfian(0.99))
+    }
+    /// Workload F: 50% read / 50% read-modify-write, zipfian.
+    pub fn f() -> Self {
+        Self::mix(0.5, 0.0, 0.0, 0.0, 0.5, KeyDist::Zipfian(0.99))
+    }
+
+    /// A custom mix.
+    pub fn mix(read: f64, update: f64, insert: f64, scan: f64, rmw: f64, dist: KeyDist) -> Self {
+        let total = read + update + insert + scan + rmw;
+        assert!((total - 1.0).abs() < 1e-9, "mix sums to {total}");
+        Self {
+            read,
+            update,
+            insert,
+            scan,
+            rmw,
+            dist,
+            max_scan_len: 100,
+        }
+    }
+}
+
+/// A seeded YCSB op stream over `record_count` preloaded keys.
+pub struct YcsbWorkload {
+    spec: YcsbSpec,
+    record_count: u64,
+    insert_cursor: u64,
+    zipf: Option<ZipfGenerator>,
+    rng: StdRng,
+}
+
+impl YcsbWorkload {
+    /// Stream with `record_count` preloaded records and the given seed.
+    pub fn new(spec: YcsbSpec, record_count: u64, seed: u64) -> Self {
+        assert!(record_count > 0);
+        let zipf = match spec.dist {
+            KeyDist::Zipfian(theta) => Some(ZipfGenerator::new(record_count, theta)),
+            _ => None,
+        };
+        Self {
+            spec,
+            record_count,
+            insert_cursor: record_count,
+            zipf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Keys currently in the table (grows with inserts).
+    pub fn key_count(&self) -> u64 {
+        self.insert_cursor
+    }
+
+    fn choose_key(&mut self) -> u64 {
+        match self.spec.dist {
+            KeyDist::Uniform => self.rng.gen_range(0..self.insert_cursor),
+            KeyDist::Zipfian(_) => {
+                let rank = self.zipf.as_ref().expect("zipf built").next(&mut self.rng);
+                scramble(rank, self.record_count)
+            }
+            KeyDist::Latest => {
+                // Rank 0 = newest key.
+                let z = self
+                    .zipf
+                    .get_or_insert_with(|| ZipfGenerator::new(self.record_count, 0.99));
+                let rank = z.next(&mut self.rng);
+                self.insert_cursor - 1 - rank.min(self.insert_cursor - 1)
+            }
+        }
+    }
+
+    /// Generate the next operation.
+    pub fn next_op(&mut self) -> YcsbOp {
+        let x: f64 = self.rng.gen();
+        let s = &self.spec;
+        if x < s.read {
+            YcsbOp::Read(self.choose_key())
+        } else if x < s.read + s.update {
+            YcsbOp::Update(self.choose_key())
+        } else if x < s.read + s.update + s.insert {
+            let k = self.insert_cursor;
+            self.insert_cursor += 1;
+            YcsbOp::Insert(k)
+        } else if x < s.read + s.update + s.insert + s.scan {
+            let len = self.rng.gen_range(1..=s.max_scan_len);
+            YcsbOp::Scan(self.choose_key(), len)
+        } else {
+            YcsbOp::Rmw(self.choose_key())
+        }
+    }
+
+    /// Generate a batch of `n` ops.
+    pub fn batch(&mut self, n: usize) -> Vec<YcsbOp> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_a_mix_is_half_writes() {
+        let mut w = YcsbWorkload::new(YcsbSpec::a(), 10_000, 1);
+        let ops = w.batch(20_000);
+        let writes = ops.iter().filter(|o| o.is_write()).count();
+        assert!((9_000..11_000).contains(&writes), "{writes} writes");
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let mut w = YcsbWorkload::new(YcsbSpec::c(), 1_000, 2);
+        assert!(w.batch(5_000).iter().all(|o| !o.is_write()));
+    }
+
+    #[test]
+    fn workload_e_scans_dominate() {
+        let mut w = YcsbWorkload::new(YcsbSpec::e(), 1_000, 3);
+        let ops = w.batch(10_000);
+        let scans = ops
+            .iter()
+            .filter(|o| matches!(o, YcsbOp::Scan(_, _)))
+            .count();
+        assert!(scans > 9_000, "{scans} scans");
+        assert!(ops
+            .iter()
+            .all(|o| matches!(o, YcsbOp::Scan(_, _) | YcsbOp::Insert(_))));
+    }
+
+    #[test]
+    fn inserts_extend_the_keyspace_monotonically() {
+        let mut w = YcsbWorkload::new(YcsbSpec::d(), 100, 4);
+        let mut last = 99;
+        for _ in 0..5_000 {
+            if let YcsbOp::Insert(k) = w.next_op() {
+                assert_eq!(k, last + 1);
+                last = k;
+            }
+        }
+        assert!(w.key_count() > 100);
+    }
+
+    #[test]
+    fn latest_dist_prefers_new_keys() {
+        let mut w = YcsbWorkload::new(YcsbSpec::d(), 10_000, 5);
+        let mut recent = 0;
+        let mut total = 0;
+        for _ in 0..20_000 {
+            if let YcsbOp::Read(k) = w.next_op() {
+                total += 1;
+                if k + 1_000 >= w.key_count() {
+                    recent += 1;
+                }
+            }
+        }
+        assert!(
+            recent * 2 > total,
+            "only {recent}/{total} reads hit the newest 10%"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = YcsbWorkload::new(YcsbSpec::a(), 1_000, 42);
+        let mut b = YcsbWorkload::new(YcsbSpec::a(), 1_000, 42);
+        assert_eq!(a.batch(1_000), b.batch(1_000));
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let mut w = YcsbWorkload::new(YcsbSpec::b(), 500, 6);
+        for _ in 0..10_000 {
+            let op = w.next_op();
+            assert!(op.key() < w.key_count());
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Zipfian key generation (Gray et al., "Quickly Generating
+//! Billion-Record Synthetic Databases" — the generator YCSB uses).
+//!
+//! Produces ranks in `[0, n)` where rank `k` has probability proportional
+//! to `1/(k+1)^theta`. `theta = 0` is uniform; YCSB's default is 0.99;
+//! contention experiments sweep up to ~1.3.
+
+use rand::Rng;
+
+/// A Zipf-distributed generator over `0..n`.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl ZipfGenerator {
+    /// Generator over `0..n` with skew `theta` (0 = uniform-ish, 0.99 =
+    /// YCSB default, >1 = extreme).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!((0.0..2.0).contains(&theta), "theta {theta} out of range");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = if n > 1 {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan)
+        } else {
+            0.0
+        };
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact up to 10_000_000 items; beyond that use the standard
+        // integral approximation for the tail to keep construction fast.
+        const EXACT: u64 = 10_000_000;
+        let exact_n = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT && theta != 1.0 {
+            sum += ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta))
+                / (1.0 - theta);
+        }
+        sum
+    }
+
+    /// Number of distinct ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw the next rank. Rank 0 is the most popular item.
+    pub fn next<R: Rng>(&self, rng: &mut R) -> u64 {
+        if self.theta == 0.0 {
+            return rng.gen_range(0..self.n);
+        }
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) && self.n >= 2 {
+            return 1;
+        }
+        let _ = self.zeta2;
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// Fisher–Yates-derived stable scrambling so that adjacent ranks do not
+/// map to adjacent keys (YCSB's `fnv`-style hashing). Use this when rank
+/// locality must not translate into key locality.
+#[inline]
+pub fn scramble(rank: u64, n: u64) -> u64 {
+    // 64-bit finalizer (splitmix64), reduced modulo n.
+    let mut x = rank.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    x % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let g = ZipfGenerator::new(1000, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[(g.next(&mut rng) / 100) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_low_ranks() {
+        let g = ZipfGenerator::new(100_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut head = 0u32;
+        const DRAWS: u32 = 100_000;
+        for _ in 0..DRAWS {
+            if g.next(&mut rng) < 1000 {
+                head += 1;
+            }
+        }
+        // With theta=0.99, the top 1% of keys should draw well over a
+        // third of accesses.
+        assert!(
+            head > DRAWS / 3,
+            "only {head}/{DRAWS} hit the 1% hottest keys"
+        );
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let frac_head = |theta: f64, rng: &mut StdRng| {
+            let g = ZipfGenerator::new(10_000, theta);
+            let mut head = 0;
+            for _ in 0..50_000 {
+                if g.next(rng) < 10 {
+                    head += 1;
+                }
+            }
+            head
+        };
+        let low = frac_head(0.5, &mut rng);
+        let high = frac_head(1.2, &mut rng);
+        assert!(high > 2 * low, "theta=1.2 head {high} vs theta=0.5 {low}");
+    }
+
+    #[test]
+    fn ranks_stay_in_range() {
+        for theta in [0.0, 0.5, 0.99, 1.3] {
+            let g = ZipfGenerator::new(37, theta);
+            let mut rng = StdRng::seed_from_u64(3);
+            for _ in 0..10_000 {
+                assert!(g.next(&mut rng) < 37);
+            }
+        }
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let g = ZipfGenerator::new(1, 0.99);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(g.next(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn scramble_is_a_permutation_modulo_collisions() {
+        // scramble() is not a bijection mod n, but it must spread the head
+        // ranks apart and stay in range.
+        let n = 1000;
+        let keys: Vec<u64> = (0..10).map(|r| scramble(r, n)).collect();
+        assert!(keys.iter().all(|&k| k < n));
+        let distinct: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(distinct.len(), keys.len(), "head keys should not collide");
+        // Not consecutive.
+        assert!(keys.windows(2).any(|w| w[0].abs_diff(w[1]) > 1));
+    }
+}
