@@ -145,6 +145,96 @@ fn bench_indexes(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_multi_get(c: &mut Criterion) {
+    const K: usize = 16;
+    let l = layer();
+    let ep = l.fabric().endpoint();
+    let addrs: Vec<_> = (0..K).map(|_| l.alloc(64).unwrap()).collect();
+    let mut group = c.benchmark_group("multi_get_16x64B");
+    let mut buf = vec![0u8; K * 64];
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            for (addr, dst) in addrs.iter().zip(buf.chunks_exact_mut(64)) {
+                l.read(&ep, *addr, dst).unwrap();
+            }
+        })
+    });
+    group.bench_function("doorbell_batched", |b| {
+        b.iter(|| {
+            let mut reqs: Vec<_> = addrs
+                .iter()
+                .copied()
+                .zip(buf.chunks_exact_mut(64).map(|s| &mut s[..]))
+                .collect();
+            l.read_batch(&ep, &mut reqs).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_pool_striping(c: &mut Criterion) {
+    use std::time::Instant;
+    const PAGES: usize = 1024;
+    let mut group = c.benchmark_group("pool_hit_contention");
+    for shards in [1usize, 8] {
+        let l = layer();
+        let pool = Arc::new(BufferPool::new_striped(
+            l.clone(),
+            64,
+            PAGES,
+            shards,
+            |cap| Box::new(buffer::ClockPolicy::new(cap)),
+            WriteMode::WriteThrough,
+        ));
+        let addrs: Vec<_> = (0..PAGES).map(|_| l.alloc(64).unwrap()).collect();
+        let addrs = Arc::new(addrs);
+        {
+            // Warm: every page resident, so the measured path is pure hits.
+            let ep = l.fabric().endpoint();
+            let mut buf = [0u8; 64];
+            for a in addrs.iter() {
+                pool.read_page(&ep, *a, &mut buf).unwrap();
+            }
+        }
+        for threads in [1usize, 4, 8, 16] {
+            let id = format!("{shards}shard_{threads}thr");
+            group.bench_function(&id, |b| {
+                b.iter_custom(|iters| {
+                    let per_thread = (iters as usize / threads).max(1);
+                    let start = Instant::now();
+                    std::thread::scope(|sc| {
+                        for t in 0..threads {
+                            let pool = pool.clone();
+                            let addrs = addrs.clone();
+                            let l = l.clone();
+                            sc.spawn(move || {
+                                let ep = l.fabric().endpoint();
+                                let mut buf = [0u8; 64];
+                                let mut x = t as u64 + 1;
+                                for _ in 0..per_thread {
+                                    // xorshift: cheap thread-private page pick
+                                    x ^= x << 13;
+                                    x ^= x >> 7;
+                                    x ^= x << 17;
+                                    let a = addrs[(x as usize) % PAGES];
+                                    pool.read_page(&ep, a, &mut buf).unwrap();
+                                }
+                            });
+                        }
+                    });
+                    let elapsed = start.elapsed();
+                    // Normalise to the requested iteration count so the
+                    // reported per-op time is comparable across thread
+                    // counts.
+                    let done = (per_thread * threads) as u32;
+                    elapsed * iters as u32 / done.max(1)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_erasure(c: &mut Criterion) {
     let cfg = dsm::ErasureConfig {
         data_shards: 4,
@@ -178,6 +268,8 @@ criterion_group!(
     bench_locks,
     bench_cc,
     bench_buffer_policies,
+    bench_multi_get,
+    bench_pool_striping,
     bench_indexes,
     bench_erasure
 );

@@ -45,8 +45,11 @@ pub struct WorkloadResult {
     pub aborts: u64,
     /// Makespan: max session virtual time, ns.
     pub makespan_ns: u64,
-    /// Sum of round trips across sessions.
+    /// Sum of round trips (verbs) across sessions.
     pub round_trips: u64,
+    /// Round trips actually paid on the wire: verbs minus the ops that
+    /// rode along in doorbell groups behind their leader.
+    pub wire_round_trips: u64,
 }
 
 impl WorkloadResult {
@@ -69,12 +72,22 @@ impl WorkloadResult {
         }
     }
 
-    /// Mean round trips per committed transaction.
+    /// Mean round trips (verbs) per committed transaction.
     pub fn rts_per_txn(&self) -> f64 {
         if self.commits == 0 {
             0.0
         } else {
             self.round_trips as f64 / self.commits as f64
+        }
+    }
+
+    /// Mean *wire* round trips per committed transaction (doorbell
+    /// batching collapses a group of verbs into one of these).
+    pub fn wire_rts_per_txn(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.wire_round_trips as f64 / self.commits as f64
         }
     }
 }
@@ -100,6 +113,7 @@ where
     let aborts = AtomicUsize::new(0);
     let makespan = std::sync::atomic::AtomicU64::new(0);
     let rts = std::sync::atomic::AtomicU64::new(0);
+    let wire_rts = std::sync::atomic::AtomicU64::new(0);
     std::thread::scope(|sc| {
         for n in 0..nodes {
             for t in 0..threads {
@@ -110,6 +124,7 @@ where
                 let aborts = &aborts;
                 let makespan = &makespan;
                 let rts = &rts;
+                let wire_rts = &wire_rts;
                 sc.spawn(move || {
                     let mut s: Session = cluster.session(n, t);
                     for i in 0..txns_per_session {
@@ -140,7 +155,9 @@ where
                     }
                     s.serve_pending(usize::MAX >> 1);
                     makespan.fetch_max(s.endpoint().clock().now_ns(), Ordering::Relaxed);
-                    rts.fetch_add(s.endpoint().stats().round_trips(), Ordering::Relaxed);
+                    let snap = s.endpoint().stats();
+                    rts.fetch_add(snap.round_trips(), Ordering::Relaxed);
+                    wire_rts.fetch_add(snap.wire_round_trips(), Ordering::Relaxed);
                 });
             }
         }
@@ -150,6 +167,7 @@ where
         aborts: aborts.load(Ordering::Relaxed) as u64,
         makespan_ns: makespan.load(Ordering::Relaxed),
         round_trips: rts.load(Ordering::Relaxed),
+        wire_round_trips: wire_rts.load(Ordering::Relaxed),
     }
 }
 

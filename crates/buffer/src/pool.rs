@@ -7,12 +7,33 @@
 //! Every software action is priced by [`crate::cost`] and charged to the
 //! calling endpoint, so experiments see lookup + maintenance +
 //! synchronization overhead exactly as §5 Challenge 8 demands.
+//!
+//! # Striping and the miss protocol
+//!
+//! The pool is striped into N lock shards keyed by a hash of the page
+//! address (see [`BufferPool::new_striped`]); [`BufferPool::new`] builds
+//! the degenerate single-shard pool. Within a shard the miss path does
+//! *not* hold the latch across the remote fetch: the frame is pinned
+//! in-flight (`filling`), its data box is taken out, the latch drops, the
+//! fetch happens on the wire, and the frame is published on return.
+//! Concurrent requesters of the same page wait on the shard's condvar for
+//! that frame — not on the pool lock — and count as hits. Dirty evictions
+//! likewise write back outside the latch; the evicted address sits in a
+//! `writing_back` set so nobody re-fetches a page whose newest bytes are
+//! still in flight toward DSM.
+//!
+//! Multi-page entry points ([`BufferPool::read_pages`],
+//! [`BufferPool::write_pages`]) coalesce all remote traffic of a call into
+//! one doorbell per direction: one `write_batch` for every dirty victim
+//! (plus write-through propagation) and one `read_batch` for every fetch.
+//! To stay deadlock-free a thread never sleeps on a condvar while it holds
+//! unfetched reservations — it flushes its batch first, then waits.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use dsm::{DsmLayer, DsmResult, GlobalAddr};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rdma_sim::Endpoint;
 
 use crate::cost::{copy_cost_ns, LOCK_NS, MAP_OP_NS};
@@ -54,6 +75,15 @@ impl PoolStats {
             self.hits as f64 / total as f64
         }
     }
+
+    fn accumulate(&mut self, o: &PoolStats) {
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.evictions += o.evictions;
+        self.writebacks += o.writebacks;
+        self.invalidations += o.invalidations;
+        self.overhead_ns += o.overhead_ns;
+    }
 }
 
 struct Frame {
@@ -61,27 +91,71 @@ struct Frame {
     /// Raw [`GlobalAddr`] of the resident page; `u64::MAX` when empty.
     page: u64,
     dirty: bool,
+    /// Pinned for an in-flight remote fetch; `data` is taken out and the
+    /// frame must not be read, evicted, or invalidated until published.
+    filling: bool,
 }
 
-struct Inner {
+struct ShardInner {
     policy: Box<dyn ReplacementPolicy>,
     frames: Vec<Frame>,
     page_table: HashMap<u64, FrameId>,
     free: Vec<FrameId>,
+    /// Pages evicted dirty whose write-back to DSM is still in flight; a
+    /// miss on one of these must wait or it would fetch stale bytes.
+    writing_back: HashSet<u64>,
+    /// Number of frames currently `filling`.
+    filling: usize,
     stats: PoolStats,
 }
 
-/// A fixed-capacity page cache in compute-node local memory.
+struct Shard {
+    inner: Mutex<ShardInner>,
+    cv: Condvar,
+}
+
+/// A fixed-capacity page cache in compute-node local memory, striped into
+/// independent lock shards.
 pub struct BufferPool {
     layer: Arc<DsmLayer>,
     page_size: usize,
     mode: WriteMode,
-    inner: Mutex<Inner>,
+    shards: Vec<Shard>,
+    /// `64 - log2(shards)`: fibonacci-hash shift for shard selection.
+    shard_shift: u32,
+}
+
+/// A frame reserved for an in-flight fetch, tracked outside the latch.
+struct PendingFetch {
+    req_idx: usize,
+    shard: usize,
+    frame: FrameId,
+    key: u64,
+    data: Box<[u8]>,
+    /// Raw address of a dirty victim whose bytes currently sit in `data`
+    /// and must reach DSM before the fetch reuses the buffer.
+    writeback: Option<u64>,
+}
+
+/// A dirty victim snapshotted by the write path for the batched doorbell.
+struct PendingWriteback {
+    shard: usize,
+    raw: u64,
+    data: Box<[u8]>,
+}
+
+enum Step {
+    /// Request served (hit, or write applied to a frame).
+    Done,
+    /// Frame reserved; the caller owns the fetch.
+    Reserved(PendingFetch),
+    /// Would need to sleep while holding batched state: flush first.
+    MustFlush,
 }
 
 impl BufferPool {
-    /// A pool of `capacity_pages` frames of `page_size` bytes, managed by
-    /// `policy`, fronting `layer`.
+    /// A single-shard pool of `capacity_pages` frames of `page_size`
+    /// bytes, managed by `policy`, fronting `layer`.
     pub fn new(
         layer: Arc<DsmLayer>,
         page_size: usize,
@@ -89,25 +163,82 @@ impl BufferPool {
         policy: Box<dyn ReplacementPolicy>,
         mode: WriteMode,
     ) -> Self {
-        assert!(capacity_pages >= 1);
-        let frames = (0..capacity_pages)
-            .map(|_| Frame {
-                data: vec![0u8; page_size].into_boxed_slice(),
-                page: u64::MAX,
-                dirty: false,
+        Self::build(layer, page_size, mode, vec![(capacity_pages, policy)])
+    }
+
+    /// A pool striped into `shards` (power of two) independent lock
+    /// shards; `policy` is invoked once per shard with that shard's frame
+    /// capacity. Page addresses map to shards by fibonacci hash.
+    pub fn new_striped(
+        layer: Arc<DsmLayer>,
+        page_size: usize,
+        capacity_pages: usize,
+        shards: usize,
+        policy: impl Fn(usize) -> Box<dyn ReplacementPolicy>,
+        mode: WriteMode,
+    ) -> Self {
+        assert!(shards >= 1 && shards.is_power_of_two(), "shards must be a power of two");
+        assert!(capacity_pages >= shards, "need at least one frame per shard");
+        let base = capacity_pages / shards;
+        let rem = capacity_pages % shards;
+        let per_shard = (0..shards)
+            .map(|i| {
+                let cap = base + usize::from(i < rem);
+                (cap, policy(cap))
+            })
+            .collect();
+        Self::build(layer, page_size, mode, per_shard)
+    }
+
+    fn build(
+        layer: Arc<DsmLayer>,
+        page_size: usize,
+        mode: WriteMode,
+        per_shard: Vec<(usize, Box<dyn ReplacementPolicy>)>,
+    ) -> Self {
+        let nshards = per_shard.len();
+        assert!(nshards.is_power_of_two());
+        let shards = per_shard
+            .into_iter()
+            .map(|(cap, policy)| {
+                assert!(cap >= 1);
+                let frames = (0..cap)
+                    .map(|_| Frame {
+                        data: vec![0u8; page_size].into_boxed_slice(),
+                        page: u64::MAX,
+                        dirty: false,
+                        filling: false,
+                    })
+                    .collect();
+                Shard {
+                    inner: Mutex::new(ShardInner {
+                        policy,
+                        frames,
+                        page_table: HashMap::with_capacity(cap * 2),
+                        free: (0..cap).rev().collect(),
+                        writing_back: HashSet::new(),
+                        filling: 0,
+                        stats: PoolStats::default(),
+                    }),
+                    cv: Condvar::new(),
+                }
             })
             .collect();
         Self {
             layer,
             page_size,
             mode,
-            inner: Mutex::new(Inner {
-                policy,
-                frames,
-                page_table: HashMap::with_capacity(capacity_pages * 2),
-                free: (0..capacity_pages).rev().collect(),
-                stats: PoolStats::default(),
-            }),
+            shards,
+            shard_shift: 64 - nshards.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: u64) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shard_shift) as usize
         }
     }
 
@@ -116,35 +247,55 @@ impl BufferPool {
         self.page_size
     }
 
-    /// Frame capacity.
-    pub fn capacity(&self) -> usize {
-        self.inner.lock().frames.len()
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Number of resident pages.
+    /// Frame capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.inner.lock().frames.len()).sum()
+    }
+
+    /// Number of resident pages (including frames mid-fetch).
     pub fn resident(&self) -> usize {
-        self.inner.lock().page_table.len()
+        self.shards.iter().map(|s| s.inner.lock().page_table.len()).sum()
     }
 
     /// Whether `addr`'s page is currently resident (no cost charged —
     /// callers fold this into their own accounting).
     pub fn contains(&self, addr: GlobalAddr) -> bool {
-        self.inner.lock().page_table.contains_key(&addr.to_raw())
+        let key = addr.to_raw();
+        self.shards[self.shard_of(key)]
+            .inner
+            .lock()
+            .page_table
+            .contains_key(&key)
     }
 
     /// The replacement policy's display name.
     pub fn policy_name(&self) -> &'static str {
-        self.inner.lock().policy.name()
+        self.shards[0].inner.lock().policy.name()
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot: all shard latches are held simultaneously, so
+    /// `hit_rate()` can never observe a torn hits/misses pair.
     pub fn stats(&self) -> PoolStats {
-        self.inner.lock().stats
+        let guards: Vec<_> = self.shards.iter().map(|s| s.inner.lock()).collect();
+        let mut total = PoolStats::default();
+        for g in &guards {
+            total.accumulate(&g.stats);
+        }
+        total
     }
 
-    /// Zero the counters (between experiment phases).
+    /// Zero the counters (between experiment phases). Holds every shard
+    /// latch at once so concurrent readers see all-old or all-new.
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = PoolStats::default();
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.inner.lock()).collect();
+        for g in guards.iter_mut() {
+            g.stats = PoolStats::default();
+        }
     }
 
     fn charge(ep: &Endpoint, stats: &mut PoolStats, ns: u64) {
@@ -155,119 +306,401 @@ impl BufferPool {
     /// Read the page at `addr` into `dst` (must be `page_size` long).
     /// Returns true on a local hit.
     pub fn read_page(&self, ep: &Endpoint, addr: GlobalAddr, dst: &mut [u8]) -> DsmResult<bool> {
-        assert_eq!(dst.len(), self.page_size);
-        let key = addr.to_raw();
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        if let Some(&f) = inner.page_table.get(&key) {
-            // Hit: lookup + (latch unless the policy's hit path is
-            // latch-free) + policy maintenance + local copy.
-            let latch = if inner.policy.latch_free_hits() { 0 } else { LOCK_NS };
-            let pol = inner.policy.on_hit(f, key);
-            Self::charge(ep, &mut inner.stats, MAP_OP_NS + latch + pol);
-            ep.charge_local(copy_cost_ns(self.page_size));
-            dst.copy_from_slice(&inner.frames[f].data);
-            inner.stats.hits += 1;
-            return Ok(true);
-        }
-        // Miss: take the latch, pick a frame, maybe write back, fetch.
-        let mut overhead = MAP_OP_NS + LOCK_NS;
-        let f = match inner.free.pop() {
-            Some(f) => f,
-            None => {
-                let (victim, pol) = inner.policy.victim();
-                overhead += pol;
-                inner.stats.evictions += 1;
-                let old = &mut inner.frames[victim];
-                inner.page_table.remove(&old.page);
-                if old.dirty {
-                    self.layer.write(ep, GlobalAddr::from_raw(old.page), &old.data)?;
-                    old.dirty = false;
-                    inner.stats.writebacks += 1;
-                }
-                victim
-            }
-        };
-        self.layer.read(ep, addr, &mut inner.frames[f].data)?;
-        inner.frames[f].page = key;
-        inner.frames[f].dirty = false;
-        inner.page_table.insert(key, f);
-        overhead += inner.policy.on_insert(f, key) + MAP_OP_NS;
-        Self::charge(ep, &mut inner.stats, overhead);
-        ep.charge_local(copy_cost_ns(self.page_size));
-        dst.copy_from_slice(&inner.frames[f].data);
-        inner.stats.misses += 1;
-        Ok(false)
+        let mut reqs = [(addr, dst)];
+        Ok(self.read_pages(ep, &mut reqs)? == 1)
     }
 
-    /// Write `src` (a full page) to `addr` through the cache.
-    pub fn write_page(&self, ep: &Endpoint, addr: GlobalAddr, src: &[u8]) -> DsmResult<()> {
-        assert_eq!(src.len(), self.page_size);
+    /// Read every page in `reqs` (addresses must be distinct), resolving
+    /// hits locally and fetching all misses in one doorbell group (plus
+    /// one group for any dirty victim write-backs). Returns the number of
+    /// local hits.
+    pub fn read_pages(&self, ep: &Endpoint, reqs: &mut [(GlobalAddr, &mut [u8])]) -> DsmResult<usize> {
+        let mut hits = 0usize;
+        let mut pending: Vec<PendingFetch> = Vec::new();
+        let mut i = 0;
+        while i < reqs.len() {
+            match self.resolve_read(ep, i, reqs, pending.is_empty())? {
+                Step::Done => {
+                    hits += 1;
+                    i += 1;
+                }
+                Step::Reserved(p) => {
+                    pending.push(p);
+                    i += 1;
+                }
+                Step::MustFlush => self.complete_fetches(ep, reqs, &mut pending)?,
+            }
+        }
+        self.complete_fetches(ep, reqs, &mut pending)?;
+        Ok(hits)
+    }
+
+    /// One read request: hit (copy out), or reserve a frame for the batch.
+    /// With `can_wait` false the caller holds unfetched reservations, so
+    /// instead of sleeping we ask it to flush (deadlock freedom: a thread
+    /// only ever blocks while holding nothing in flight).
+    fn resolve_read(
+        &self,
+        ep: &Endpoint,
+        i: usize,
+        reqs: &mut [(GlobalAddr, &mut [u8])],
+        can_wait: bool,
+    ) -> DsmResult<Step> {
+        let (addr, dst) = &mut reqs[i];
+        assert_eq!(dst.len(), self.page_size);
         let key = addr.to_raw();
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        let f = if let Some(&f) = inner.page_table.get(&key) {
-            let pol = inner.policy.on_hit(f, key);
-            Self::charge(ep, &mut inner.stats, MAP_OP_NS + LOCK_NS + pol);
-            inner.stats.hits += 1;
-            f
-        } else {
-            let mut overhead = MAP_OP_NS + LOCK_NS;
-            let f = match inner.free.pop() {
-                Some(f) => f,
-                None => {
-                    let (victim, pol) = inner.policy.victim();
-                    overhead += pol;
-                    inner.stats.evictions += 1;
-                    let old = &mut inner.frames[victim];
-                    inner.page_table.remove(&old.page);
-                    if old.dirty {
-                        self.layer.write(ep, GlobalAddr::from_raw(old.page), &old.data)?;
-                        old.dirty = false;
-                        inner.stats.writebacks += 1;
+        let shard_idx = self.shard_of(key);
+        let sh = &self.shards[shard_idx];
+        let mut inner = sh.inner.lock();
+        loop {
+            let s = &mut *inner;
+            if let Some(&f) = s.page_table.get(&key) {
+                if s.frames[f].filling {
+                    // Another thread's fetch is in flight: wait on the
+                    // frame, not the pool — then it's a hit.
+                    if !can_wait {
+                        return Ok(Step::MustFlush);
                     }
-                    victim
+                    sh.cv.wait(&mut inner);
+                    continue;
+                }
+                let latch = if s.policy.latch_free_hits() { 0 } else { LOCK_NS };
+                let pol = s.policy.on_hit(f, key);
+                Self::charge(ep, &mut s.stats, MAP_OP_NS + latch + pol);
+                ep.charge_local(copy_cost_ns(self.page_size));
+                dst.copy_from_slice(&s.frames[f].data);
+                s.stats.hits += 1;
+                return Ok(Step::Done);
+            }
+            if s.writing_back.contains(&key) {
+                if !can_wait {
+                    return Ok(Step::MustFlush);
+                }
+                sh.cv.wait(&mut inner);
+                continue;
+            }
+            // Miss: reserve a frame, pin it in-flight, and take its data
+            // box so the fetch can run outside the latch.
+            let mut overhead = MAP_OP_NS + LOCK_NS;
+            let (f, writeback) = match s.free.pop() {
+                Some(f) => (f, None),
+                None => {
+                    if s.page_table.len() - s.filling == 0 {
+                        // Every frame is mid-fetch; wait for one to settle.
+                        if !can_wait {
+                            return Ok(Step::MustFlush);
+                        }
+                        sh.cv.wait(&mut inner);
+                        continue;
+                    }
+                    let (victim, pol) = s.policy.victim();
+                    overhead += pol;
+                    s.stats.evictions += 1;
+                    let old = &mut s.frames[victim];
+                    s.page_table.remove(&old.page);
+                    let wb = if old.dirty {
+                        s.writing_back.insert(old.page);
+                        old.dirty = false;
+                        Some(old.page)
+                    } else {
+                        None
+                    };
+                    (victim, wb)
                 }
             };
-            inner.frames[f].page = key;
-            inner.page_table.insert(key, f);
-            overhead += inner.policy.on_insert(f, key) + MAP_OP_NS;
-            Self::charge(ep, &mut inner.stats, overhead);
-            inner.stats.misses += 1;
-            f
-        };
-        ep.charge_local(copy_cost_ns(self.page_size));
-        inner.frames[f].data.copy_from_slice(src);
-        match self.mode {
-            WriteMode::WriteThrough => {
-                self.layer.write(ep, addr, src)?;
-                inner.frames[f].dirty = false;
+            let fr = &mut s.frames[f];
+            fr.page = key;
+            fr.filling = true;
+            s.filling += 1;
+            let data = std::mem::take(&mut fr.data);
+            s.page_table.insert(key, f);
+            overhead += MAP_OP_NS;
+            Self::charge(ep, &mut s.stats, overhead);
+            s.stats.misses += 1;
+            return Ok(Step::Reserved(PendingFetch {
+                req_idx: i,
+                shard: shard_idx,
+                frame: f,
+                key,
+                data,
+                writeback,
+            }));
+        }
+    }
+
+    /// Flush a read batch: one doorbell of dirty victim write-backs, one
+    /// doorbell of fetches, then publish every frame and copy out.
+    fn complete_fetches(
+        &self,
+        ep: &Endpoint,
+        reqs: &mut [(GlobalAddr, &mut [u8])],
+        pending: &mut Vec<PendingFetch>,
+    ) -> DsmResult<()> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        {
+            let wb: Vec<(GlobalAddr, &[u8])> = pending
+                .iter()
+                .filter_map(|p| p.writeback.map(|raw| (GlobalAddr::from_raw(raw), &p.data[..])))
+                .collect();
+            if !wb.is_empty() {
+                if let Err(e) = self.layer.write_batch(ep, &wb) {
+                    drop(wb);
+                    self.abort_fetches(pending);
+                    return Err(e);
+                }
             }
-            WriteMode::WriteBack => {
-                inner.frames[f].dirty = true;
+        }
+        {
+            let mut fetch: Vec<(GlobalAddr, &mut [u8])> = pending
+                .iter_mut()
+                .map(|p| (GlobalAddr::from_raw(p.key), &mut p.data[..]))
+                .collect();
+            if let Err(e) = self.layer.read_batch(ep, &mut fetch) {
+                drop(fetch);
+                self.abort_fetches(pending);
+                return Err(e);
             }
+        }
+        for p in pending.drain(..) {
+            ep.charge_local(copy_cost_ns(self.page_size));
+            reqs[p.req_idx].1.copy_from_slice(&p.data);
+            let sh = &self.shards[p.shard];
+            {
+                let mut inner = sh.inner.lock();
+                let s = &mut *inner;
+                let fr = &mut s.frames[p.frame];
+                fr.data = p.data;
+                fr.dirty = false;
+                fr.filling = false;
+                s.filling -= 1;
+                if let Some(raw) = p.writeback {
+                    s.writing_back.remove(&raw);
+                    s.stats.writebacks += 1;
+                }
+                let pol = s.policy.on_insert(p.frame, p.key);
+                Self::charge(ep, &mut s.stats, pol);
+            }
+            sh.cv.notify_all();
         }
         Ok(())
     }
 
+    /// Undo reservations after a failed batch: free the frames, clear the
+    /// markers, wake waiters. (Dirty victim bytes may be lost, matching
+    /// the pre-striping error behavior — layer errors only arise in
+    /// failure-injection runs that bypass the pool.)
+    fn abort_fetches(&self, pending: &mut Vec<PendingFetch>) {
+        for p in pending.drain(..) {
+            let sh = &self.shards[p.shard];
+            {
+                let mut inner = sh.inner.lock();
+                let s = &mut *inner;
+                s.page_table.remove(&p.key);
+                let fr = &mut s.frames[p.frame];
+                fr.page = u64::MAX;
+                fr.dirty = false;
+                fr.filling = false;
+                fr.data = p.data;
+                s.filling -= 1;
+                s.free.push(p.frame);
+                if let Some(raw) = p.writeback {
+                    s.writing_back.remove(&raw);
+                }
+            }
+            sh.cv.notify_all();
+        }
+    }
+
+    /// Write `src` (a full page) to `addr` through the cache.
+    pub fn write_page(&self, ep: &Endpoint, addr: GlobalAddr, src: &[u8]) -> DsmResult<()> {
+        self.write_pages(ep, &[(addr, src)])
+    }
+
+    /// Write every full page in `reqs` through the cache. All remote
+    /// traffic of the call — dirty victim write-backs plus (in
+    /// write-through mode) the propagation of every page — goes out as one
+    /// doorbell group.
+    pub fn write_pages(&self, ep: &Endpoint, reqs: &[(GlobalAddr, &[u8])]) -> DsmResult<()> {
+        let mut wbs: Vec<PendingWriteback> = Vec::new();
+        let mut through: Vec<usize> = Vec::new();
+        let mut i = 0;
+        while i < reqs.len() {
+            let can_wait = wbs.is_empty() && through.is_empty();
+            match self.resolve_write(ep, i, reqs, &mut wbs, &mut through, can_wait)? {
+                Step::Done => i += 1,
+                Step::Reserved(_) => unreachable!("write path fills frames locally"),
+                Step::MustFlush => self.complete_writes(ep, reqs, &mut wbs, &mut through)?,
+            }
+        }
+        self.complete_writes(ep, reqs, &mut wbs, &mut through)
+    }
+
+    /// One write request: apply `src` to a (possibly newly allocated)
+    /// frame under the shard latch. Remote work is only *recorded* (victim
+    /// snapshot / write-through index) for the batched doorbell.
+    fn resolve_write(
+        &self,
+        ep: &Endpoint,
+        i: usize,
+        reqs: &[(GlobalAddr, &[u8])],
+        wbs: &mut Vec<PendingWriteback>,
+        through: &mut Vec<usize>,
+        can_wait: bool,
+    ) -> DsmResult<Step> {
+        let (addr, src) = &reqs[i];
+        assert_eq!(src.len(), self.page_size);
+        let key = addr.to_raw();
+        let shard_idx = self.shard_of(key);
+        let sh = &self.shards[shard_idx];
+        let mut inner = sh.inner.lock();
+        loop {
+            let s = &mut *inner;
+            if let Some(&f) = s.page_table.get(&key) {
+                if s.frames[f].filling {
+                    if !can_wait {
+                        return Ok(Step::MustFlush);
+                    }
+                    sh.cv.wait(&mut inner);
+                    continue;
+                }
+                let pol = s.policy.on_hit(f, key);
+                Self::charge(ep, &mut s.stats, MAP_OP_NS + LOCK_NS + pol);
+                s.stats.hits += 1;
+                ep.charge_local(copy_cost_ns(self.page_size));
+                s.frames[f].data.copy_from_slice(src);
+                match self.mode {
+                    WriteMode::WriteThrough => {
+                        s.frames[f].dirty = false;
+                        through.push(i);
+                    }
+                    WriteMode::WriteBack => s.frames[f].dirty = true,
+                }
+                return Ok(Step::Done);
+            }
+            if s.writing_back.contains(&key) {
+                if !can_wait {
+                    return Ok(Step::MustFlush);
+                }
+                sh.cv.wait(&mut inner);
+                continue;
+            }
+            // Miss: the whole page is overwritten, so no fetch — allocate
+            // a frame and fill it from `src` under the latch.
+            let mut overhead = MAP_OP_NS + LOCK_NS;
+            let f = match s.free.pop() {
+                Some(f) => f,
+                None => {
+                    if s.page_table.len() - s.filling == 0 {
+                        if !can_wait {
+                            return Ok(Step::MustFlush);
+                        }
+                        sh.cv.wait(&mut inner);
+                        continue;
+                    }
+                    let (victim, pol) = s.policy.victim();
+                    overhead += pol;
+                    s.stats.evictions += 1;
+                    let old = &mut s.frames[victim];
+                    s.page_table.remove(&old.page);
+                    if old.dirty {
+                        // Snapshot the dirty bytes for the batched
+                        // doorbell; mark the page write-back-in-flight.
+                        s.writing_back.insert(old.page);
+                        wbs.push(PendingWriteback {
+                            shard: shard_idx,
+                            raw: old.page,
+                            data: old.data.clone(),
+                        });
+                        old.dirty = false;
+                        s.stats.writebacks += 1;
+                    }
+                    victim
+                }
+            };
+            let fr = &mut s.frames[f];
+            fr.page = key;
+            ep.charge_local(copy_cost_ns(self.page_size));
+            fr.data.copy_from_slice(src);
+            fr.dirty = matches!(self.mode, WriteMode::WriteBack);
+            if matches!(self.mode, WriteMode::WriteThrough) {
+                through.push(i);
+            }
+            s.page_table.insert(key, f);
+            overhead += s.policy.on_insert(f, key) + MAP_OP_NS;
+            Self::charge(ep, &mut s.stats, overhead);
+            s.stats.misses += 1;
+            return Ok(Step::Done);
+        }
+    }
+
+    /// Flush a write batch: victim write-backs first, then write-through
+    /// propagation (newer bytes), all in one doorbell group.
+    fn complete_writes(
+        &self,
+        ep: &Endpoint,
+        reqs: &[(GlobalAddr, &[u8])],
+        wbs: &mut Vec<PendingWriteback>,
+        through: &mut Vec<usize>,
+    ) -> DsmResult<()> {
+        if wbs.is_empty() && through.is_empty() {
+            return Ok(());
+        }
+        let res = {
+            let mut remote: Vec<(GlobalAddr, &[u8])> = Vec::with_capacity(wbs.len() + through.len());
+            for w in wbs.iter() {
+                remote.push((GlobalAddr::from_raw(w.raw), &w.data[..]));
+            }
+            for &idx in through.iter() {
+                remote.push((reqs[idx].0, reqs[idx].1));
+            }
+            self.layer.write_batch(ep, &remote)
+        };
+        through.clear();
+        for w in wbs.drain(..) {
+            let sh = &self.shards[w.shard];
+            sh.inner.lock().writing_back.remove(&w.raw);
+            sh.cv.notify_all();
+        }
+        res
+    }
+
     /// Drop the cached copy of `addr` *without* writeback (coherence
     /// invalidation: the writer holds the newer version). Returns whether
-    /// a copy was resident.
+    /// a copy was resident. Waits out an in-flight fetch or write-back of
+    /// the page so the caller observes a settled state.
     pub fn invalidate(&self, ep: &Endpoint, addr: GlobalAddr) -> bool {
         let key = addr.to_raw();
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        let Some(f) = inner.page_table.remove(&key) else {
-            Self::charge(ep, &mut inner.stats, MAP_OP_NS + LOCK_NS);
-            return false;
-        };
-        let pol = inner.policy.on_remove(f);
-        inner.frames[f].page = u64::MAX;
-        inner.frames[f].dirty = false;
-        inner.free.push(f);
-        inner.stats.invalidations += 1;
-        Self::charge(ep, &mut inner.stats, MAP_OP_NS + LOCK_NS + pol);
-        true
+        let sh = &self.shards[self.shard_of(key)];
+        let mut inner = sh.inner.lock();
+        loop {
+            let s = &mut *inner;
+            match s.page_table.get(&key) {
+                Some(&f) if s.frames[f].filling => {
+                    sh.cv.wait(&mut inner);
+                }
+                Some(&f) => {
+                    s.page_table.remove(&key);
+                    let pol = s.policy.on_remove(f);
+                    s.frames[f].page = u64::MAX;
+                    s.frames[f].dirty = false;
+                    s.free.push(f);
+                    s.stats.invalidations += 1;
+                    Self::charge(ep, &mut s.stats, MAP_OP_NS + LOCK_NS + pol);
+                    drop(inner);
+                    sh.cv.notify_all();
+                    return true;
+                }
+                None if s.writing_back.contains(&key) => {
+                    sh.cv.wait(&mut inner);
+                }
+                None => {
+                    Self::charge(ep, &mut s.stats, MAP_OP_NS + LOCK_NS);
+                    return false;
+                }
+            }
+        }
     }
 
     /// Overwrite the cached copy of `addr` in place if resident (coherence
@@ -275,49 +708,81 @@ impl BufferPool {
     pub fn update_if_resident(&self, ep: &Endpoint, addr: GlobalAddr, src: &[u8]) -> bool {
         assert_eq!(src.len(), self.page_size);
         let key = addr.to_raw();
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        let Some(&f) = inner.page_table.get(&key) else {
-            Self::charge(ep, &mut inner.stats, MAP_OP_NS + LOCK_NS);
-            return false;
-        };
-        ep.charge_local(copy_cost_ns(self.page_size));
-        inner.frames[f].data.copy_from_slice(src);
-        Self::charge(ep, &mut inner.stats, MAP_OP_NS + LOCK_NS);
-        true
+        let sh = &self.shards[self.shard_of(key)];
+        let mut inner = sh.inner.lock();
+        loop {
+            let s = &mut *inner;
+            match s.page_table.get(&key) {
+                Some(&f) if s.frames[f].filling => {
+                    sh.cv.wait(&mut inner);
+                }
+                Some(&f) => {
+                    ep.charge_local(copy_cost_ns(self.page_size));
+                    s.frames[f].data.copy_from_slice(src);
+                    Self::charge(ep, &mut s.stats, MAP_OP_NS + LOCK_NS);
+                    return true;
+                }
+                None if s.writing_back.contains(&key) => {
+                    sh.cv.wait(&mut inner);
+                }
+                None => {
+                    Self::charge(ep, &mut s.stats, MAP_OP_NS + LOCK_NS);
+                    return false;
+                }
+            }
+        }
     }
 
     /// Drop every resident page without writeback (bulk invalidation
     /// after a metadata-only reshard; write-through pools hold no dirty
-    /// state). Charged as one latched sweep.
+    /// state). Charged as one latched sweep per shard.
     pub fn drop_all(&self, ep: &Endpoint) {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        let n = inner.page_table.len();
-        for (_, f) in inner.page_table.drain() {
-            inner.policy.on_remove(f);
-            inner.frames[f].page = u64::MAX;
-            inner.frames[f].dirty = false;
-            inner.free.push(f);
+        for sh in &self.shards {
+            let mut inner = sh.inner.lock();
+            while inner.filling > 0 {
+                sh.cv.wait(&mut inner);
+            }
+            let s = &mut *inner;
+            let n = s.page_table.len();
+            for (_, f) in s.page_table.drain() {
+                s.policy.on_remove(f);
+                s.frames[f].page = u64::MAX;
+                s.frames[f].dirty = false;
+                s.free.push(f);
+            }
+            s.stats.invalidations += n as u64;
+            Self::charge(ep, &mut s.stats, LOCK_NS + n as u64 * 10);
+            drop(inner);
+            sh.cv.notify_all();
         }
-        inner.stats.invalidations += n as u64;
-        Self::charge(ep, &mut inner.stats, LOCK_NS + n as u64 * 10);
     }
 
     /// Write back every dirty page (shutdown, checkpoint, or a coherence
-    /// downgrade).
+    /// downgrade). Waits out in-flight fetches per shard so every dirty
+    /// frame is observed; each shard's write-backs form one doorbell.
     pub fn flush_all(&self, ep: &Endpoint) -> DsmResult<()> {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        for f in 0..inner.frames.len() {
-            if inner.frames[f].page != u64::MAX && inner.frames[f].dirty {
-                self.layer.write(
-                    ep,
-                    GlobalAddr::from_raw(inner.frames[f].page),
-                    &inner.frames[f].data,
-                )?;
-                inner.frames[f].dirty = false;
-                inner.stats.writebacks += 1;
+        for sh in &self.shards {
+            let mut inner = sh.inner.lock();
+            while inner.filling > 0 {
+                sh.cv.wait(&mut inner);
+            }
+            let s = &mut *inner;
+            let dirty: Vec<FrameId> = (0..s.frames.len())
+                .filter(|&f| s.frames[f].page != u64::MAX && s.frames[f].dirty)
+                .collect();
+            if dirty.is_empty() {
+                continue;
+            }
+            {
+                let wb: Vec<(GlobalAddr, &[u8])> = dirty
+                    .iter()
+                    .map(|&f| (GlobalAddr::from_raw(s.frames[f].page), &s.frames[f].data[..]))
+                    .collect();
+                self.layer.write_batch(ep, &wb)?;
+            }
+            for &f in &dirty {
+                s.frames[f].dirty = false;
+                s.stats.writebacks += 1;
             }
         }
         Ok(())
@@ -514,5 +979,100 @@ mod tests {
                 assert_eq!(cached, direct, "policy {name} page {i} incoherent");
             }
         }
+    }
+
+    #[test]
+    fn batched_read_pages_mixes_hits_and_misses() {
+        let (f, layer, pool) = setup(8, WriteMode::WriteBack);
+        let ep = f.endpoint();
+        let addrs: Vec<_> = (0..6).map(|_| layer.alloc(64).unwrap()).collect();
+        for (i, a) in addrs.iter().enumerate() {
+            layer.write(&ep, *a, &[i as u8 + 1; 64]).unwrap();
+        }
+        // Pre-warm the first two pages.
+        let mut buf = [0u8; 64];
+        pool.read_page(&ep, addrs[0], &mut buf).unwrap();
+        pool.read_page(&ep, addrs[1], &mut buf).unwrap();
+        pool.reset_stats();
+        ep.reset();
+
+        let mut bufs = vec![[0u8; 64]; 6];
+        let mut reqs: Vec<(GlobalAddr, &mut [u8])> = addrs
+            .iter()
+            .zip(bufs.iter_mut())
+            .map(|(a, b)| (*a, &mut b[..]))
+            .collect();
+        let hits = pool.read_pages(&ep, &mut reqs).unwrap();
+        assert_eq!(hits, 2);
+        for (i, b) in bufs.iter().enumerate() {
+            assert_eq!(*b, [i as u8 + 1; 64], "page {i}");
+        }
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (2, 4));
+        // The 4 misses fetched in ONE doorbell group: 4 read verbs but
+        // only 1 wire round trip.
+        let snap = ep.stats();
+        assert_eq!(snap.reads, 4);
+        assert_eq!(snap.wire_round_trips(), 1);
+    }
+
+    #[test]
+    fn batched_write_pages_coalesces_victim_writebacks() {
+        let (f, layer, pool) = setup(4, WriteMode::WriteBack);
+        let ep = f.endpoint();
+        let first: Vec<_> = (0..4).map(|_| layer.alloc(64).unwrap()).collect();
+        let second: Vec<_> = (0..4).map(|_| layer.alloc(64).unwrap()).collect();
+        let fill: Vec<(GlobalAddr, &[u8])> = first.iter().map(|a| (*a, &[7u8; 64][..])).collect();
+        pool.write_pages(&ep, &fill).unwrap();
+        ep.reset();
+        // Overwriting with 4 new pages evicts all 4 dirty pages; the
+        // write-backs ride one doorbell (write-back mode: no other
+        // remote traffic at all).
+        let over: Vec<(GlobalAddr, &[u8])> = second.iter().map(|a| (*a, &[8u8; 64][..])).collect();
+        pool.write_pages(&ep, &over).unwrap();
+        let snap = ep.stats();
+        assert_eq!(snap.writes, 4);
+        assert_eq!(snap.wire_round_trips(), 1);
+        assert_eq!(pool.stats().writebacks, 4);
+        // And the evicted bytes landed in DSM.
+        let mut direct = [0u8; 64];
+        layer.read(&ep, first[0], &mut direct).unwrap();
+        assert_eq!(direct, [7u8; 64]);
+    }
+
+    #[test]
+    fn striped_pool_keeps_lru_semantics_per_shard() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let layer = DsmLayer::build(
+            &fabric,
+            DsmConfig {
+                memory_nodes: 1,
+                capacity_per_node: 1 << 20,
+                replication: 1,
+                mem_cores: 1,
+                weak_cpu_factor: 4.0,
+            },
+        );
+        let pool = BufferPool::new_striped(
+            layer.clone(),
+            64,
+            16,
+            4,
+            |cap| Box::new(LruPolicy::new(cap)),
+            WriteMode::WriteBack,
+        );
+        assert_eq!(pool.shard_count(), 4);
+        assert_eq!(pool.capacity(), 16);
+        let ep = fabric.endpoint();
+        let addrs: Vec<_> = (0..64).map(|_| layer.alloc(64).unwrap()).collect();
+        let mut buf = [0u8; 64];
+        for a in &addrs {
+            pool.read_page(&ep, *a, &mut buf).unwrap();
+        }
+        // Full and consistent: every shard holds at most its capacity.
+        assert!(pool.resident() <= 16);
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 64);
+        assert_eq!(s.misses, s.evictions + pool.resident() as u64);
     }
 }

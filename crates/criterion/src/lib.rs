@@ -1,0 +1,239 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Implements the subset `benches/micro.rs` uses: `benchmark_group` /
+//! `bench_function`, `Bencher::{iter, iter_batched, iter_custom}`, and
+//! the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! calibrated warm-up followed by a timed batch (wall-clock, median of
+//! several samples) — no statistics machinery, plots, or baselines, but
+//! the printed ns/iter is honest and stable enough for A/B comparisons.
+//! See the `parking_lot` shim for why external deps are vendored.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with generated harness code.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", id, f);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measure one function and print its time.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, id, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, mut f: F) {
+    let mut b = Bencher { mean_ns: 0.0 };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!("{label:<44} time: {}", fmt_ns(b.mean_ns));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:>10.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:>10.3} µs/iter", ns / 1_000.0)
+    } else {
+        format!("{:>10.3} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(40);
+const SAMPLES: usize = 7;
+
+impl Bencher {
+    /// Time `routine`, called back-to-back in calibrated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fill one sample window?
+        let mut n = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE / 4 || n >= 1 << 30 {
+                let per = (elapsed.as_nanos().max(1)) as f64 / n as f64;
+                n = ((TARGET_SAMPLE.as_nanos() as f64 / per) as u64).max(1);
+                break;
+            }
+            n *= 8;
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..n {
+                hint::black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / n as f64);
+        }
+        self.record(samples);
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(SAMPLES);
+        // Keep batches modest: setup runs once per measured iteration.
+        let mut n = 1u64;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let t = Instant::now();
+            for i in inputs {
+                hint::black_box(routine(i));
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE / 4 || n >= 1 << 22 {
+                let per = (elapsed.as_nanos().max(1)) as f64 / n as f64;
+                n = ((TARGET_SAMPLE.as_nanos() as f64 / per) as u64).clamp(1, 1 << 22);
+                break;
+            }
+            n *= 8;
+        }
+        for _ in 0..SAMPLES {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let t = Instant::now();
+            for i in inputs {
+                hint::black_box(routine(i));
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / n as f64);
+        }
+        self.record(samples);
+    }
+
+    /// The routine does its own timing over `iters` iterations (used for
+    /// multi-threaded wall-clock benchmarks).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        // Calibrate as with iter().
+        let mut n = 1u64;
+        loop {
+            let elapsed = routine(n);
+            if elapsed >= TARGET_SAMPLE / 4 || n >= 1 << 30 {
+                let per = (elapsed.as_nanos().max(1)) as f64 / n as f64;
+                n = ((TARGET_SAMPLE.as_nanos() as f64 / per) as u64).max(1);
+                break;
+            }
+            n *= 8;
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            samples.push(routine(n).as_nanos() as f64 / n as f64);
+        }
+        self.record(samples);
+    }
+
+    fn record(&mut self, mut samples: Vec<f64>) {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.mean_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Bundle benchmark functions into one harness entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("selftest");
+        let mut acc = 0u64;
+        g.bench_function("add", |b| b.iter(|| acc = acc.wrapping_add(1)));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_custom_scales_by_iters() {
+        let mut b = Bencher { mean_ns: 0.0 };
+        b.iter_custom(|iters| Duration::from_nanos(iters * 100));
+        assert!((b.mean_ns - 100.0).abs() < 60.0, "{}", b.mean_ns);
+    }
+}

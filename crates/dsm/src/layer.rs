@@ -258,6 +258,75 @@ impl DsmLayer {
         })
     }
 
+    /// Doorbell-batched multi-get: every address in `reqs` is read in one
+    /// doorbell group — the leader pays the full round trip, the rest ride
+    /// along at the marginal batched cost. Each address reads from the
+    /// first live member of its mirror group; if a member dies mid-batch
+    /// the whole set falls back to per-address fail-over [`DsmLayer::read`]s.
+    pub fn read_batch(&self, ep: &Endpoint, reqs: &mut [(GlobalAddr, &mut [u8])]) -> DsmResult<()> {
+        if reqs.is_empty() {
+            return Ok(());
+        }
+        if reqs.len() == 1 {
+            let (addr, dst) = &mut reqs[0];
+            return self.read(ep, *addr, dst);
+        }
+        let mut ops: Vec<(NodeId, u64, &mut [u8])> = Vec::with_capacity(reqs.len());
+        for (addr, dst) in reqs.iter_mut() {
+            let g = self.group_of(*addr)?;
+            let node = g
+                .members
+                .iter()
+                .map(|m| m.id())
+                .find(|&id| self.fabric.is_alive(id))
+                .ok_or(DsmError::GroupUnavailable {
+                    primary: addr.node(),
+                })?;
+            ops.push((node, addr.offset(), &mut dst[..]));
+        }
+        match ep.read_batch(&mut ops) {
+            Ok(()) => Ok(()),
+            Err(RdmaError::NodeUnreachable(_)) => {
+                // A member died between the liveness check and the batch:
+                // retry slowly, letting per-address fail-over pick mirrors.
+                drop(ops);
+                for (addr, dst) in reqs.iter_mut() {
+                    self.read(ep, *addr, dst)?;
+                }
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Doorbell-batched multi-put: every `(addr, src)` pair is expanded to
+    /// all live mirror members of its group and the whole set is posted as
+    /// one doorbell group (k-way replication of m pages = one wire round
+    /// trip plus `k*m - 1` coalesced ops).
+    pub fn write_batch(&self, ep: &Endpoint, reqs: &[(GlobalAddr, &[u8])]) -> DsmResult<()> {
+        if reqs.is_empty() {
+            return Ok(());
+        }
+        let mut ops: Vec<(NodeId, u64, &[u8])> =
+            Vec::with_capacity(reqs.len() * self.replication);
+        for (addr, src) in reqs {
+            let g = self.group_of(*addr)?;
+            let before = ops.len();
+            for m in &g.members {
+                if self.fabric.is_alive(m.id()) {
+                    ops.push((m.id(), addr.offset(), src));
+                }
+            }
+            if ops.len() == before {
+                return Err(DsmError::GroupUnavailable {
+                    primary: addr.node(),
+                });
+            }
+        }
+        ep.write_batch(&ops)?;
+        Ok(())
+    }
+
     /// One-sided WRITE of `src` to `addr` on every live mirror member
     /// (doorbell-batched).
     pub fn write(&self, ep: &Endpoint, addr: GlobalAddr, src: &[u8]) -> DsmResult<()> {

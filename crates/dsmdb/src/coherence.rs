@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use buffer::BufferPool;
 use dsm::{DsmLayer, DsmResult, GlobalAddr};
-use rdma_sim::{Endpoint, Mailbox, MailboxId, RdmaError};
+use rdma_sim::{Endpoint, Mailbox, MailboxId};
 use txn::table::RecordTable;
 use txn::PayloadIo;
 
@@ -186,29 +186,26 @@ impl CoherentIo {
             return Ok(());
         }
         let addr = Self::page_addr(table, key, 0);
-        let mut pending = 0u32;
-        for node in 0..self.compute_nodes {
-            if others & (1 << node) == 0 {
-                continue;
-            }
-            let mut payload = vec![if self.mode == CoherenceMode::Invalidate {
-                MSG_INVALIDATE
-            } else {
-                MSG_UPDATE
-            }];
-            payload.extend_from_slice(&addr.to_raw().to_le_bytes());
-            payload.extend_from_slice(&self.reply_id.to_le_bytes());
-            if self.mode == CoherenceMode::Update {
-                payload.extend_from_slice(new_data);
-            }
-            match ep.send(node_inbox_id(node), self.reply_id, payload) {
-                Ok(()) => pending += 1,
-                // A node that never started (or already stopped) cannot
-                // hold a stale copy.
-                Err(RdmaError::NoReceiver(_)) => {}
-                Err(e) => return Err(e.into()),
-            }
-        }
+        // The broadcast to all M sharers is ONE doorbell group: the first
+        // message pays the full send latency, the rest ride along. Nodes
+        // that never started (or already stopped) cannot hold a stale
+        // copy, so `send_batch` skipping them is correct.
+        let msgs = (0..self.compute_nodes)
+            .filter(|node| others & (1 << node) != 0)
+            .map(|node| {
+                let mut payload = vec![if self.mode == CoherenceMode::Invalidate {
+                    MSG_INVALIDATE
+                } else {
+                    MSG_UPDATE
+                }];
+                payload.extend_from_slice(&addr.to_raw().to_le_bytes());
+                payload.extend_from_slice(&self.reply_id.to_le_bytes());
+                if self.mode == CoherenceMode::Update {
+                    payload.extend_from_slice(new_data);
+                }
+                (node_inbox_id(node), self.reply_id, payload)
+            });
+        let mut pending = ep.send_batch(msgs)?;
         // Wait for acks; serve our own inbox meanwhile so two writers on
         // different nodes cannot deadlock waiting on each other.
         while pending > 0 {

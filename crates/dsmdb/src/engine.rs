@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use buffer::{BufferPool, ClockPolicy, WriteMode};
-use dsm::{DsmConfig, DsmLayer};
+use dsm::{DsmConfig, DsmLayer, GlobalAddr};
 use parking_lot::Mutex;
 use rdma_sim::{Endpoint, Fabric, Mailbox, MailboxId};
 use txn::table::RecordTable;
@@ -130,6 +130,24 @@ impl Cluster {
             )),
             _ => None,
         };
+        // Stripe each node's pool; clamp so every shard holds >= 1 frame.
+        let pool_shards = {
+            let mut s = config.pool_shards;
+            while s > 1 && s > config.cache_frames {
+                s /= 2;
+            }
+            s
+        };
+        let striped_pool = || {
+            BufferPool::new_striped(
+                layer.clone(),
+                config.payload_size,
+                config.cache_frames,
+                pool_shards,
+                |cap| Box::new(ClockPolicy::new(cap)),
+                WriteMode::WriteThrough,
+            )
+        };
         let mut nodes = Vec::with_capacity(config.compute_nodes);
         for n in 0..config.compute_nodes {
             let (cache, shard_pool, shard_inbox) = match config.architecture {
@@ -137,13 +155,7 @@ impl Cluster {
                 Architecture::CacheNoShard(_) => (
                     Some(Arc::new(NodeCache {
                         node: n,
-                        pool: BufferPool::new(
-                            layer.clone(),
-                            config.payload_size,
-                            config.cache_frames,
-                            Box::new(ClockPolicy::new(config.cache_frames)),
-                            WriteMode::WriteThrough,
-                        ),
+                        pool: striped_pool(),
                         inbox: fabric.mailboxes().register(node_inbox_id(n)),
                     })),
                     None,
@@ -151,13 +163,7 @@ impl Cluster {
                 ),
                 Architecture::CacheShard => (
                     None,
-                    Some(BufferPool::new(
-                        layer.clone(),
-                        config.payload_size,
-                        config.cache_frames,
-                        Box::new(ClockPolicy::new(config.cache_frames)),
-                        WriteMode::WriteThrough,
-                    )),
+                    Some(striped_pool()),
                     Some(fabric.mailboxes().register(node_inbox_id(n))),
                 ),
             };
@@ -248,6 +254,7 @@ impl Cluster {
             io,
             worker_tag,
             stats: SessionStats::default(),
+            arena: PageArena::default(),
         }
     }
 
@@ -270,6 +277,42 @@ impl Cluster {
     }
 }
 
+/// Reusable per-session scratch for the batched page path: one contiguous
+/// buffer sliced into page slots, plus the txn's unique-page plan. Lives
+/// across transactions so the hot path allocates nothing per operation.
+#[derive(Default)]
+struct PageArena {
+    buf: Vec<u8>,
+    /// Unique page keys in first-touch order (slot i holds keys[i]).
+    keys: Vec<u64>,
+    /// Whether slot i must be fetched (first op reads the old value).
+    fetch: Vec<bool>,
+    /// Whether slot i was modified and must be written at commit.
+    dirty: Vec<bool>,
+}
+
+impl PageArena {
+    /// Plan `ops`: record unique pages in first-touch order. A page whose
+    /// first op fully overwrites it (Update) is never fetched — matching
+    /// the unbatched engine, which wrote such pages without reading.
+    fn plan(&mut self, ops: &[Op], psize: usize) {
+        self.keys.clear();
+        self.fetch.clear();
+        self.dirty.clear();
+        for op in ops {
+            let k = op.key();
+            if !self.keys.contains(&k) {
+                self.keys.push(k);
+                self.fetch.push(!matches!(op, Op::Update { .. }));
+                self.dirty.push(false);
+            }
+        }
+        // Every slot is either fetched or first overwritten, so stale
+        // bytes from the previous transaction are never observed.
+        self.buf.resize(self.keys.len() * psize, 0);
+    }
+}
+
 /// A per-worker-thread handle for executing transactions.
 pub struct Session {
     cluster: Arc<Cluster>,
@@ -281,6 +324,7 @@ pub struct Session {
     io: Box<dyn PayloadIo>,
     worker_tag: u64,
     stats: SessionStats,
+    arena: PageArena,
 }
 
 impl Session {
@@ -364,7 +408,7 @@ impl Session {
     /// node operates on these records (cross-shard writers come through
     /// 2PC to *this* node too).
     fn execute_local_shard(&mut self, ops: &[Op]) -> Result<TxnOutput, TxnError> {
-        let node = &self.cluster.nodes[self.node];
+        let node = self.cluster.nodes[self.node].clone();
         let mut keys: Vec<u64> = ops.iter().map(|o| o.key()).collect();
         keys.sort_unstable();
         keys.dedup();
@@ -377,33 +421,64 @@ impl Session {
         result
     }
 
-    fn run_ops_on_pool(&self, ops: &[Op]) -> Result<TxnOutput, TxnError> {
-        let pool = self.cluster.nodes[self.node]
-            .shard_pool
-            .as_ref()
-            .expect("3c pool");
+    /// Batched transaction body: plan the txn's unique pages, fetch every
+    /// page it must observe in ONE doorbell group, then apply all ops on
+    /// the session arena (no per-op allocation, no per-op pool lookup).
+    /// Dirty slots are left in the arena for the caller to commit.
+    fn exec_on_arena(&mut self, ops: &[Op]) -> Result<TxnOutput, TxnError> {
+        let node = self.cluster.nodes[self.node].clone();
+        let pool = node.shard_pool.as_ref().expect("3c pool");
         let table = &self.cluster.table;
         let psize = self.cluster.config.payload_size;
+        self.arena.plan(ops, psize);
+        let PageArena { buf, keys, fetch, dirty } = &mut self.arena;
+        {
+            let mut reqs: Vec<(GlobalAddr, &mut [u8])> = buf
+                .chunks_exact_mut(psize)
+                .enumerate()
+                .filter(|(i, _)| fetch[*i])
+                .map(|(i, slot)| (table.payload_addr(keys[i], 0), slot))
+                .collect();
+            pool.read_pages(&self.ep, &mut reqs)?;
+        }
         let mut out = TxnOutput::default();
-        let mut buf = vec![0u8; psize];
         for op in ops {
-            let addr = table.payload_addr(op.key(), 0);
+            let i = keys.iter().position(|&k| k == op.key()).expect("planned");
+            let slot = &mut buf[i * psize..(i + 1) * psize];
             match op {
-                Op::Read(k) => {
-                    pool.read_page(&self.ep, addr, &mut buf)?;
-                    out.reads.push((*k, buf.clone()));
-                }
+                Op::Read(k) => out.reads.push((*k, slot.to_vec())),
                 Op::Update { value, .. } => {
-                    pool.write_page(&self.ep, addr, value)?;
+                    slot.copy_from_slice(value);
+                    dirty[i] = true;
                 }
                 Op::Rmw { key, delta } => {
-                    pool.read_page(&self.ep, addr, &mut buf)?;
-                    out.reads.push((*key, buf.clone()));
-                    let cur = i64::from_le_bytes(buf[0..8].try_into().unwrap());
-                    buf[0..8].copy_from_slice(&(cur + delta).to_le_bytes());
-                    pool.write_page(&self.ep, addr, &buf)?;
+                    out.reads.push((*key, slot.to_vec()));
+                    let cur = i64::from_le_bytes(slot[0..8].try_into().unwrap());
+                    slot[0..8].copy_from_slice(&(cur + delta).to_le_bytes());
+                    dirty[i] = true;
                 }
             }
+        }
+        Ok(out)
+    }
+
+    fn run_ops_on_pool(&mut self, ops: &[Op]) -> Result<TxnOutput, TxnError> {
+        let out = self.exec_on_arena(ops)?;
+        let node = self.cluster.nodes[self.node].clone();
+        let pool = node.shard_pool.as_ref().expect("3c pool");
+        let table = &self.cluster.table;
+        let psize = self.cluster.config.payload_size;
+        let PageArena { buf, keys, dirty, .. } = &self.arena;
+        // Commit: every dirty page rides one doorbell group (the
+        // write-through pool folds victim write-backs into it too).
+        let writes: Vec<(GlobalAddr, &[u8])> = keys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| dirty[*i])
+            .map(|(i, &k)| (table.payload_addr(k, 0), &buf[i * psize..(i + 1) * psize]))
+            .collect();
+        if !writes.is_empty() {
+            pool.write_pages(&self.ep, &writes)?;
         }
         Ok(out)
     }
@@ -439,18 +514,21 @@ impl Session {
             }
         };
 
-        // Phase 1: prepare fan-out.
+        // Phase 1: prepare fan-out — one doorbell for every participant.
         let participants: Vec<usize> = remote.keys().copied().collect();
-        for (&owner, ops) in &remote {
-            let body = encode_subtxn(ops);
-            if self
-                .ep
-                .send(node_inbox_id(owner), self.reply_id, encode_2pc(MsgKind::Prepare, txn_id, &body))
-                .is_err()
-            {
-                node.locks.unlock_all(&local_keys);
-                return Err(TxnError::Aborted("owner-unreachable"));
-            }
+        let delivered = self
+            .ep
+            .send_batch(remote.iter().map(|(&owner, ops)| {
+                (
+                    node_inbox_id(owner),
+                    self.reply_id,
+                    encode_2pc(MsgKind::Prepare, txn_id, &encode_subtxn(ops)),
+                )
+            }))
+            .unwrap_or(0);
+        if (delivered as usize) < participants.len() {
+            node.locks.unlock_all(&local_keys);
+            return Err(TxnError::Aborted("owner-unreachable"));
         }
 
         // Collect votes while serving our own inbox.
@@ -484,13 +562,15 @@ impl Session {
             }
         }
 
-        // Phase 2: decision.
+        // Phase 2: decision — one doorbell for every participant.
         let decision = if no { MsgKind::Abort } else { MsgKind::Commit };
-        for &owner in &participants {
-            let _ = self
-                .ep
-                .send(node_inbox_id(owner), self.reply_id, encode_2pc(decision, txn_id, &[]));
-        }
+        let _ = self.ep.send_batch(participants.iter().map(|&owner| {
+            (
+                node_inbox_id(owner),
+                self.reply_id,
+                encode_2pc(decision, txn_id, &[]),
+            )
+        }));
         // Local decision.
         if decision == MsgKind::Commit {
             let pool_result = self.apply_staged(&local_staged);
@@ -530,57 +610,37 @@ impl Session {
     }
 
     /// Execute reads and stage writes (no pool mutation yet) for a
-    /// prepared (sub-)transaction.
-    fn prepare_ops(&self, ops: &[Op]) -> Result<(TxnOutput, StagedWrites), TxnError> {
-        let pool = self.cluster.nodes[self.node]
-            .shard_pool
-            .as_ref()
-            .expect("3c pool");
-        let table = &self.cluster.table;
+    /// prepared (sub-)transaction. Arena slots double as the staging
+    /// area: reads observe the txn's own earlier writes, and each dirty
+    /// page yields exactly one staged value.
+    fn prepare_ops(&mut self, ops: &[Op]) -> Result<(TxnOutput, StagedWrites), TxnError> {
+        let out = self.exec_on_arena(ops)?;
         let psize = self.cluster.config.payload_size;
-        let mut out = TxnOutput::default();
-        let mut staged: StagedWrites = Vec::new();
-        let mut buf = vec![0u8; psize];
-        let read_current =
-            |key: u64, staged: &[(u64, Vec<u8>)], buf: &mut Vec<u8>| -> Result<(), TxnError> {
-                if let Some((_, v)) = staged.iter().rev().find(|(k, _)| *k == key) {
-                    buf.copy_from_slice(v);
-                    return Ok(());
-                }
-                pool.read_page(&self.ep, table.payload_addr(key, 0), buf)?;
-                Ok(())
-            };
-        for op in ops {
-            match op {
-                Op::Read(k) => {
-                    read_current(*k, &staged, &mut buf)?;
-                    out.reads.push((*k, buf.clone()));
-                }
-                Op::Update { key, value } => {
-                    staged.push((*key, value.clone()));
-                }
-                Op::Rmw { key, delta } => {
-                    read_current(*key, &staged, &mut buf)?;
-                    out.reads.push((*key, buf.clone()));
-                    let cur = i64::from_le_bytes(buf[0..8].try_into().unwrap());
-                    let mut nv = buf.clone();
-                    nv[0..8].copy_from_slice(&(cur + delta).to_le_bytes());
-                    staged.push((*key, nv));
-                }
-            }
-        }
+        let PageArena { buf, keys, dirty, .. } = &self.arena;
+        let staged: StagedWrites = keys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| dirty[*i])
+            .map(|(i, &k)| (k, buf[i * psize..(i + 1) * psize].to_vec()))
+            .collect();
         Ok((out, staged))
     }
 
     fn apply_staged(&self, staged: &[(u64, Vec<u8>)]) -> Result<(), TxnError> {
+        if staged.is_empty() {
+            return Ok(());
+        }
         let pool = self.cluster.nodes[self.node]
             .shard_pool
             .as_ref()
             .expect("3c pool");
         let table = &self.cluster.table;
-        for (key, value) in staged {
-            pool.write_page(&self.ep, table.payload_addr(*key, 0), value)?;
-        }
+        // All of the decided txn's writes go out as one doorbell group.
+        let reqs: Vec<(GlobalAddr, &[u8])> = staged
+            .iter()
+            .map(|(key, value)| (table.payload_addr(*key, 0), &value[..]))
+            .collect();
+        pool.write_pages(&self.ep, &reqs)?;
         Ok(())
     }
 

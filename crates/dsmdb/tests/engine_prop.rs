@@ -1,7 +1,6 @@
 //! Engine-level property and scenario tests.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
 use dsmdb::{Architecture, CcProtocol, Cluster, ClusterConfig, Op, ShardMap, TxnError};
 use proptest::prelude::*;

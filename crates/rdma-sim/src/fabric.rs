@@ -241,6 +241,7 @@ impl Endpoint {
     /// pay the marginal batched cost. Targets may span nodes (multiple QPs
     /// rung in one doorbell).
     pub fn read_batch(&self, ops: &mut [(NodeId, u64, &mut [u8])]) -> RdmaResult<()> {
+        self.stats.record_doorbell(ops.len());
         for (i, (node, offset, dst)) in ops.iter_mut().enumerate() {
             let region = self.fabric.live_region(*node)?;
             region.read(*offset, dst).map_err(|e| fix_node(e, *node))?;
@@ -257,6 +258,7 @@ impl Endpoint {
 
     /// Doorbell-batched writes (see [`Endpoint::read_batch`]).
     pub fn write_batch(&self, ops: &[(NodeId, u64, &[u8])]) -> RdmaResult<()> {
+        self.stats.record_doorbell(ops.len());
         for (i, (node, offset, src)) in ops.iter().enumerate() {
             let region = self.fabric.live_region(*node)?;
             region.write(*offset, src).map_err(|e| fix_node(e, *node))?;
@@ -343,6 +345,46 @@ impl Endpoint {
         )?;
         self.stats.record(OpKind::Send, len);
         Ok(())
+    }
+
+    /// Doorbell-batched two-sided SENDs: one WQE list, one doorbell ring.
+    /// The first message pays the full send cost, the rest the marginal
+    /// batched cost. Messages to unregistered mailboxes are skipped (the
+    /// peer never started or already stopped — it cannot hold state we
+    /// need to reach). Returns how many messages were delivered.
+    pub fn send_batch(
+        &self,
+        msgs: impl IntoIterator<Item = (MailboxId, MailboxId, Vec<u8>)>,
+    ) -> RdmaResult<u32> {
+        let mut delivered = 0u32;
+        for (posted, (to, from, payload)) in msgs.into_iter().enumerate() {
+            let len = payload.len();
+            let cost = if posted == 0 {
+                self.profile.send_cost_ns(len)
+            } else {
+                self.profile.batched_cost_ns(len)
+            };
+            self.clock.advance(cost);
+            match self.fabric.mailboxes.post(
+                to,
+                Message {
+                    from,
+                    payload,
+                    deliver_at_ns: self.clock.now_ns(),
+                },
+            ) {
+                Ok(()) => {
+                    self.stats.record(OpKind::Send, len);
+                    delivered += 1;
+                }
+                Err(RdmaError::NoReceiver(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Count the doorbell over delivered sends only, so verbs and
+        // coalesced stay consistent when some peers are gone.
+        self.stats.record_doorbell(delivered as usize);
+        Ok(delivered)
     }
 
     /// Receive from `mailbox`, advancing this endpoint's clock to the
@@ -469,6 +511,33 @@ mod tests {
         assert_eq!(msg.payload.len(), 32);
         assert!(rx.clock().now_ns() >= 10_000);
         assert_eq!(rx.stats().recvs, 1);
+    }
+
+    #[test]
+    fn send_batch_amortizes_and_skips_dead_peers() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let mb_a = fabric.mailboxes().register(1);
+        let mb_b = fabric.mailboxes().register(2);
+        let seq = fabric.endpoint();
+        let bat = fabric.endpoint();
+        for to in [1u64, 2] {
+            seq.send(to, 9, vec![0u8; 32]).unwrap();
+        }
+        let delivered = bat
+            .send_batch([
+                (1u64, 9u64, vec![0u8; 32]),
+                (2, 9, vec![0u8; 32]),
+                (777, 9, vec![0u8; 32]), // never registered
+            ])
+            .unwrap();
+        assert_eq!(delivered, 2);
+        assert!(bat.clock().now_ns() < seq.clock().now_ns());
+        assert_eq!(bat.stats().sends, 2);
+        assert_eq!(bat.stats().doorbells, 1);
+        assert_eq!(bat.stats().coalesced, 1);
+        assert_eq!(bat.stats().wire_round_trips(), 1);
+        assert_eq!(mb_a.len(), 2);
+        assert_eq!(mb_b.len(), 2);
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub struct OpStats {
     bytes_read: Cell<u64>,
     bytes_written: Cell<u64>,
     cas_failures: Cell<u64>,
+    doorbells: Cell<u64>,
+    coalesced: Cell<u64>,
 }
 
 impl OpStats {
@@ -75,6 +77,18 @@ impl OpStats {
         self.cas_failures.set(self.cas_failures.get() + 1);
     }
 
+    /// A doorbell ring covering `ops` verbs posted as one batch. Each verb
+    /// still counts individually via [`OpStats::record`]; this tracks how
+    /// many *wire* round trips were saved: `ops - 1` verbs rode along.
+    #[inline]
+    pub fn record_doorbell(&self, ops: usize) {
+        if ops == 0 {
+            return;
+        }
+        self.doorbells.set(self.doorbells.get() + 1);
+        self.coalesced.set(self.coalesced.get() + (ops as u64 - 1));
+    }
+
     /// Copy out the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -87,6 +101,8 @@ impl OpStats {
             bytes_read: self.bytes_read.get(),
             bytes_written: self.bytes_written.get(),
             cas_failures: self.cas_failures.get(),
+            doorbells: self.doorbells.get(),
+            coalesced: self.coalesced.get(),
         }
     }
 
@@ -101,6 +117,8 @@ impl OpStats {
         self.bytes_read.set(0);
         self.bytes_written.set(0);
         self.cas_failures.set(0);
+        self.doorbells.set(0);
+        self.coalesced.set(0);
     }
 }
 
@@ -116,12 +134,32 @@ pub struct StatsSnapshot {
     pub bytes_read: u64,
     pub bytes_written: u64,
     pub cas_failures: u64,
+    /// Doorbell rings: batched verb groups posted as one WQE list.
+    pub doorbells: u64,
+    /// Verbs beyond the first in each doorbell group (wire RTs saved).
+    pub coalesced: u64,
 }
 
 impl StatsSnapshot {
-    /// Total one-sided + atomic round trips (the metric of §6).
+    /// Total one-sided + atomic round trips (the metric of §6). Counts
+    /// *verbs*: a doorbell-batched group of k ops contributes k here.
     pub fn round_trips(&self) -> u64 {
         self.reads + self.writes + self.cas + self.faa + self.sends
+    }
+
+    /// Round trips actually paid on the wire: verbs minus the ops that
+    /// rode along in a doorbell batch behind the group leader.
+    pub fn wire_round_trips(&self) -> u64 {
+        self.round_trips().saturating_sub(self.coalesced)
+    }
+
+    /// Mean verbs per doorbell ring over the batched fraction of traffic.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.doorbells == 0 {
+            1.0
+        } else {
+            (self.doorbells + self.coalesced) as f64 / self.doorbells as f64
+        }
     }
 
     /// Total bytes moved either direction.
@@ -143,6 +181,8 @@ impl std::ops::Add for StatsSnapshot {
             bytes_read: self.bytes_read + o.bytes_read,
             bytes_written: self.bytes_written + o.bytes_written,
             cas_failures: self.cas_failures + o.cas_failures,
+            doorbells: self.doorbells + o.doorbells,
+            coalesced: self.coalesced + o.coalesced,
         }
     }
 }
@@ -173,6 +213,22 @@ mod tests {
         assert_eq!(snap.bytes_read, 128);
         assert_eq!(snap.bytes_written, 128);
         assert_eq!(snap.round_trips(), 4);
+    }
+
+    #[test]
+    fn doorbell_accounting_separates_wire_from_verbs() {
+        let s = OpStats::new();
+        for _ in 0..5 {
+            s.record(OpKind::Read, 64);
+        }
+        s.record_doorbell(4); // 4 of the 5 reads went out as one group
+        let snap = s.snapshot();
+        assert_eq!(snap.round_trips(), 5);
+        assert_eq!(snap.wire_round_trips(), 2); // group leader + lone read
+        assert_eq!(snap.doorbells, 1);
+        assert_eq!(snap.mean_batch_size(), 4.0);
+        s.record_doorbell(0); // empty batch: no-op
+        assert_eq!(s.snapshot().doorbells, 1);
     }
 
     #[test]
