@@ -1,0 +1,152 @@
+//! Validate the machine-readable experiment output in `results/`.
+//!
+//! Used by CI after a reduced-scale experiment run: every
+//! `results/exp_*.json` must parse, carry the report schema
+//! (schema_version / experiment / title / rows), and any embedded phase
+//! breakdown must have shares that sum to ~1. `BENCH_summary.json` must
+//! parse and reference only experiments whose report file exists.
+//!
+//! Exits non-zero with a message per violation.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use bench::report::{results_dir, Json};
+
+fn check_phases(path: &Path, ctx: &str, v: &Json, errors: &mut Vec<String>) {
+    match v {
+        Json::O(members) => {
+            if let Some(Json::O(buckets)) = v.get("phases") {
+                let share_sum: f64 = buckets
+                    .iter()
+                    .filter_map(|(_, b)| b.get("share").and_then(|s| s.as_f64()))
+                    .sum();
+                // All-zero shares mean no phase activity (legal for
+                // experiments that never enter the engine).
+                if !buckets.is_empty() && share_sum != 0.0 && (share_sum - 1.0).abs() > 1e-6 {
+                    errors.push(format!(
+                        "{}: {}: phase shares sum to {share_sum}, expected 1.0",
+                        path.display(),
+                        ctx
+                    ));
+                }
+            }
+            for (key, member) in members {
+                check_phases(path, &format!("{ctx}.{key}"), member, errors);
+            }
+        }
+        Json::A(items) => {
+            for (i, item) in items.iter().enumerate() {
+                check_phases(path, &format!("{ctx}[{i}]"), item, errors);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn check_report(path: &Path, errors: &mut Vec<String>) -> Option<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            errors.push(format!("{}: unreadable: {e}", path.display()));
+            return None;
+        }
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            errors.push(format!("{}: invalid JSON: {e}", path.display()));
+            return None;
+        }
+    };
+    for key in ["schema_version", "experiment", "title", "rows"] {
+        if json.get(key).is_none() {
+            errors.push(format!("{}: missing \"{key}\"", path.display()));
+        }
+    }
+    let experiment = json.get("experiment").and_then(|e| e.as_str()).map(String::from);
+    if let Some(ref name) = experiment {
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        if name != stem {
+            errors.push(format!(
+                "{}: experiment \"{name}\" does not match file name",
+                path.display()
+            ));
+        }
+    }
+    if json.get("rows").and_then(|r| r.as_array()).is_none_or(|r| r.is_empty()) {
+        errors.push(format!("{}: no rows", path.display()));
+    }
+    check_phases(path, "$", &json, errors);
+    experiment
+}
+
+fn main() -> ExitCode {
+    let dir = results_dir();
+    let mut errors = Vec::new();
+    let mut reports = Vec::new();
+
+    let mut entries: Vec<_> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "json")
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("exp_"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    entries.sort();
+    if entries.is_empty() {
+        eprintln!("no exp_*.json reports in {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    for path in &entries {
+        if let Some(name) = check_report(path, &mut errors) {
+            reports.push(name);
+        }
+    }
+
+    let summary_path = dir.join("BENCH_summary.json");
+    match std::fs::read_to_string(&summary_path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(json) => match json.get("experiments") {
+                // Headlines are keyed by experiment name, sorted on merge.
+                Some(Json::O(entries)) if !entries.is_empty() => {
+                    for (name, _) in entries {
+                        if !dir.join(format!("{name}.json")).exists() {
+                            errors.push(format!(
+                                "{}: entry \"{name}\" has no report file",
+                                summary_path.display()
+                            ));
+                        }
+                    }
+                    check_phases(&summary_path, "$", &json, &mut errors);
+                }
+                _ => errors.push(format!("{}: no experiments", summary_path.display())),
+            },
+            Err(e) => errors.push(format!("{}: invalid JSON: {e}", summary_path.display())),
+        },
+        Err(e) => errors.push(format!("{}: unreadable: {e}", summary_path.display())),
+    }
+
+    if errors.is_empty() {
+        println!(
+            "ok: {} report(s) + BENCH_summary.json valid in {}",
+            reports.len(),
+            dir.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("error: {e}");
+        }
+        eprintln!("{} violation(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}

@@ -15,12 +15,13 @@
 //!     vs an older 56 Gb/s fabric vs datacenter TCP — the gap-ratio
 //!     argument of §5 in one table.
 
+use bench::report::{self, Json, Report};
 use bench::{run_cluster_workload, scale_down, table};
 use dsm::{DsmConfig, DsmLayer};
 use dsmdb::{Architecture, CcProtocol, Cluster, ClusterConfig, CoherenceMode, Op};
 use rdma_sim::{Fabric, NetworkProfile, NodeId};
 
-fn ablation_doorbell() {
+fn ablation_doorbell(rep: &mut Report) {
     println!("A — doorbell batching: k-way replicated 256 B write\n");
     table::header(&["k", "unbatched us", "batched us", "speedup"]);
     for &k in &[2usize, 3, 5, 8] {
@@ -46,11 +47,29 @@ fn ablation_doorbell() {
                 seq.clock().now_ns() as f64 / bat.clock().now_ns() as f64
             ),
         ]);
+        rep.row(
+            &format!("doorbell k={k}"),
+            vec![
+                ("k", Json::U(k as u64)),
+                ("unbatched_ns", Json::U(seq.clock().now_ns())),
+                ("batched_ns", Json::U(bat.clock().now_ns())),
+                (
+                    "speedup",
+                    Json::F(seq.clock().now_ns() as f64 / bat.clock().now_ns() as f64),
+                ),
+            ],
+        );
+        if k == 8 {
+            rep.headline(
+                "doorbell_speedup_k8",
+                Json::F(seq.clock().now_ns() as f64 / bat.clock().now_ns() as f64),
+            );
+        }
     }
     println!();
 }
 
-fn ablation_coherence(txns: usize) {
+fn ablation_coherence(rep: &mut Report, txns: usize) {
     println!("B — coherence protocol: invalidate vs update (2 nodes x 1 thread)\n");
     table::header(&["workload", "mode", "txn/s"]);
     // Shared-hot: both nodes reread a hot set that both occasionally
@@ -92,12 +111,20 @@ fn ablation_coherence(txns: usize) {
                 "update"
             };
             table::row(&[workload.into(), name.into(), table::n(r.tps() as u64)]);
+            rep.row(
+                &format!("coherence {workload} mode={name}"),
+                vec![
+                    ("workload_name", Json::S(workload.to_string())),
+                    ("mode", Json::S(name.to_string())),
+                    ("workload", report::workload_json(&r)),
+                ],
+            );
         }
         println!();
     }
 }
 
-fn ablation_fabric(txns: usize) {
+fn ablation_fabric(rep: &mut Report, txns: usize) {
     println!("C — fabric sensitivity: 10% cache, YCSB-B-style reads (1 node)\n");
     table::header(&["fabric", "gap vs DRAM", "txn/s"]);
     for profile in [
@@ -143,6 +170,14 @@ fn ablation_fabric(txns: usize) {
             format!("{:.0}x", profile.gap_vs_local()),
             table::n(r.tps() as u64),
         ]);
+        rep.row(
+            &format!("fabric={}", profile.name),
+            vec![
+                ("fabric", Json::S(profile.name.to_string())),
+                ("gap_vs_local", Json::F(profile.gap_vs_local())),
+                ("workload", report::workload_json(&r)),
+            ],
+        );
     }
     println!(
         "\nShape check: the slower the fabric, the more the miss penalty \
@@ -152,7 +187,9 @@ fn ablation_fabric(txns: usize) {
 
 fn main() {
     println!("\nA1 — design-choice ablations\n");
-    ablation_doorbell();
-    ablation_coherence(scale_down(1_500));
-    ablation_fabric(scale_down(8_000));
+    let mut rep = Report::new("exp_a1_ablations", "A1: design-choice ablations");
+    ablation_doorbell(&mut rep);
+    ablation_coherence(&mut rep, scale_down(1_500));
+    ablation_fabric(&mut rep, scale_down(8_000));
+    report::emit(&rep);
 }

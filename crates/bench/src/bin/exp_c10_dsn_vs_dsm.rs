@@ -16,6 +16,7 @@
 //! shift while DSM-DB barely notices — the §8 "more resilient to skew
 //! due to fast resharding" claim.
 
+use bench::report::{self, Json, Report};
 use bench::{run_cluster_workload, scale_down, table};
 use baseline::DsnCluster;
 use dsmdb::{Architecture, CcProtocol, Cluster, ClusterConfig, Op};
@@ -38,6 +39,13 @@ fn main() {
 
     println!("\nC10 — skew shift: DSN data-moving reshard vs DSM metadata reshard");
     println!("(window txn/s INCLUDES the reshard pause that precedes the window)\n");
+    let mut rep = Report::new(
+        "exp_c10_dsn_vs_dsm",
+        "C10: skew shift — DSN data-moving reshard vs DSM metadata reshard",
+    );
+    rep.meta("keyspace", Json::U(KEYSPACE));
+    rep.meta("hot_range", Json::U(HOT));
+    rep.meta("txns_per_window", Json::U(txns_per_window as u64));
     table::header(&[
         "window",
         "dsn txn/s",
@@ -110,8 +118,26 @@ fn main() {
             bench::table::f1(dsn_reshard_ns as f64 / 1e3),
             bench::table::f1(dsm_reshard_ns as f64 / 1e3),
         ]);
+        rep.row(
+            &format!("window={w}"),
+            vec![
+                ("window", Json::U(w as u64)),
+                ("shifted", Json::Bool(shifted)),
+                ("dsn_tps", Json::F(dsn_tps)),
+                ("dsm_tps", Json::F(dsm_tps)),
+                ("dsn_reshard_ns", Json::U(dsn_reshard_ns)),
+                ("dsm_reshard_ns", Json::U(dsm_reshard_ns)),
+                ("dsm_workload", report::workload_json(&r)),
+            ],
+        );
+        if w == 2 {
+            rep.headline("dsn_tps_after_shift", Json::F(dsn_tps));
+            rep.headline("dsm_tps_after_shift", Json::F(dsm_tps));
+        }
     }
     let moved = dsn.stats().reshard_bytes;
+    rep.headline("dsn_reshard_bytes", Json::U(moved));
+    report::emit(&rep);
     println!(
         "\nDSN moved {} MiB of records across {} reshards; DSM moved only \
          shard-map metadata.",

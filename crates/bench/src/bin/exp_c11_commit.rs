@@ -15,7 +15,8 @@
 //! one-sided/no-sharding design overtakes it — the paper's reason to
 //! question whether 2PC is "still applicable in DSM-DB".
 
-use bench::{run_cluster_workload, scale_down, table};
+use bench::report::{self, Json, Report};
+use bench::{run_cluster_workload, scale_down, table, WorkloadResult};
 use dsmdb::{Architecture, CcProtocol, Cluster, ClusterConfig, Op};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,7 +24,7 @@ use rdma_sim::NetworkProfile;
 
 const RECORDS: u64 = 8_192;
 
-fn run(arch: Architecture, cross_pct: u32, txns: usize) -> (f64, f64) {
+fn run(arch: Architecture, cross_pct: u32, txns: usize) -> WorkloadResult {
     let cluster = Cluster::build(ClusterConfig {
         compute_nodes: 2,
         threads_per_node: 1,
@@ -39,7 +40,7 @@ fn run(arch: Architecture, cross_pct: u32, txns: usize) -> (f64, f64) {
     .unwrap();
     // Shard split: node 0 owns [0, half), node 1 owns [half, n).
     let half = RECORDS / 2;
-    let r = run_cluster_workload(&cluster, txns, move |n, _t, i| {
+    run_cluster_workload(&cluster, txns, move |n, _t, i| {
         let mut rng = StdRng::seed_from_u64((n * 100_003 + i) as u64);
         let own_base = if n == 0 { 0 } else { half };
         let other_base = if n == 0 { half } else { 0 };
@@ -54,13 +55,18 @@ fn run(arch: Architecture, cross_pct: u32, txns: usize) -> (f64, f64) {
             b
         };
         vec![Op::Rmw { key: a, delta: -1 }, Op::Rmw { key: b, delta: 1 }]
-    });
-    (r.tps(), r.rts_per_txn())
+    })
 }
 
 fn main() {
     let txns = scale_down(1_500);
     println!("\nC11 — distributed commit: 2PC function-shipping vs one-sided RDMA\n");
+    let mut rep = Report::new(
+        "exp_c11_commit",
+        "C11: distributed commit — 2PC function-shipping vs one-sided RDMA",
+    );
+    rep.meta("records", Json::U(RECORDS));
+    rep.meta("txns", Json::U(txns as u64));
     table::header(&[
         "cross %",
         "3c+2pc txn/s",
@@ -69,16 +75,29 @@ fn main() {
         "3a RT/txn",
     ]);
     for &cross in &[0u32, 5, 20, 50, 100] {
-        let (tps_sharded, rt_sharded) = run(Architecture::CacheShard, cross, txns);
-        let (tps_direct, rt_direct) = run(Architecture::NoCacheNoShard, cross, txns);
+        let sharded = run(Architecture::CacheShard, cross, txns);
+        let direct = run(Architecture::NoCacheNoShard, cross, txns);
         table::row(&[
             cross.to_string(),
-            table::n(tps_sharded as u64),
-            table::n(tps_direct as u64),
-            table::f2(rt_sharded),
-            table::f2(rt_direct),
+            table::n(sharded.tps() as u64),
+            table::n(direct.tps() as u64),
+            table::f2(sharded.rts_per_txn()),
+            table::f2(direct.rts_per_txn()),
         ]);
+        rep.row(
+            &format!("cross={cross}%"),
+            vec![
+                ("cross_pct", Json::U(cross as u64)),
+                ("sharded_2pc", report::workload_json(&sharded)),
+                ("onesided", report::workload_json(&direct)),
+            ],
+        );
+        if cross == 50 {
+            rep.headline("sharded_2pc_tps_50cross", Json::F(sharded.tps()));
+            rep.headline("onesided_tps_50cross", Json::F(direct.tps()));
+        }
     }
+    report::emit(&rep);
     println!(
         "\nShape check (§4 Challenge 5): sharding + 2PC dominates while \
          transactions stay single-shard; the one-sided no-shard design is \

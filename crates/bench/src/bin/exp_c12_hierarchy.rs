@@ -12,6 +12,7 @@
 //! "local concurrency control within the same compute node and global
 //! concurrency control across compute nodes".
 
+use bench::report::{self, Json, Report};
 use bench::{scale_down, table};
 use dsm::{DsmConfig, DsmLayer};
 use rdma_sim::{Fabric, NetworkProfile};
@@ -95,6 +96,12 @@ fn run(threads: usize, sections: usize, hierarchical: bool) -> (f64, u64) {
 fn main() {
     let sections = scale_down(2_000);
     println!("\nC12 — flat vs hierarchical locking, {HOT_RECORDS} hot records, 1 compute node\n");
+    let mut rep = Report::new(
+        "exp_c12_hierarchy",
+        "C12: flat vs hierarchical (local/global) concurrency control",
+    );
+    rep.meta("hot_records", Json::U(HOT_RECORDS as u64));
+    rep.meta("sections", Json::U(sections as u64));
     table::header(&[
         "threads",
         "flat ops/s",
@@ -112,7 +119,22 @@ fn main() {
             table::n(flat_cas),
             table::n(hier_cas),
         ]);
+        rep.row(
+            &format!("threads={threads}"),
+            vec![
+                ("threads", Json::U(threads as u64)),
+                ("flat_ops_per_s", Json::F(flat_tps)),
+                ("hier_ops_per_s", Json::F(hier_tps)),
+                ("flat_cas", Json::U(flat_cas)),
+                ("hier_cas", Json::U(hier_cas)),
+            ],
+        );
+        if threads == 8 {
+            rep.headline("flat_cas_8t", Json::U(flat_cas));
+            rep.headline("hier_cas_8t", Json::U(hier_cas));
+        }
     }
+    report::emit(&rep);
     println!(
         "\nShape check (§4 Challenge 7): hierarchical locking slashes global \
          CAS verbs as local thread counts grow, keeping throughput up where \

@@ -17,7 +17,8 @@
 //! below the verb column whenever the cache misses more than once per
 //! transaction.
 
-use bench::{run_cluster_workload, scale_down, table};
+use bench::report::{self, Json, Report};
+use bench::{run_cluster_workload, scale_down, table, WorkloadResult};
 use dsmdb::{Architecture, CcProtocol, Cluster, ClusterConfig, Op};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,13 +28,7 @@ use workload::ZipfGenerator;
 const RECORDS: u64 = 16_384;
 const OPS_PER_TXN: usize = 16;
 
-struct Point {
-    tps: f64,
-    rts_per_txn: f64,
-    wire_rts_per_txn: f64,
-}
-
-fn run(cache_fraction: f64, txns: usize) -> Point {
+fn run(cache_fraction: f64, txns: usize) -> WorkloadResult {
     let frames = ((RECORDS as f64 * cache_fraction) as usize).max(1);
     let cluster = Cluster::build(ClusterConfig {
         compute_nodes: 1,
@@ -49,7 +44,7 @@ fn run(cache_fraction: f64, txns: usize) -> Point {
     })
     .unwrap();
     let zipf = ZipfGenerator::new(RECORDS, 0.99);
-    let r = run_cluster_workload(&cluster, txns, move |_n, _t, i| {
+    run_cluster_workload(&cluster, txns, move |_n, _t, i| {
         let mut rng = StdRng::seed_from_u64(i as u64);
         (0..OPS_PER_TXN)
             .map(|_| {
@@ -61,12 +56,7 @@ fn run(cache_fraction: f64, txns: usize) -> Point {
                 }
             })
             .collect()
-    });
-    Point {
-        tps: r.tps(),
-        rts_per_txn: r.rts_per_txn(),
-        wire_rts_per_txn: r.wire_rts_per_txn(),
-    }
+    })
 }
 
 fn main() {
@@ -75,18 +65,52 @@ fn main() {
         "\nC1 — throughput vs cached fraction (YCSB-B, zipf 0.99, \
          {OPS_PER_TXN}-op txns, 1 compute node)\n"
     );
-    table::header(&["cache %", "txn/s", "vs 100%", "verbs/txn", "wire RT/txn"]);
+    let mut rep = Report::new(
+        "exp_c1_cache_ratio",
+        "C1: throughput vs local-cache fraction (YCSB-B, zipf 0.99)",
+    );
+    rep.meta("records", Json::U(RECORDS));
+    rep.meta("ops_per_txn", Json::U(OPS_PER_TXN as u64));
+    rep.meta("txns", Json::U(txns as u64));
+    table::header(&[
+        "cache %",
+        "txn/s",
+        "vs 100%",
+        "verbs/txn",
+        "wire RT/txn",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+    ]);
     let full = run(1.0, txns);
+    let mut headline_run = None;
     for &pct in &[1u32, 5, 10, 25, 50, 75, 100] {
         let p = run(pct as f64 / 100.0, txns);
+        let (p50, p95, p99, _) = p.latency_percentiles();
         table::row(&[
             pct.to_string(),
-            table::n(p.tps as u64),
-            format!("{:.1}%", p.tps / full.tps * 100.0),
-            table::f2(p.rts_per_txn),
-            table::f2(p.wire_rts_per_txn),
+            table::n(p.tps() as u64),
+            format!("{:.1}%", p.tps() / full.tps() * 100.0),
+            table::f2(p.rts_per_txn()),
+            table::f2(p.wire_rts_per_txn()),
+            table::f1(p50 as f64 / 1000.0),
+            table::f1(p95 as f64 / 1000.0),
+            table::f1(p99 as f64 / 1000.0),
         ]);
+        rep.row(
+            &format!("cache={pct}%"),
+            vec![
+                ("cache_pct", Json::U(pct as u64)),
+                ("vs_full", Json::F(p.tps() / full.tps())),
+                ("workload", report::workload_json(&p)),
+            ],
+        );
+        if pct == 50 {
+            headline_run = Some(p);
+        }
     }
+    report::standard_headline(&mut rep, headline_run.as_ref().expect("50% point"));
+    report::emit(&rep);
     println!(
         "\nShape check (paper: \"caching 50% data ... almost no performance \
          drop\"): the 50% row should sit within a few percent of 100%. \

@@ -14,6 +14,7 @@
 //! mixes (fewer RTs); shared-exclusive wins only when the workload is
 //! read-dominated *and* hot enough that readers actually queue.
 
+use bench::report::{self, Json, Report};
 use bench::{run_cluster_workload, scale_down, table};
 use dsm::{DsmConfig, DsmLayer};
 use dsmdb::{Architecture, CcProtocol, Cluster, ClusterConfig, Op};
@@ -23,7 +24,7 @@ use rdma_sim::{Fabric, NetworkProfile};
 use txn::{ExclusiveLock, SharedExclusiveLock};
 use workload::ZipfGenerator;
 
-fn primitive_costs() {
+fn primitive_costs(rep: &mut Report) {
     let fabric = Fabric::new(NetworkProfile::rdma_cx6());
     let layer = DsmLayer::build(
         &fabric,
@@ -62,14 +63,33 @@ fn primitive_costs() {
         table::n(sh_total),
         format!("{}", ep2.stats().round_trips()),
     ]);
+    rep.row(
+        "primitive=exclusive",
+        vec![
+            ("acquire_ns", Json::U(excl_acquire)),
+            ("acquire_release_ns", Json::U(excl_total)),
+            ("verbs", Json::U(ep.stats().round_trips())),
+        ],
+    );
+    rep.row(
+        "primitive=shared-excl",
+        vec![
+            ("acquire_ns", Json::U(sh_acquire)),
+            ("acquire_release_ns", Json::U(sh_total)),
+            ("verbs", Json::U(ep2.stats().round_trips())),
+        ],
+    );
     println!(
         "\n(paper: the shared-exclusive lock \"needs at least 2 round trips\")\n"
     );
 }
 
-fn txn_sweep(txns: usize) {
+fn txn_sweep(rep: &mut Report, txns: usize) {
     println!("Part 2 — 2PL exclusive vs shared-exclusive, 4 threads, 64 hot records\n");
-    table::header(&["read %", "cc", "txn/s", "abort %"]);
+    table::header(&[
+        "read %", "cc", "txn/s", "abort %", "p50 us", "p95 us", "p99 us",
+    ]);
+    let mut headline_run = None;
     for &read_pct in &[100u32, 95, 80, 50, 0] {
         for cc in [CcProtocol::TplExclusive, CcProtocol::TplSharedExclusive] {
             let cluster = Cluster::build(ClusterConfig {
@@ -100,15 +120,31 @@ fn txn_sweep(txns: usize) {
             } else {
                 "shared-excl"
             };
+            let (p50, p95, p99, _) = r.latency_percentiles();
             table::row(&[
                 read_pct.to_string(),
                 name.into(),
                 table::n(r.tps() as u64),
                 table::f2(r.abort_rate() * 100.0),
+                table::f1(p50 as f64 / 1000.0),
+                table::f1(p95 as f64 / 1000.0),
+                table::f1(p99 as f64 / 1000.0),
             ]);
+            rep.row(
+                &format!("read={read_pct}% cc={name}"),
+                vec![
+                    ("read_pct", Json::U(read_pct as u64)),
+                    ("cc", Json::S(name.to_string())),
+                    ("workload", report::workload_json(&r)),
+                ],
+            );
+            if read_pct == 95 && cc == CcProtocol::TplExclusive {
+                headline_run = Some(r);
+            }
         }
         println!();
     }
+    report::standard_headline(rep, headline_run.as_ref().expect("95% exclusive point"));
     println!(
         "Shape check: exclusive's 1-RT lock wins except at read-dominated \
          high-contention mixes where reader concurrency pays."
@@ -117,6 +153,13 @@ fn txn_sweep(txns: usize) {
 
 fn main() {
     println!("\nC2 — RDMA lock round trips and the shared-lock trade\n");
-    primitive_costs();
-    txn_sweep(scale_down(400));
+    let mut rep = Report::new(
+        "exp_c2_locks",
+        "C2: RDMA lock primitives and the shared-lock trade",
+    );
+    let txns = scale_down(400);
+    rep.meta("txns", Json::U(txns as u64));
+    primitive_costs(&mut rep);
+    txn_sweep(&mut rep, txns);
+    report::emit(&rep);
 }

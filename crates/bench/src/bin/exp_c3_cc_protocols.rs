@@ -10,7 +10,8 @@
 //! cheaper than OCC's wasted work); MVCC keeps read transactions
 //! abort-free throughout; TSO sits between, paying oracle traffic.
 
-use bench::{run_cluster_workload, scale_down, table};
+use bench::report::{self, Json, Report};
+use bench::{run_cluster_workload, scale_down, table, WorkloadResult};
 use dsmdb::{Architecture, CcProtocol, Cluster, ClusterConfig, Op};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,7 +20,7 @@ use workload::ZipfGenerator;
 
 const RECORDS: u64 = 4_096;
 
-fn run(cc: CcProtocol, theta: f64, read_pct: u32, txns: usize) -> (f64, f64) {
+fn run(cc: CcProtocol, theta: f64, read_pct: u32, txns: usize) -> WorkloadResult {
     let cluster = Cluster::build(ClusterConfig {
         compute_nodes: 2,
         threads_per_node: 2,
@@ -34,7 +35,7 @@ fn run(cc: CcProtocol, theta: f64, read_pct: u32, txns: usize) -> (f64, f64) {
     })
     .unwrap();
     let zipf = ZipfGenerator::new(RECORDS, theta);
-    let r = run_cluster_workload(&cluster, txns, move |n, t, i| {
+    run_cluster_workload(&cluster, txns, move |n, t, i| {
         let mut rng = StdRng::seed_from_u64((n * 7919 + t * 104729 + i) as u64);
         let a = zipf.next(&mut rng);
         let mut b = zipf.next(&mut rng);
@@ -46,13 +47,19 @@ fn run(cc: CcProtocol, theta: f64, read_pct: u32, txns: usize) -> (f64, f64) {
         } else {
             vec![Op::Rmw { key: a, delta: -1 }, Op::Rmw { key: b, delta: 1 }]
         }
-    });
-    (r.tps(), r.abort_rate() * 100.0)
+    })
 }
 
 fn main() {
     let txns = scale_down(800);
     println!("\nC3 — CC protocols over RDMA: contention x read ratio (4 workers)\n");
+    let mut rep = Report::new(
+        "exp_c3_cc_protocols",
+        "C3: CC protocols over RDMA across contention and read ratio",
+    );
+    rep.meta("records", Json::U(RECORDS));
+    rep.meta("txns", Json::U(txns as u64));
+    let mut headline_run = None;
     table::header(&["read %", "zipf theta", "protocol", "txn/s", "abort %"]);
     for &read_pct in &[80u32, 20] {
         for &theta in &[0.0f64, 1.2] {
@@ -62,7 +69,7 @@ fn main() {
                 CcProtocol::Tso,
                 CcProtocol::Mvcc,
             ] {
-                let (tps, abort) = run(cc, theta, read_pct, txns);
+                let r = run(cc, theta, read_pct, txns);
                 let name = match cc {
                     CcProtocol::TplExclusive => "2pl",
                     CcProtocol::Occ => "occ",
@@ -74,13 +81,27 @@ fn main() {
                     read_pct.to_string(),
                     format!("{theta:.1}"),
                     name.into(),
-                    table::n(tps as u64),
-                    table::f2(abort),
+                    table::n(r.tps() as u64),
+                    table::f2(r.abort_rate() * 100.0),
                 ]);
+                rep.row(
+                    &format!("read={read_pct}% theta={theta:.1} cc={name}"),
+                    vec![
+                        ("read_pct", Json::U(read_pct as u64)),
+                        ("theta", Json::F(theta)),
+                        ("cc", Json::S(name.to_string())),
+                        ("workload", report::workload_json(&r)),
+                    ],
+                );
+                if read_pct == 80 && theta == 0.0 && cc == CcProtocol::Occ {
+                    headline_run = Some(r);
+                }
             }
             println!();
         }
     }
+    report::standard_headline(&mut rep, headline_run.as_ref().expect("occ baseline point"));
+    report::emit(&rep);
     println!(
         "Shape check: OCC leads read-heavy mixes (lock-free reads); 2PL \
          leads write-heavy mixes (fewer verbs per write); MVCC keeps reads \

@@ -12,6 +12,7 @@
 //! until the atomic's latency floor; RPC collapses once the sequencer
 //! CPU saturates.
 
+use bench::report::{self, Json, Report};
 use bench::{lockstep, scale_down, table};
 use dsm::{DsmConfig, DsmLayer};
 use rdma_sim::{Fabric, NetworkProfile};
@@ -33,6 +34,8 @@ fn throughput(
 fn main() {
     let per_client = scale_down(5_000);
     println!("\nC4 — timestamp oracle throughput (timestamps/s, virtual)\n");
+    let mut rep = Report::new("exp_c4_timestamps", "C4: timestamp oracle scalability");
+    rep.meta("per_client", Json::U(per_client as u64));
     table::header(&["clients", "faa", "rpc", "hybrid"]);
 
     for &clients in &[1usize, 4, 16, 64] {
@@ -50,13 +53,31 @@ fn main() {
         // Hybrid: one oracle per client (coordination-free by design); use
         // a representative single instance since cost is identical.
         let hybrid = HybridClockOracle::new(1);
+        let faa_tps = throughput(&faa, &fabric, clients, per_client);
+        let rpc_tps = throughput(&rpc, &fabric, clients, per_client);
+        let hybrid_tps = throughput(&hybrid, &fabric, clients, per_client);
         table::row(&[
             clients.to_string(),
-            table::n(throughput(&faa, &fabric, clients, per_client) as u64),
-            table::n(throughput(&rpc, &fabric, clients, per_client) as u64),
-            table::n(throughput(&hybrid, &fabric, clients, per_client) as u64),
+            table::n(faa_tps as u64),
+            table::n(rpc_tps as u64),
+            table::n(hybrid_tps as u64),
         ]);
+        rep.row(
+            &format!("clients={clients}"),
+            vec![
+                ("clients", Json::U(clients as u64)),
+                ("faa_ts_per_s", Json::F(faa_tps)),
+                ("rpc_ts_per_s", Json::F(rpc_tps)),
+                ("hybrid_ts_per_s", Json::F(hybrid_tps)),
+            ],
+        );
+        if clients == 64 {
+            rep.headline("faa_ts_per_s_64c", Json::F(faa_tps));
+            rep.headline("rpc_ts_per_s_64c", Json::F(rpc_tps));
+            rep.headline("hybrid_ts_per_s_64c", Json::F(hybrid_tps));
+        }
     }
+    report::emit(&rep);
     println!(
         "\nShape check: hybrid >> faa > rpc at high client counts; the rpc \
          sequencer saturates first (the bottleneck §4 warns about)."

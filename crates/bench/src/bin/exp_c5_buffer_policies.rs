@@ -12,6 +12,7 @@
 //! (CLOCK, FIFO, sampled-LRU) overtake sophisticated ones despite lower
 //! hit rates — software overhead becomes the bottleneck.
 
+use bench::report::{self, Json, Report};
 use bench::{scale_down, table};
 use buffer::{all_policies, BufferPool, WriteMode};
 use dsm::{DsmConfig, DsmLayer, GlobalAddr};
@@ -65,7 +66,7 @@ fn run_gap(profile: NetworkProfile, trace: &[u64]) -> Vec<PolicyRun> {
     out
 }
 
-fn print_runs(mut runs: Vec<PolicyRun>) {
+fn print_runs(rep: &mut Report, gap: &str, mut runs: Vec<PolicyRun>) {
     runs.sort_by(|a, b| a.total_ms.partial_cmp(&b.total_ms).unwrap());
     table::header(&["policy", "hit %", "sw ns/op", "runtime ms", "rank"]);
     for (i, r) in runs.iter().enumerate() {
@@ -76,6 +77,20 @@ fn print_runs(mut runs: Vec<PolicyRun>) {
             table::f2(r.total_ms),
             (i + 1).to_string(),
         ]);
+        rep.row(
+            &format!("gap={gap} policy={}", r.name),
+            vec![
+                ("gap", Json::S(gap.to_string())),
+                ("policy", Json::S(r.name.to_string())),
+                ("hit_pct", Json::F(r.hit_rate)),
+                ("sw_ns_per_op", Json::F(r.overhead_ns_per_op)),
+                ("runtime_ms", Json::F(r.total_ms)),
+                ("rank", Json::U((i + 1) as u64)),
+            ],
+        );
+        if i == 0 {
+            rep.headline(&format!("fastest_policy_{gap}"), Json::S(r.name.to_string()));
+        }
     }
 }
 
@@ -95,10 +110,18 @@ fn main() {
     }
 
     println!("\nC5 — buffer policies: disk-era gap vs RDMA gap (10% pool, zipf 0.9 + scans)\n");
+    let mut rep = Report::new(
+        "exp_c5_buffer_policies",
+        "C5: buffer replacement policies at a disk-era gap vs the RDMA gap",
+    );
+    rep.meta("records", Json::U(RECORDS));
+    rep.meta("pool_fraction", Json::F(POOL_FRACTION));
+    rep.meta("ops", Json::U(n_ops as u64));
     println!("-- NVMe-class miss penalty (~100 us): hit rate dominates --\n");
-    print_runs(run_gap(NetworkProfile::nvme_ssd(), &trace));
+    print_runs(&mut rep, "nvme", run_gap(NetworkProfile::nvme_ssd(), &trace));
     println!("\n-- ConnectX-6 miss penalty (~1.7 us): software overhead matters --\n");
-    print_runs(run_gap(NetworkProfile::rdma_cx6(), &trace));
+    print_runs(&mut rep, "rdma", run_gap(NetworkProfile::rdma_cx6(), &trace));
+    report::emit(&rep);
     println!(
         "\nShape check (§5): the runtime ranking at the RDMA gap is NOT the \
          hit-rate ranking — low-overhead policies (clock/fifo/sampled-lru) \

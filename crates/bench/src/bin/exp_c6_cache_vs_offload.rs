@@ -16,6 +16,7 @@
 
 use std::sync::Arc;
 
+use bench::report::{self, Json, Report};
 use bench::{scale_down, table};
 use buffer::{BufferPool, ClockPolicy, WriteMode};
 use dsm::{DsmConfig, DsmLayer, GlobalAddr};
@@ -115,17 +116,34 @@ fn main() {
     let reps = scale_down(8).max(2);
     let (layer, base) = setup();
     println!("\nC6 — caching vs offloading a SUM over {SEGMENT} x {PAGE} B records\n");
+    let mut rep = Report::new(
+        "exp_c6_cache_vs_offload",
+        "C6: caching vs offloading an aggregate to the memory node",
+    );
+    rep.meta("records", Json::U(RECORDS));
+    rep.meta("segment", Json::U(SEGMENT));
+    rep.meta("reps", Json::U(reps as u64));
     println!("-- part 1: single query stream, sweep cache capacity --\n");
     table::header(&["pool frames", "fetch us/q", "offload us/q", "winner"]);
     for &frames in &[16usize, 256, 1_024, 2_048] {
         let f = fetch_cost(&layer, base, frames, reps);
         let o = offload_cost(&layer, base, 1, reps);
+        let winner = if f < o { "cache" } else { "offload" };
         table::row(&[
             frames.to_string(),
             table::f1(f as f64 / 1e3),
             table::f1(o as f64 / 1e3),
-            if f < o { "cache" } else { "offload" }.into(),
+            winner.into(),
         ]);
+        rep.row(
+            &format!("frames={frames}"),
+            vec![
+                ("frames", Json::U(frames as u64)),
+                ("fetch_ns_per_q", Json::U(f)),
+                ("offload_ns_per_q", Json::U(o)),
+                ("winner", Json::S(winner.to_string())),
+            ],
+        );
     }
     println!("\n-- part 2: hot cache, sweep concurrent queries (1 weak core) --\n");
     table::header(&["concurrent", "fetch us/q", "offload us/q", "winner"]);
@@ -133,13 +151,28 @@ fn main() {
         // Fetch path scales (each client has its own CPU); cost unchanged.
         let f = fetch_cost(&layer, base, 2_048, reps);
         let o = offload_cost(&layer, base, conc, reps);
+        let winner = if f < o { "cache" } else { "offload" };
         table::row(&[
             conc.to_string(),
             table::f1(f as f64 / 1e3),
             table::f1(o as f64 / 1e3),
-            if f < o { "cache" } else { "offload" }.into(),
+            winner.into(),
         ]);
+        rep.row(
+            &format!("concurrent={conc}"),
+            vec![
+                ("concurrent", Json::U(conc as u64)),
+                ("fetch_ns_per_q", Json::U(f)),
+                ("offload_ns_per_q", Json::U(o)),
+                ("winner", Json::S(winner.to_string())),
+            ],
+        );
+        if conc == 8 {
+            rep.headline("offload_ns_per_q_8conc", Json::U(o));
+            rep.headline("fetch_ns_per_q_hot", Json::U(f));
+        }
     }
+    report::emit(&rep);
     println!(
         "\nShape check: offload wins the cold scan; caching wins once the \
          segment is resident, and offload degrades under concurrency as the \

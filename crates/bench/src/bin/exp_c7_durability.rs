@@ -13,6 +13,7 @@
 
 use std::sync::Arc;
 
+use bench::report::{self, Json, Report};
 use bench::{lockstep, scale_down, table};
 use cloudstore::LogStore;
 use dsm::{DsmConfig, DsmLayer, DurabilityMode, DurableLog};
@@ -20,7 +21,13 @@ use rdma_sim::{Fabric, NetworkProfile};
 
 const RECORD: usize = 256;
 
-fn run(mode_name: &str, mode_of: impl Fn(&DsmLayer) -> DurabilityMode, group: usize, commits: usize) {
+fn run(
+    rep: &mut Report,
+    mode_name: &str,
+    mode_of: impl Fn(&DsmLayer) -> DurabilityMode,
+    group: usize,
+    commits: usize,
+) {
     let fabric = Fabric::new(NetworkProfile::rdma_cx6());
     let layer = DsmLayer::build(
         &fabric,
@@ -55,33 +62,56 @@ fn run(mode_name: &str, mode_of: impl Fn(&DsmLayer) -> DurabilityMode, group: us
         table::n(tps as u64),
         table::f1(lat_us),
     ]);
+    rep.row(
+        &format!("mode={mode_name} batch={group}"),
+        vec![
+            ("mode", Json::S(mode_name.to_string())),
+            ("batch", Json::U(group as u64)),
+            ("commits", Json::U(total)),
+            ("commits_per_s", Json::F(tps)),
+            ("client_us_per_round", Json::F(lat_us)),
+        ],
+    );
+    if mode_name == "repl k=3" && group == 1 {
+        rep.headline("repl_k3_commits_per_s", Json::F(tps));
+    }
 }
 
 fn main() {
     let commits = scale_down(4_096);
     println!("\nC7 — durable commit approaches (8 clients, {RECORD} B records)\n");
+    let mut rep = Report::new(
+        "exp_c7_durability",
+        "C7: durability approaches on the commit path",
+    );
+    rep.meta("record_bytes", Json::U(RECORD as u64));
+    rep.meta("commits", Json::U(commits as u64));
     table::header(&["mode", "batch", "commits", "commits/s", "client us/round"]);
     run(
+        &mut rep,
         "wal-ebs",
         |_| DurabilityMode::CloudWal(Arc::new(LogStore::new(NetworkProfile::cloud_ebs()))),
         1,
         commits,
     );
     run(
+        &mut rep,
         "wal-ebs",
         |_| DurabilityMode::CloudWal(Arc::new(LogStore::new(NetworkProfile::cloud_ebs()))),
         16,
         commits,
     );
     run(
+        &mut rep,
         "wal-ebs",
         |_| DurabilityMode::CloudWal(Arc::new(LogStore::new(NetworkProfile::cloud_ebs()))),
         64,
         commits,
     );
-    run("repl k=1", |_| DurabilityMode::ReplicatedLog { k: 1 }, 1, commits);
-    run("repl k=3", |_| DurabilityMode::ReplicatedLog { k: 3 }, 1, commits);
-    run("repl k=3", |_| DurabilityMode::ReplicatedLog { k: 3 }, 16, commits);
+    run(&mut rep, "repl k=1", |_| DurabilityMode::ReplicatedLog { k: 1 }, 1, commits);
+    run(&mut rep, "repl k=3", |_| DurabilityMode::ReplicatedLog { k: 3 }, 1, commits);
+    run(&mut rep, "repl k=3", |_| DurabilityMode::ReplicatedLog { k: 3 }, 16, commits);
+    report::emit(&rep);
     println!(
         "\nShape check (§3): the replicated memory log commits orders of \
          magnitude faster than the cloud WAL; group commit rescues WAL \

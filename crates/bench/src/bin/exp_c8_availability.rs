@@ -13,6 +13,7 @@
 
 use std::sync::Arc;
 
+use bench::report::{self, Json, Report};
 use bench::table;
 use cloudstore::ObjectStore;
 use dsm::{
@@ -121,13 +122,38 @@ fn checkpoint_log() -> (f64, u64, u64) {
 
 fn main() {
     println!("\nC8 — availability: memory overhead vs recovery (one lost node)\n");
+    let mut rep = Report::new(
+        "exp_c8_availability",
+        "C8: availability schemes — memory overhead vs recovery time",
+    );
+    rep.meta("node_capacity", Json::U(NODE_CAP as u64));
+    rep.meta("page_bytes", Json::U(PAGE as u64));
     table::header(&["scheme", "mem overhead", "recovery ms", "bytes moved"]);
-    let (o, ns, b) = mirror3();
-    table::row(&["mirror x3".into(), format!("{o:.1}x"), table::f2(ns as f64 / 1e6), table::n(b)]);
-    let (o, ns, b) = erasure42();
-    table::row(&["erasure 4+2".into(), format!("{o:.1}x"), table::f2(ns as f64 / 1e6), table::n(b)]);
-    let (o, ns, b) = checkpoint_log();
-    table::row(&["ckpt+log".into(), format!("{o:.1}x"), table::f2(ns as f64 / 1e6), table::n(b)]);
+    for (scheme, (o, ns, b)) in [
+        ("mirror x3", mirror3()),
+        ("erasure 4+2", erasure42()),
+        ("ckpt+log", checkpoint_log()),
+    ] {
+        table::row(&[
+            scheme.into(),
+            format!("{o:.1}x"),
+            table::f2(ns as f64 / 1e6),
+            table::n(b),
+        ]);
+        rep.row(
+            &format!("scheme={scheme}"),
+            vec![
+                ("scheme", Json::S(scheme.to_string())),
+                ("mem_overhead", Json::F(o)),
+                ("recovery_ns", Json::U(ns)),
+                ("bytes_moved", Json::U(b)),
+            ],
+        );
+        if scheme == "mirror x3" {
+            rep.headline("mirror3_recovery_ns", Json::U(ns));
+        }
+    }
+    report::emit(&rep);
     println!(
         "\nShape check (§3 Challenge 3): cheaper memory -> slower recovery. \
          Mirroring recovers at fabric speed, erasure pays decode+rebuild, \

@@ -11,6 +11,7 @@
 //! points but unordered; LSM absorbs writes locally and needs ≤ 1 block
 //! read per lookup thanks to filters.
 
+use bench::report::{self, Json, Report};
 use bench::{scale_down, table};
 use dsm::{DsmConfig, DsmLayer};
 use index::{RaceHash, RemoteBTree, RemoteLsm};
@@ -126,6 +127,12 @@ fn main() {
     }
 
     println!("\nC9 — index designs over disaggregated memory ({n} keys)\n");
+    let mut rep = Report::new(
+        "exp_c9_indexes",
+        "C9: RDMA-conscious index designs over disaggregated memory",
+    );
+    rep.meta("keys", Json::U(n));
+    rep.meta("lookups", Json::U(lookups));
     table::header(&[
         "index",
         "load us/op",
@@ -141,7 +148,21 @@ fn main() {
             table::f2(r.rts_per_lookup),
             table::f1(r.local_kb),
         ]);
+        rep.row(
+            &format!("index={}", r.name),
+            vec![
+                ("index", Json::S(r.name.to_string())),
+                ("load_us_per_op", Json::F(r.load_us_per_op)),
+                ("lookup_us_per_op", Json::F(r.lookup_us_per_op)),
+                ("rts_per_lookup", Json::F(r.rts_per_lookup)),
+                ("local_kib", Json::F(r.local_kb)),
+            ],
+        );
+        if r.name == "btree+cache" {
+            rep.headline("btree_cache_rts_per_lookup", Json::F(r.rts_per_lookup));
+        }
     }
+    report::emit(&rep);
     println!(
         "\nShape check (§6): caching internal nodes buys ~1-RT lookups for \
          local memory (Sherman's trade); the hash is O(1) RTs without \

@@ -15,6 +15,7 @@
 //! stays high regardless, needing fewer DRAM units overall (§1: "higher
 //! memory utilization … lower total cost of ownership").
 
+use bench::report::{self, Json, Report};
 use bench::table;
 use memnode::ExtentAllocator;
 use rand::rngs::StdRng;
@@ -103,6 +104,12 @@ fn place_disaggregated(ts: &[Tenant]) -> (usize, usize, u64) {
 
 fn main() {
     println!("\nF1 — DRAM stranding: monolithic (32c+64GiB boxes) vs disaggregated pools\n");
+    let mut rep = Report::new(
+        "exp_f1_pooling",
+        "F1: DRAM stranding — monolithic servers vs disaggregated pools",
+    );
+    rep.meta("tenants", Json::U(200));
+    rep.meta("server_dram", Json::U(SRV_DRAM));
     table::header(&[
         "mem-heavy %",
         "mono boxes",
@@ -130,7 +137,25 @@ fn main() {
             format!("{} GiB", pool_strand >> 30),
             table::f1(pool_util),
         ]);
+        rep.row(
+            &format!("mem_heavy={mix}%"),
+            vec![
+                ("mem_heavy_pct", Json::U(mix as u64)),
+                ("mono_boxes", Json::U(mono as u64)),
+                ("mono_strand_bytes", Json::U(mono_strand)),
+                ("mono_util_pct", Json::F(mono_util)),
+                ("compute_nodes", Json::U(cn as u64)),
+                ("mem_nodes", Json::U(mn as u64)),
+                ("pool_strand_bytes", Json::U(pool_strand)),
+                ("pool_util_pct", Json::F(pool_util)),
+            ],
+        );
+        if mix == 50 {
+            rep.headline("mono_util_pct_50mix", Json::F(mono_util));
+            rep.headline("pool_util_pct_50mix", Json::F(pool_util));
+        }
     }
+    report::emit(&rep);
     println!(
         "\nShape check (§1): coupled boxes strand DRAM whenever the tenant \
          mix departs from the hardware's fixed CPU:DRAM ratio; the pooled \

@@ -12,7 +12,8 @@
 //! everywhere but has zero coherence cost, overtaking 3b at write-heavy
 //! extremes.
 
-use bench::{run_cluster_workload, scale_down, table};
+use bench::report::{self, Json, Report};
+use bench::{run_cluster_workload, scale_down, table, WorkloadResult};
 use dsmdb::{Architecture, CcProtocol, Cluster, ClusterConfig, CoherenceMode, Op};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,7 +22,7 @@ use workload::ZipfGenerator;
 
 const RECORDS: u64 = 8_192;
 
-fn run(arch: Architecture, read_pct: u32, txns: usize) -> (f64, f64, f64) {
+fn run(arch: Architecture, read_pct: u32, txns: usize) -> WorkloadResult {
     let cluster = Cluster::build(ClusterConfig {
         compute_nodes: 2,
         threads_per_node: 2,
@@ -39,7 +40,7 @@ fn run(arch: Architecture, read_pct: u32, txns: usize) -> (f64, f64, f64) {
     // front-end routing); 10% deliberately land on the other node to keep
     // a cross-traffic component.
     let zipf = ZipfGenerator::new(RECORDS / 2, 0.9);
-    let r = run_cluster_workload(&cluster, txns, move |n, t, i| {
+    run_cluster_workload(&cluster, txns, move |n, t, i| {
         let mut rng = StdRng::seed_from_u64((n * 1000 + t * 100 + i) as u64);
         let local = rng.gen_range(0..100) < 90;
         let half = RECORDS / 2;
@@ -50,13 +51,19 @@ fn run(arch: Architecture, read_pct: u32, txns: usize) -> (f64, f64, f64) {
         } else {
             vec![Op::Rmw { key, delta: 1 }]
         }
-    });
-    (r.tps(), r.abort_rate() * 100.0, r.rts_per_txn())
+    })
 }
 
 fn main() {
     let txns = scale_down(800);
     println!("\nF3 — Figure 3 architectures, YCSB point txns, zipf 0.9, 2 nodes x 2 threads\n");
+    let mut rep = Report::new(
+        "exp_f3_architectures",
+        "F3: the three cache-coherence architectures (Figure 3)",
+    );
+    rep.meta("records", Json::U(RECORDS));
+    rep.meta("txns", Json::U(txns as u64));
+    let mut headline_run = None;
     table::header(&[
         "read %",
         "arch",
@@ -73,17 +80,30 @@ fn main() {
             ),
             ("3c sharded", Architecture::CacheShard),
         ] {
-            let (tps, abort, rts) = run(arch, read_pct, txns);
+            let r = run(arch, read_pct, txns);
             table::row(&[
                 read_pct.to_string(),
                 name.to_string(),
-                table::n(tps as u64),
-                table::f2(abort),
-                table::f2(rts),
+                table::n(r.tps() as u64),
+                table::f2(r.abort_rate() * 100.0),
+                table::f2(r.rts_per_txn()),
             ]);
+            rep.row(
+                &format!("read={read_pct}% arch={name}"),
+                vec![
+                    ("read_pct", Json::U(read_pct as u64)),
+                    ("arch", Json::S(name.to_string())),
+                    ("workload", report::workload_json(&r)),
+                ],
+            );
+            if read_pct == 95 && name == "3c sharded" {
+                headline_run = Some(r);
+            }
         }
         println!();
     }
+    report::standard_headline(&mut rep, headline_run.as_ref().expect("3c read-heavy point"));
+    report::emit(&rep);
     println!(
         "Shape check: sharded (3c) leads on single-shard txns; caching (3b) \
          helps reads and costs coherence on writes; 3a pays RTs everywhere."

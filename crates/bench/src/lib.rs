@@ -17,9 +17,10 @@
 //!   like the paper's tables.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use dsmdb::{Cluster, Op, Session, TxnError};
-use rdma_sim::Endpoint;
+use rdma_sim::{Endpoint, HistSnapshot, PhaseSnapshot};
 
 /// Drive `clients` virtual clients in lockstep for `rounds` rounds. The
 /// closure runs one operation for one client; returns the makespan (max
@@ -37,7 +38,7 @@ where
 }
 
 /// Outcome of a cluster workload run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct WorkloadResult {
     /// Committed transactions across all sessions.
     pub commits: u64,
@@ -50,6 +51,11 @@ pub struct WorkloadResult {
     /// Round trips actually paid on the wire: verbs minus the ops that
     /// rode along in doorbell groups behind their leader.
     pub wire_round_trips: u64,
+    /// End-to-end transaction latency distribution (virtual ns), merged
+    /// across every session — committed and aborted attempts alike.
+    pub latency: HistSnapshot,
+    /// Per-phase virtual-time/verb attribution, merged across sessions.
+    pub phases: PhaseSnapshot,
 }
 
 impl WorkloadResult {
@@ -90,6 +96,12 @@ impl WorkloadResult {
             self.wire_round_trips as f64 / self.commits as f64
         }
     }
+
+    /// Transaction-latency percentile ladder `(p50, p95, p99, p999)`,
+    /// virtual ns.
+    pub fn latency_percentiles(&self) -> (u64, u64, u64, u64) {
+        self.latency.percentiles()
+    }
 }
 
 /// Run `txns_per_session` transactions on every session of `cluster`
@@ -114,6 +126,8 @@ where
     let makespan = std::sync::atomic::AtomicU64::new(0);
     let rts = std::sync::atomic::AtomicU64::new(0);
     let wire_rts = std::sync::atomic::AtomicU64::new(0);
+    let latency = Mutex::new(HistSnapshot::empty());
+    let phases = Mutex::new(PhaseSnapshot::default());
     std::thread::scope(|sc| {
         for n in 0..nodes {
             for t in 0..threads {
@@ -125,6 +139,8 @@ where
                 let makespan = &makespan;
                 let rts = &rts;
                 let wire_rts = &wire_rts;
+                let latency = &latency;
+                let phases = &phases;
                 sc.spawn(move || {
                     let mut s: Session = cluster.session(n, t);
                     for i in 0..txns_per_session {
@@ -158,6 +174,8 @@ where
                     let snap = s.endpoint().stats();
                     rts.fetch_add(snap.round_trips(), Ordering::Relaxed);
                     wire_rts.fetch_add(snap.wire_round_trips(), Ordering::Relaxed);
+                    latency.lock().unwrap().merge(&s.latency());
+                    phases.lock().unwrap().merge(&s.phases());
                 });
             }
         }
@@ -168,6 +186,67 @@ where
         makespan_ns: makespan.load(Ordering::Relaxed),
         round_trips: rts.load(Ordering::Relaxed),
         wire_round_trips: wire_rts.load(Ordering::Relaxed),
+        latency: latency.into_inner().unwrap(),
+        phases: phases.into_inner().unwrap(),
+    }
+}
+
+/// Machine-readable experiment output: every `exp_*` binary builds a
+/// [`telemetry::Report`] alongside its printed table and calls
+/// [`report::emit`], which writes `results/<experiment>.json` and folds
+/// the headline into `results/BENCH_summary.json`.
+pub mod report {
+    use std::path::PathBuf;
+
+    pub use telemetry::report::{hist_json, phases_json};
+    pub use telemetry::{Json, Report};
+
+    use crate::WorkloadResult;
+
+    /// Where reports land: `$BENCH_RESULTS_DIR`, defaulting to
+    /// `results/` under the current directory.
+    pub fn results_dir() -> PathBuf {
+        std::env::var_os("BENCH_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results"))
+    }
+
+    /// Write `report` and merge its headline into `BENCH_summary.json`.
+    pub fn emit(report: &Report) {
+        let dir = results_dir();
+        let summary = dir.join("BENCH_summary.json");
+        match report.write(&dir, &summary) {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write report: {e}"),
+        }
+    }
+
+    /// The standard metrics object for one workload run: throughput,
+    /// aborts, round trips, the latency ladder, and the phase breakdown.
+    pub fn workload_json(r: &WorkloadResult) -> Json {
+        Json::obj(vec![
+            ("commits", Json::U(r.commits)),
+            ("aborts", Json::U(r.aborts)),
+            ("abort_rate", Json::F(r.abort_rate())),
+            ("makespan_ns", Json::U(r.makespan_ns)),
+            ("tps", Json::F(r.tps())),
+            ("rts_per_txn", Json::F(r.rts_per_txn())),
+            ("wire_rts_per_txn", Json::F(r.wire_rts_per_txn())),
+            ("latency", hist_json(&r.latency)),
+            ("phases", phases_json(&r.phases)),
+        ])
+    }
+
+    /// Install the standard headline block for the run the experiment
+    /// considers its flagship configuration: tps, p50/p99 latency, wire
+    /// round trips per txn, and phase shares.
+    pub fn standard_headline(rep: &mut Report, r: &WorkloadResult) {
+        let (p50, _p95, p99, _p999) = r.latency.percentiles();
+        rep.headline("tps", Json::F(r.tps()));
+        rep.headline("p50_ns", Json::U(p50));
+        rep.headline("p99_ns", Json::U(p99));
+        rep.headline("wire_rts_per_txn", Json::F(r.wire_rts_per_txn()));
+        rep.headline("phases", phases_json(&r.phases));
     }
 }
 

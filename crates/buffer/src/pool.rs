@@ -34,7 +34,8 @@ use std::sync::Arc;
 
 use dsm::{DsmLayer, DsmResult, GlobalAddr};
 use parking_lot::{Condvar, Mutex};
-use rdma_sim::Endpoint;
+use rdma_sim::{Endpoint, HistSnapshot, Phase};
+use telemetry::Histogram;
 
 use crate::cost::{copy_cost_ns, LOCK_NS, MAP_OP_NS};
 use crate::policy::{FrameId, ReplacementPolicy};
@@ -96,6 +97,38 @@ struct Frame {
     filling: bool,
 }
 
+/// Per-shard latency histograms (virtual ns). They live inside the shard
+/// latch, so the hot hit path records with zero extra synchronization;
+/// miss/write-back latencies are recorded at publish time when the latch
+/// is re-taken anyway.
+#[derive(Default)]
+struct ShardTelemetry {
+    /// Total virtual cost of serving a local hit (map + latch + policy +
+    /// copy).
+    hit_ns: Histogram,
+    /// Remote fetch latency a missing page waited for (its doorbell
+    /// group's wire time).
+    fetch_ns: Histogram,
+    /// Remote write-back latency per dirty page flushed.
+    writeback_ns: Histogram,
+    /// Bookkeeping overhead charged per latched operation (lock + map +
+    /// policy work) — the shard-lock cost distribution.
+    latch_ns: Histogram,
+}
+
+/// Pool-wide latency snapshot, merged across shards.
+#[derive(Debug, Clone)]
+pub struct PoolLatency {
+    /// Local hit service time.
+    pub hit_ns: HistSnapshot,
+    /// Remote fetch (miss) latency.
+    pub fetch_ns: HistSnapshot,
+    /// Dirty-page write-back latency.
+    pub writeback_ns: HistSnapshot,
+    /// Shard latch + bookkeeping overhead per access.
+    pub latch_ns: HistSnapshot,
+}
+
 struct ShardInner {
     policy: Box<dyn ReplacementPolicy>,
     frames: Vec<Frame>,
@@ -107,6 +140,7 @@ struct ShardInner {
     /// Number of frames currently `filling`.
     filling: usize,
     stats: PoolStats,
+    tele: ShardTelemetry,
 }
 
 struct Shard {
@@ -219,6 +253,7 @@ impl BufferPool {
                         writing_back: HashSet::new(),
                         filling: 0,
                         stats: PoolStats::default(),
+                        tele: ShardTelemetry::default(),
                     }),
                     cv: Condvar::new(),
                 }
@@ -295,12 +330,32 @@ impl BufferPool {
         let mut guards: Vec<_> = self.shards.iter().map(|s| s.inner.lock()).collect();
         for g in guards.iter_mut() {
             g.stats = PoolStats::default();
+            g.tele = ShardTelemetry::default();
         }
     }
 
-    fn charge(ep: &Endpoint, stats: &mut PoolStats, ns: u64) {
+    /// Latency histograms merged across all shards.
+    pub fn latency(&self) -> PoolLatency {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.inner.lock()).collect();
+        let mut out = PoolLatency {
+            hit_ns: HistSnapshot::empty(),
+            fetch_ns: HistSnapshot::empty(),
+            writeback_ns: HistSnapshot::empty(),
+            latch_ns: HistSnapshot::empty(),
+        };
+        for g in &guards {
+            out.hit_ns.merge(&g.tele.hit_ns.snapshot());
+            out.fetch_ns.merge(&g.tele.fetch_ns.snapshot());
+            out.writeback_ns.merge(&g.tele.writeback_ns.snapshot());
+            out.latch_ns.merge(&g.tele.latch_ns.snapshot());
+        }
+        out
+    }
+
+    fn charge(ep: &Endpoint, s: &mut ShardInner, ns: u64) {
         ep.charge_local(ns);
-        stats.overhead_ns += ns;
+        s.stats.overhead_ns += ns;
+        s.tele.latch_ns.record(ns);
     }
 
     /// Read the page at `addr` into `dst` (must be `page_size` long).
@@ -366,10 +421,13 @@ impl BufferPool {
                 }
                 let latch = if s.policy.latch_free_hits() { 0 } else { LOCK_NS };
                 let pol = s.policy.on_hit(f, key);
-                Self::charge(ep, &mut s.stats, MAP_OP_NS + latch + pol);
+                Self::charge(ep, s, MAP_OP_NS + latch + pol);
                 ep.charge_local(copy_cost_ns(self.page_size));
                 dst.copy_from_slice(&s.frames[f].data);
                 s.stats.hits += 1;
+                s.tele
+                    .hit_ns
+                    .record(MAP_OP_NS + latch + pol + copy_cost_ns(self.page_size));
                 return Ok(Step::Done);
             }
             if s.writing_back.contains(&key) {
@@ -415,7 +473,7 @@ impl BufferPool {
             let data = std::mem::take(&mut fr.data);
             s.page_table.insert(key, f);
             overhead += MAP_OP_NS;
-            Self::charge(ep, &mut s.stats, overhead);
+            Self::charge(ep, s, overhead);
             s.stats.misses += 1;
             return Ok(Step::Reserved(PendingFetch {
                 req_idx: i,
@@ -439,30 +497,38 @@ impl BufferPool {
         if pending.is_empty() {
             return Ok(());
         }
-        {
+        let wb_ns = {
             let wb: Vec<(GlobalAddr, &[u8])> = pending
                 .iter()
                 .filter_map(|p| p.writeback.map(|raw| (GlobalAddr::from_raw(raw), &p.data[..])))
                 .collect();
             if !wb.is_empty() {
+                let _span = ep.span(Phase::Writeback);
+                let t0 = ep.clock().now_ns();
                 if let Err(e) = self.layer.write_batch(ep, &wb) {
                     drop(wb);
                     self.abort_fetches(pending);
                     return Err(e);
                 }
+                ep.clock().now_ns() - t0
+            } else {
+                0
             }
-        }
-        {
+        };
+        let fetch_ns = {
             let mut fetch: Vec<(GlobalAddr, &mut [u8])> = pending
                 .iter_mut()
                 .map(|p| (GlobalAddr::from_raw(p.key), &mut p.data[..]))
                 .collect();
+            let _span = ep.span(Phase::PageFetch);
+            let t0 = ep.clock().now_ns();
             if let Err(e) = self.layer.read_batch(ep, &mut fetch) {
                 drop(fetch);
                 self.abort_fetches(pending);
                 return Err(e);
             }
-        }
+            ep.clock().now_ns() - t0
+        };
         for p in pending.drain(..) {
             ep.charge_local(copy_cost_ns(self.page_size));
             reqs[p.req_idx].1.copy_from_slice(&p.data);
@@ -475,12 +541,15 @@ impl BufferPool {
                 fr.dirty = false;
                 fr.filling = false;
                 s.filling -= 1;
+                // Every page in the group waited for the whole doorbell.
+                s.tele.fetch_ns.record(fetch_ns);
                 if let Some(raw) = p.writeback {
                     s.writing_back.remove(&raw);
                     s.stats.writebacks += 1;
+                    s.tele.writeback_ns.record(wb_ns);
                 }
                 let pol = s.policy.on_insert(p.frame, p.key);
-                Self::charge(ep, &mut s.stats, pol);
+                Self::charge(ep, s, pol);
             }
             sh.cv.notify_all();
         }
@@ -566,9 +635,12 @@ impl BufferPool {
                     continue;
                 }
                 let pol = s.policy.on_hit(f, key);
-                Self::charge(ep, &mut s.stats, MAP_OP_NS + LOCK_NS + pol);
+                Self::charge(ep, s, MAP_OP_NS + LOCK_NS + pol);
                 s.stats.hits += 1;
                 ep.charge_local(copy_cost_ns(self.page_size));
+                s.tele
+                    .hit_ns
+                    .record(MAP_OP_NS + LOCK_NS + pol + copy_cost_ns(self.page_size));
                 s.frames[f].data.copy_from_slice(src);
                 match self.mode {
                     WriteMode::WriteThrough => {
@@ -629,7 +701,7 @@ impl BufferPool {
             }
             s.page_table.insert(key, f);
             overhead += s.policy.on_insert(f, key) + MAP_OP_NS;
-            Self::charge(ep, &mut s.stats, overhead);
+            Self::charge(ep, s, overhead);
             s.stats.misses += 1;
             return Ok(Step::Done);
         }
@@ -647,7 +719,7 @@ impl BufferPool {
         if wbs.is_empty() && through.is_empty() {
             return Ok(());
         }
-        let res = {
+        let (res, wb_ns) = {
             let mut remote: Vec<(GlobalAddr, &[u8])> = Vec::with_capacity(wbs.len() + through.len());
             for w in wbs.iter() {
                 remote.push((GlobalAddr::from_raw(w.raw), &w.data[..]));
@@ -655,12 +727,21 @@ impl BufferPool {
             for &idx in through.iter() {
                 remote.push((reqs[idx].0, reqs[idx].1));
             }
-            self.layer.write_batch(ep, &remote)
+            let _span = ep.span(Phase::Writeback);
+            let t0 = ep.clock().now_ns();
+            let res = self.layer.write_batch(ep, &remote);
+            (res, ep.clock().now_ns() - t0)
         };
         through.clear();
         for w in wbs.drain(..) {
             let sh = &self.shards[w.shard];
-            sh.inner.lock().writing_back.remove(&w.raw);
+            {
+                let mut inner = sh.inner.lock();
+                inner.writing_back.remove(&w.raw);
+                if res.is_ok() {
+                    inner.tele.writeback_ns.record(wb_ns);
+                }
+            }
             sh.cv.notify_all();
         }
         res
@@ -687,7 +768,7 @@ impl BufferPool {
                     s.frames[f].dirty = false;
                     s.free.push(f);
                     s.stats.invalidations += 1;
-                    Self::charge(ep, &mut s.stats, MAP_OP_NS + LOCK_NS + pol);
+                    Self::charge(ep, s, MAP_OP_NS + LOCK_NS + pol);
                     drop(inner);
                     sh.cv.notify_all();
                     return true;
@@ -696,7 +777,7 @@ impl BufferPool {
                     sh.cv.wait(&mut inner);
                 }
                 None => {
-                    Self::charge(ep, &mut s.stats, MAP_OP_NS + LOCK_NS);
+                    Self::charge(ep, s, MAP_OP_NS + LOCK_NS);
                     return false;
                 }
             }
@@ -719,14 +800,14 @@ impl BufferPool {
                 Some(&f) => {
                     ep.charge_local(copy_cost_ns(self.page_size));
                     s.frames[f].data.copy_from_slice(src);
-                    Self::charge(ep, &mut s.stats, MAP_OP_NS + LOCK_NS);
+                    Self::charge(ep, s, MAP_OP_NS + LOCK_NS);
                     return true;
                 }
                 None if s.writing_back.contains(&key) => {
                     sh.cv.wait(&mut inner);
                 }
                 None => {
-                    Self::charge(ep, &mut s.stats, MAP_OP_NS + LOCK_NS);
+                    Self::charge(ep, s, MAP_OP_NS + LOCK_NS);
                     return false;
                 }
             }
@@ -751,7 +832,7 @@ impl BufferPool {
                 s.free.push(f);
             }
             s.stats.invalidations += n as u64;
-            Self::charge(ep, &mut s.stats, LOCK_NS + n as u64 * 10);
+            Self::charge(ep, s, LOCK_NS + n as u64 * 10);
             drop(inner);
             sh.cv.notify_all();
         }
@@ -773,16 +854,20 @@ impl BufferPool {
             if dirty.is_empty() {
                 continue;
             }
-            {
+            let wb_ns = {
                 let wb: Vec<(GlobalAddr, &[u8])> = dirty
                     .iter()
                     .map(|&f| (GlobalAddr::from_raw(s.frames[f].page), &s.frames[f].data[..]))
                     .collect();
+                let _span = ep.span(Phase::Writeback);
+                let t0 = ep.clock().now_ns();
                 self.layer.write_batch(ep, &wb)?;
-            }
+                ep.clock().now_ns() - t0
+            };
             for &f in &dirty {
                 s.frames[f].dirty = false;
                 s.stats.writebacks += 1;
+                s.tele.writeback_ns.record(wb_ns);
             }
         }
         Ok(())
@@ -979,6 +1064,34 @@ mod tests {
                 assert_eq!(cached, direct, "policy {name} page {i} incoherent");
             }
         }
+    }
+
+    #[test]
+    fn latency_histograms_separate_hits_from_misses() {
+        let (f, layer, pool) = setup(2, WriteMode::WriteBack);
+        let ep = f.endpoint();
+        let a = layer.alloc(64).unwrap();
+        let b = layer.alloc(64).unwrap();
+        let c = layer.alloc(64).unwrap();
+        let mut buf = [0u8; 64];
+        pool.read_page(&ep, a, &mut buf).unwrap(); // miss
+        pool.read_page(&ep, a, &mut buf).unwrap(); // hit
+        pool.write_page(&ep, a, &[1u8; 64]).unwrap(); // hit, dirties a
+        pool.read_page(&ep, b, &mut buf).unwrap(); // miss
+        pool.read_page(&ep, c, &mut buf).unwrap(); // miss, evicts dirty a
+        let lat = pool.latency();
+        assert_eq!(lat.hit_ns.count(), 2);
+        assert_eq!(lat.fetch_ns.count(), 3);
+        assert_eq!(lat.writeback_ns.count(), 1);
+        assert!(lat.latch_ns.count() >= 5);
+        // The RDMA gap shows up in the distributions themselves.
+        assert!(lat.fetch_ns.min() > lat.hit_ns.max());
+        // Fetch/write-back traffic was attributed to phases.
+        let phases = ep.phase_snapshot();
+        assert!(phases.phase_verbs(rdma_sim::Phase::PageFetch) >= 3);
+        assert!(phases.phase_verbs(rdma_sim::Phase::Writeback) >= 1);
+        pool.reset_stats();
+        assert_eq!(pool.latency().hit_ns.count(), 0);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use cloudstore::{LogStore, Lsn};
 use parking_lot::Mutex;
-use rdma_sim::{Endpoint, NodeId};
+use rdma_sim::{Endpoint, NodeId, Phase};
 
 use crate::layer::{DsmLayer, DsmResult};
 
@@ -108,6 +108,7 @@ impl DurableLog {
             replay.push(record.to_vec());
             (replay.len() - 1) as Lsn
         };
+        let _span = ep.span(Phase::LogWrite);
         match &self.mode {
             DurabilityMode::None => {}
             DurabilityMode::CloudWal(store) => {
@@ -128,6 +129,7 @@ impl DurableLog {
             replay.extend(records.iter().map(|r| r.to_vec()));
             first
         };
+        let _span = ep.span(Phase::LogWrite);
         match &self.mode {
             DurabilityMode::None => {}
             DurabilityMode::CloudWal(store) => {

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use buffer::BufferPool;
 use dsm::{DsmLayer, DsmResult, GlobalAddr};
-use rdma_sim::{Endpoint, Mailbox, MailboxId};
+use rdma_sim::{Endpoint, Mailbox, MailboxId, Phase};
 use txn::table::RecordTable;
 use txn::PayloadIo;
 
@@ -123,6 +123,7 @@ impl NodeCache {
         let Ok(msg) = self.inbox.try_recv() else {
             return false;
         };
+        let _span = ep.span(Phase::CoherenceInval);
         ep.observe_delivery(&msg);
         let kind = msg.payload[0];
         let key_addr = GlobalAddr::from_raw(u64::from_le_bytes(
@@ -179,6 +180,7 @@ impl CoherentIo {
         key: u64,
         new_data: &[u8],
     ) -> DsmResult<()> {
+        let _span = ep.span(Phase::CoherenceInval);
         let sharers = self.dir.sharers(ep, key)?;
         let my_bit = 1u64 << self.cache.node;
         let others = sharers & !my_bit;

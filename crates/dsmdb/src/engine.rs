@@ -19,7 +19,8 @@ use std::sync::Arc;
 use buffer::{BufferPool, ClockPolicy, WriteMode};
 use dsm::{DsmConfig, DsmLayer, GlobalAddr};
 use parking_lot::Mutex;
-use rdma_sim::{Endpoint, Fabric, Mailbox, MailboxId};
+use rdma_sim::{Endpoint, Fabric, HistSnapshot, Mailbox, MailboxId, Phase, PhaseSnapshot};
+use telemetry::Histogram;
 use txn::table::RecordTable;
 use txn::twopc::{decode as decode_2pc, encode as encode_2pc, MsgKind};
 use txn::{
@@ -255,6 +256,7 @@ impl Cluster {
             worker_tag,
             stats: SessionStats::default(),
             arena: PageArena::default(),
+            txn_lat: Histogram::new(),
         }
     }
 
@@ -325,6 +327,8 @@ pub struct Session {
     worker_tag: u64,
     stats: SessionStats,
     arena: PageArena,
+    /// End-to-end virtual-time latency of every [`Session::execute`].
+    txn_lat: Histogram,
 }
 
 impl Session {
@@ -343,10 +347,23 @@ impl Session {
         self.stats
     }
 
+    /// End-to-end transaction latency distribution (virtual ns, every
+    /// attempt — committed and aborted alike).
+    pub fn latency(&self) -> HistSnapshot {
+        self.txn_lat.snapshot()
+    }
+
+    /// Per-phase rollup of this session's virtual time and verbs.
+    pub fn phases(&self) -> PhaseSnapshot {
+        self.ep.phase_snapshot()
+    }
+
     /// Execute one transaction. `Err(TxnError::Aborted)` is retryable.
     pub fn execute(&mut self, ops: &[Op]) -> Result<TxnOutput, TxnError> {
         // Stay a good citizen: serve pending cluster work first.
         self.serve_pending(4);
+        let t0 = self.ep.clock().now_ns();
+        self.ep.phase_enter(Phase::Execute);
         let result = match self.cluster.config.architecture {
             Architecture::NoCacheNoShard | Architecture::CacheNoShard(_) => {
                 let ctx = txn::TxnCtx {
@@ -359,6 +376,8 @@ impl Session {
             }
             Architecture::CacheShard => self.execute_sharded(ops),
         };
+        self.ep.phase_exit();
+        self.txn_lat.record(self.ep.clock().now_ns().saturating_sub(t0));
         match &result {
             Ok(_) => self.stats.commits += 1,
             Err(_) => self.stats.aborts += 1,
@@ -515,6 +534,9 @@ impl Session {
         };
 
         // Phase 1: prepare fan-out — one doorbell for every participant.
+        // Manual phase brackets: the vote/ack poll loops need `&mut self`
+        // (serve_pending), which a SpanGuard's borrow would block.
+        self.ep.phase_enter(Phase::TwoPcPrepare);
         let participants: Vec<usize> = remote.keys().copied().collect();
         let delivered = self
             .ep
@@ -527,6 +549,7 @@ impl Session {
             }))
             .unwrap_or(0);
         if (delivered as usize) < participants.len() {
+            self.ep.phase_exit();
             node.locks.unlock_all(&local_keys);
             return Err(TxnError::Aborted("owner-unreachable"));
         }
@@ -562,7 +585,10 @@ impl Session {
             }
         }
 
+        self.ep.phase_exit();
+
         // Phase 2: decision — one doorbell for every participant.
+        self.ep.phase_enter(Phase::TwoPcDecide);
         let decision = if no { MsgKind::Abort } else { MsgKind::Commit };
         let _ = self.ep.send_batch(participants.iter().map(|&owner| {
             (
@@ -597,6 +623,7 @@ impl Session {
                 }
             }
         }
+        self.ep.phase_exit();
 
         if no {
             return Err(TxnError::Aborted("remote-vote-no"));
@@ -688,6 +715,7 @@ impl Session {
         };
         match m.kind {
             MsgKind::Prepare => {
+                self.ep.phase_enter(Phase::TwoPcPrepare);
                 let ops = decode_subtxn(&m.body);
                 let mut keys: Vec<u64> = ops.iter().map(|o| o.key()).collect();
                 keys.sort_unstable();
@@ -699,6 +727,7 @@ impl Session {
                         node_inbox_id(self.node),
                         encode_2pc(MsgKind::VoteNo, m.txn_id, &[]),
                     );
+                    self.ep.phase_exit();
                     return true;
                 }
                 match self.prepare_ops(&ops) {
@@ -726,8 +755,10 @@ impl Session {
                         );
                     }
                 }
+                self.ep.phase_exit();
             }
             MsgKind::Commit | MsgKind::Abort => {
+                let _span = self.ep.span(Phase::TwoPcDecide);
                 let prepared = node.prepared.lock().remove(&m.txn_id);
                 if let Some(p) = prepared {
                     if m.kind == MsgKind::Commit {

@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use dsm::{DsmError, DsmLayer, DsmResult, GlobalAddr};
 use parking_lot::Mutex;
-use rdma_sim::Endpoint;
+use rdma_sim::{Endpoint, Phase};
 
 /// Keys per node.
 pub const FANOUT: usize = 16;
@@ -248,6 +248,7 @@ impl RemoteBTree {
 
     /// Point lookup. One round trip on a warm cached path.
     pub fn search(&self, ep: &Endpoint, key: u64) -> DsmResult<Option<u64>> {
+        let _span = ep.span(Phase::IndexLookup);
         loop {
             let (addr, leaf) = self.descend(ep, key)?;
             if leaf.lock != 0 {
@@ -268,6 +269,7 @@ impl RemoteBTree {
     /// Range scan: up to `limit` `(key, value)` pairs with `key >= low`,
     /// following the leaf chain.
     pub fn scan(&self, ep: &Endpoint, low: u64, limit: usize) -> DsmResult<Vec<(u64, u64)>> {
+        let _span = ep.span(Phase::IndexLookup);
         let mut out = Vec::with_capacity(limit);
         let (mut addr, mut leaf) = self.descend(ep, low)?;
         loop {

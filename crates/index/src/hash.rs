@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use dsm::{DsmLayer, DsmResult, GlobalAddr};
 use parking_lot::Mutex;
-use rdma_sim::Endpoint;
+use rdma_sim::{Endpoint, Phase};
 
 /// Slots per bucket.
 pub const BUCKET_SLOTS: usize = 8;
@@ -176,6 +176,7 @@ impl RaceHash {
     /// Point lookup: one bucket READ plus a header-validation read.
     pub fn get(&self, ep: &Endpoint, key: u64) -> DsmResult<Option<u64>> {
         assert!(key != 0 && key != TOMBSTONE, "reserved key");
+        let _span = ep.span(Phase::IndexLookup);
         loop {
             let dir = self.dir(ep)?;
             let bucket = self.bucket_for(&dir, key);

@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use dsm::{DsmError, DsmLayer, DsmResult, GlobalAddr};
 use memnode::OffloadOutput;
-use rdma_sim::Endpoint;
+use rdma_sim::{Endpoint, Phase};
 
 use crate::bloom::BloomFilter;
 
@@ -176,6 +176,7 @@ impl RemoteLsm {
 
     /// Point lookup.
     pub fn get(&mut self, ep: &Endpoint, key: u64) -> DsmResult<Option<u64>> {
+        let _span = ep.span(Phase::IndexLookup);
         ep.charge_local(60); // local btree probe
         if let Some(&v) = self.memtable.get(&key) {
             self.stats.memtable_hits += 1;

@@ -1,9 +1,11 @@
 //! The fabric: registered nodes, endpoints, and verb execution.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use telemetry::{HistSnapshot, Histogram, Phase, PhaseSnapshot, PhaseTracker, Sample};
 
 use crate::clock::{Clock, SharedTimeline};
 use crate::error::{RdmaError, RdmaResult};
@@ -160,6 +162,9 @@ impl Fabric {
             profile: self.profile,
             clock: Clock::new(),
             stats: OpStats::new(),
+            tracker: PhaseTracker::new(),
+            verb_lat: std::array::from_fn(|_| Histogram::new()),
+            peer_lat: RefCell::new(Vec::new()),
         }
     }
 }
@@ -181,13 +186,43 @@ fn fix_node(e: RdmaError, node: NodeId) -> RdmaError {
     }
 }
 
-/// A per-thread handle for issuing verbs. Owns a virtual [`Clock`] and
-/// op counters. Not `Sync`: create one per worker thread.
+/// A per-thread handle for issuing verbs. Owns a virtual [`Clock`], op
+/// counters, per-verb/per-peer latency histograms, and the phase-span
+/// tracker. Not `Sync`: create one per worker thread.
 pub struct Endpoint {
     fabric: Arc<Fabric>,
     profile: NetworkProfile,
     clock: Clock,
     stats: OpStats,
+    tracker: PhaseTracker,
+    /// Latency histogram per verb class, indexed by [`kind_index`].
+    verb_lat: [Histogram; 6],
+    /// Lazily grown per-peer latency histograms (one-sided + atomics).
+    peer_lat: RefCell<Vec<(NodeId, Histogram)>>,
+}
+
+/// Position of a verb class in [`Endpoint`]'s latency histogram array.
+fn kind_index(kind: OpKind) -> usize {
+    match kind {
+        OpKind::Read => 0,
+        OpKind::Write => 1,
+        OpKind::Cas => 2,
+        OpKind::Faa => 3,
+        OpKind::Send => 4,
+        OpKind::Recv => 5,
+    }
+}
+
+/// RAII phase span: opened by [`Endpoint::span`], closed (and its
+/// interval attributed) on drop.
+pub struct SpanGuard<'a> {
+    ep: &'a Endpoint,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.ep.tracker.exit(self.ep.sample());
+    }
 }
 
 impl Endpoint {
@@ -206,10 +241,85 @@ impl Endpoint {
         self.stats.snapshot()
     }
 
-    /// Reset clock and counters (between experiment phases).
+    /// Current telemetry sample: virtual time + verb counters. Span
+    /// boundaries use this to attribute deltas to phases.
+    #[inline]
+    pub fn sample(&self) -> Sample {
+        Sample {
+            ns: self.clock.now_ns(),
+            verbs: self.stats.verbs_now(),
+            wire_rts: self.stats.wire_rts_now(),
+        }
+    }
+
+    /// Open a phase span; the returned guard closes it on drop. Virtual
+    /// time, verbs, and wire RTs accrued while the guard lives are
+    /// charged to `phase` (or to a nested inner span).
+    #[inline]
+    pub fn span(&self, phase: Phase) -> SpanGuard<'_> {
+        self.tracker.enter(phase, self.sample());
+        SpanGuard { ep: self }
+    }
+
+    /// Open a phase without a guard — for callers whose control flow
+    /// needs `&mut self` methods while the phase is open (a [`SpanGuard`]
+    /// would hold the endpoint borrow). Pair with [`Endpoint::phase_exit`]
+    /// on every path.
+    pub fn phase_enter(&self, phase: Phase) {
+        self.tracker.enter(phase, self.sample());
+    }
+
+    /// Close the innermost phase opened by [`Endpoint::phase_enter`].
+    pub fn phase_exit(&self) {
+        self.tracker.exit(self.sample());
+    }
+
+    /// Per-phase attribution so far (flushes the open interval first).
+    pub fn phase_snapshot(&self) -> PhaseSnapshot {
+        self.tracker.flush(self.sample());
+        self.tracker.snapshot()
+    }
+
+    /// Latency distribution of one verb class (virtual ns per verb).
+    pub fn verb_latency(&self, kind: OpKind) -> HistSnapshot {
+        self.verb_lat[kind_index(kind)].snapshot()
+    }
+
+    /// Per-peer latency distributions (one-sided + atomic verbs only).
+    pub fn peer_latency(&self) -> Vec<(NodeId, HistSnapshot)> {
+        self.peer_lat
+            .borrow()
+            .iter()
+            .map(|(node, h)| (*node, h.snapshot()))
+            .collect()
+    }
+
+    /// Record one verb's virtual latency into the class histogram and,
+    /// for node-addressed verbs, the peer histogram.
+    #[inline]
+    fn note_verb(&self, kind: OpKind, peer: Option<NodeId>, cost_ns: u64) {
+        self.verb_lat[kind_index(kind)].record(cost_ns);
+        if let Some(node) = peer {
+            let mut peers = self.peer_lat.borrow_mut();
+            if let Some((_, h)) = peers.iter().find(|(n, _)| *n == node) {
+                h.record(cost_ns);
+            } else {
+                let h = Histogram::new();
+                h.record(cost_ns);
+                peers.push((node, h));
+            }
+        }
+    }
+
+    /// Reset clock, counters, and telemetry (between experiment phases).
     pub fn reset(&self) {
         self.clock.reset();
         self.stats.reset();
+        self.tracker.reset(Sample::default());
+        for h in &self.verb_lat {
+            h.reset();
+        }
+        self.peer_lat.borrow_mut().clear();
     }
 
     /// Charge local CPU/DRAM work that is not a verb (buffer-pool
@@ -223,8 +333,10 @@ impl Endpoint {
     pub fn read(&self, node: NodeId, offset: u64, dst: &mut [u8]) -> RdmaResult<()> {
         let region = self.fabric.live_region(node)?;
         region.read(offset, dst).map_err(|e| fix_node(e, node))?;
-        self.clock.advance(self.profile.rw_cost_ns(dst.len()));
+        let cost = self.profile.rw_cost_ns(dst.len());
+        self.clock.advance(cost);
         self.stats.record(OpKind::Read, dst.len());
+        self.note_verb(OpKind::Read, Some(node), cost);
         Ok(())
     }
 
@@ -232,8 +344,10 @@ impl Endpoint {
     pub fn write(&self, node: NodeId, offset: u64, src: &[u8]) -> RdmaResult<()> {
         let region = self.fabric.live_region(node)?;
         region.write(offset, src).map_err(|e| fix_node(e, node))?;
-        self.clock.advance(self.profile.rw_cost_ns(src.len()));
+        let cost = self.profile.rw_cost_ns(src.len());
+        self.clock.advance(cost);
         self.stats.record(OpKind::Write, src.len());
+        self.note_verb(OpKind::Write, Some(node), cost);
         Ok(())
     }
 
@@ -252,6 +366,7 @@ impl Endpoint {
             };
             self.clock.advance(cost);
             self.stats.record(OpKind::Read, dst.len());
+            self.note_verb(OpKind::Read, Some(*node), cost);
         }
         Ok(())
     }
@@ -269,6 +384,7 @@ impl Endpoint {
             };
             self.clock.advance(cost);
             self.stats.record(OpKind::Write, src.len());
+            self.note_verb(OpKind::Write, Some(*node), cost);
         }
         Ok(())
     }
@@ -281,12 +397,16 @@ impl Endpoint {
         let prev = region
             .cas_u64(offset, expected, new)
             .map_err(|e| fix_node(e, node))?;
+        let start = self.clock.now_ns();
         self.clock.advance(self.profile.atomic_cost_ns());
         if self.profile.atomic_unit_ns > 0 {
             let done = unit.reserve(self.clock.now_ns(), self.profile.atomic_unit_ns);
             self.clock.advance_to(done);
         }
         self.stats.record(OpKind::Cas, 8);
+        // Latency includes atomic-unit queueing: that contention delay is
+        // exactly what the per-verb tail should expose.
+        self.note_verb(OpKind::Cas, Some(node), self.clock.now_ns() - start);
         if prev != expected {
             self.stats.record_cas_failure();
         }
@@ -300,12 +420,14 @@ impl Endpoint {
         let prev = region
             .faa_u64(offset, add)
             .map_err(|e| fix_node(e, node))?;
+        let start = self.clock.now_ns();
         self.clock.advance(self.profile.atomic_cost_ns());
         if self.profile.atomic_unit_ns > 0 {
             let done = unit.reserve(self.clock.now_ns(), self.profile.atomic_unit_ns);
             self.clock.advance_to(done);
         }
         self.stats.record(OpKind::Faa, 8);
+        self.note_verb(OpKind::Faa, Some(node), self.clock.now_ns() - start);
         Ok(prev)
     }
 
@@ -313,8 +435,10 @@ impl Endpoint {
     pub fn read_u64(&self, node: NodeId, offset: u64) -> RdmaResult<u64> {
         let region = self.fabric.live_region(node)?;
         let v = region.read_u64(offset).map_err(|e| fix_node(e, node))?;
-        self.clock.advance(self.profile.rw_cost_ns(8));
+        let cost = self.profile.rw_cost_ns(8);
+        self.clock.advance(cost);
         self.stats.record(OpKind::Read, 8);
+        self.note_verb(OpKind::Read, Some(node), cost);
         Ok(v)
     }
 
@@ -324,8 +448,10 @@ impl Endpoint {
         region
             .write_u64(offset, value)
             .map_err(|e| fix_node(e, node))?;
-        self.clock.advance(self.profile.rw_cost_ns(8));
+        let cost = self.profile.rw_cost_ns(8);
+        self.clock.advance(cost);
         self.stats.record(OpKind::Write, 8);
+        self.note_verb(OpKind::Write, Some(node), cost);
         Ok(())
     }
 
@@ -344,6 +470,7 @@ impl Endpoint {
             },
         )?;
         self.stats.record(OpKind::Send, len);
+        self.note_verb(OpKind::Send, None, cost);
         Ok(())
     }
 
@@ -375,6 +502,7 @@ impl Endpoint {
             ) {
                 Ok(()) => {
                     self.stats.record(OpKind::Send, len);
+                    self.note_verb(OpKind::Send, None, cost);
                     delivered += 1;
                 }
                 Err(RdmaError::NoReceiver(_)) => {}
@@ -406,8 +534,12 @@ impl Endpoint {
     /// Account for a message obtained outside [`Endpoint::recv`] (e.g.
     /// after a `drain`).
     pub fn observe_delivery(&self, msg: &Message) {
+        // Recv "latency" is the virtual wait for delivery: zero when the
+        // message was already in flight past our clock.
+        let wait = msg.deliver_at_ns.saturating_sub(self.clock.now_ns());
         self.clock.advance_to(msg.deliver_at_ns);
         self.stats.record(OpKind::Recv, msg.payload.len());
+        self.note_verb(OpKind::Recv, None, wait);
     }
 }
 
@@ -538,6 +670,52 @@ mod tests {
         assert_eq!(bat.stats().wire_round_trips(), 1);
         assert_eq!(mb_a.len(), 2);
         assert_eq!(mb_b.len(), 2);
+    }
+
+    #[test]
+    fn verb_latency_histograms_track_costs() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(1024);
+        let ep = fabric.endpoint();
+        let p = NetworkProfile::rdma_cx6();
+        ep.write(node, 0, &[0u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        ep.read(node, 0, &mut buf).unwrap();
+        let rl = ep.verb_latency(OpKind::Read);
+        assert_eq!(rl.count(), 1);
+        assert_eq!(rl.max(), p.rw_cost_ns(64));
+        let peers = ep.peer_latency();
+        assert_eq!(peers.len(), 1);
+        assert_eq!(peers[0].0, node);
+        assert_eq!(peers[0].1.count(), 2); // the read and the write
+        ep.reset();
+        assert!(ep.verb_latency(OpKind::Read).is_empty());
+        assert!(ep.peer_latency().is_empty());
+    }
+
+    #[test]
+    fn spans_attribute_verbs_and_time_to_phases() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(1024);
+        let ep = fabric.endpoint();
+        let mut buf = [0u8; 8];
+        {
+            let _txn = ep.span(Phase::Execute);
+            {
+                let _fetch = ep.span(Phase::PageFetch);
+                ep.read(node, 0, &mut buf).unwrap();
+            }
+            ep.charge_local(500); // execute-time compute
+        }
+        ep.read(node, 8, &mut buf).unwrap(); // outside any span
+        let phases = ep.phase_snapshot();
+        assert_eq!(phases.phase_verbs(Phase::PageFetch), 1);
+        assert_eq!(phases.phase_verbs(Phase::Execute), 0);
+        assert_eq!(phases.phase_ns(Phase::Execute), 500);
+        assert_eq!(phases.verbs[telemetry::OTHER_BUCKET], 1);
+        // Everything observed exactly once.
+        assert_eq!(phases.total_ns(), ep.clock().now_ns());
+        assert_eq!(phases.total_verbs(), ep.stats().round_trips());
     }
 
     #[test]

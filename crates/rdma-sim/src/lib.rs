@@ -48,8 +48,11 @@ pub mod stats;
 
 pub use clock::Clock;
 pub use error::{RdmaError, RdmaResult};
-pub use fabric::{Endpoint, Fabric, NodeId};
+pub use fabric::{Endpoint, Fabric, NodeId, SpanGuard};
 pub use mailbox::{Mailbox, MailboxId, Message};
 pub use profile::NetworkProfile;
 pub use region::Region;
 pub use stats::{OpKind, OpStats, StatsSnapshot};
+// Telemetry vocabulary, re-exported so downstream crates that already
+// depend on rdma-sim can open spans without a direct telemetry dep.
+pub use telemetry::{HistSnapshot, Phase, PhaseSnapshot, Sample};

@@ -4,6 +4,12 @@
 //! 10) as much as by time; every endpoint therefore counts verbs and bytes.
 //! Counters are plain `u64` behind a `Cell` because an endpoint is owned by
 //! one thread; snapshots are cheap copies.
+//!
+//! One-sided and two-sided traffic are accounted in separate byte
+//! counters (`bytes_read`/`bytes_written` vs `bytes_sent`/`bytes_recvd`)
+//! so reports can distinguish RDMA payload movement from RPC messaging —
+//! the ratio between the two is exactly what the paper's one-sided
+//! redesign arguments are about.
 
 use std::cell::Cell;
 
@@ -35,6 +41,8 @@ pub struct OpStats {
     recvs: Cell<u64>,
     bytes_read: Cell<u64>,
     bytes_written: Cell<u64>,
+    bytes_sent: Cell<u64>,
+    bytes_recvd: Cell<u64>,
     cas_failures: Cell<u64>,
     doorbells: Cell<u64>,
     coalesced: Cell<u64>,
@@ -61,12 +69,11 @@ impl OpStats {
             OpKind::Faa => self.faa.set(self.faa.get() + 1),
             OpKind::Send => {
                 self.sends.set(self.sends.get() + 1);
-                self.bytes_written
-                    .set(self.bytes_written.get() + bytes as u64);
+                self.bytes_sent.set(self.bytes_sent.get() + bytes as u64);
             }
             OpKind::Recv => {
                 self.recvs.set(self.recvs.get() + 1);
-                self.bytes_read.set(self.bytes_read.get() + bytes as u64);
+                self.bytes_recvd.set(self.bytes_recvd.get() + bytes as u64);
             }
         }
     }
@@ -89,6 +96,22 @@ impl OpStats {
         self.coalesced.set(self.coalesced.get() + (ops as u64 - 1));
     }
 
+    /// Live verb count (all kinds) — cheap enough for every span boundary.
+    #[inline]
+    pub fn verbs_now(&self) -> u64 {
+        self.reads.get()
+            + self.writes.get()
+            + self.cas.get()
+            + self.faa.get()
+            + self.sends.get()
+    }
+
+    /// Live wire round trips: verbs minus doorbell riders.
+    #[inline]
+    pub fn wire_rts_now(&self) -> u64 {
+        self.verbs_now().saturating_sub(self.coalesced.get())
+    }
+
     /// Copy out the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -100,6 +123,8 @@ impl OpStats {
             recvs: self.recvs.get(),
             bytes_read: self.bytes_read.get(),
             bytes_written: self.bytes_written.get(),
+            bytes_sent: self.bytes_sent.get(),
+            bytes_recvd: self.bytes_recvd.get(),
             cas_failures: self.cas_failures.get(),
             doorbells: self.doorbells.get(),
             coalesced: self.coalesced.get(),
@@ -116,6 +141,8 @@ impl OpStats {
         self.recvs.set(0);
         self.bytes_read.set(0);
         self.bytes_written.set(0);
+        self.bytes_sent.set(0);
+        self.bytes_recvd.set(0);
         self.cas_failures.set(0);
         self.doorbells.set(0);
         self.coalesced.set(0);
@@ -131,8 +158,14 @@ pub struct StatsSnapshot {
     pub faa: u64,
     pub sends: u64,
     pub recvs: u64,
+    /// Payload bytes moved by one-sided READ verbs.
     pub bytes_read: u64,
+    /// Payload bytes moved by one-sided WRITE verbs.
     pub bytes_written: u64,
+    /// Payload bytes carried by two-sided SENDs (RPC requests/replies out).
+    pub bytes_sent: u64,
+    /// Payload bytes delivered by two-sided RECVs.
+    pub bytes_recvd: u64,
     pub cas_failures: u64,
     /// Doorbell rings: batched verb groups posted as one WQE list.
     pub doorbells: u64,
@@ -162,9 +195,19 @@ impl StatsSnapshot {
         }
     }
 
-    /// Total bytes moved either direction.
-    pub fn total_bytes(&self) -> u64 {
+    /// Bytes moved by one-sided verbs only (READ + WRITE payloads).
+    pub fn one_sided_bytes(&self) -> u64 {
         self.bytes_read + self.bytes_written
+    }
+
+    /// Bytes moved by two-sided messaging only (SEND + RECV payloads).
+    pub fn two_sided_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_recvd
+    }
+
+    /// Total bytes moved either direction by any verb class.
+    pub fn total_bytes(&self) -> u64 {
+        self.one_sided_bytes() + self.two_sided_bytes()
     }
 }
 
@@ -180,6 +223,8 @@ impl std::ops::Add for StatsSnapshot {
             recvs: self.recvs + o.recvs,
             bytes_read: self.bytes_read + o.bytes_read,
             bytes_written: self.bytes_written + o.bytes_written,
+            bytes_sent: self.bytes_sent + o.bytes_sent,
+            bytes_recvd: self.bytes_recvd + o.bytes_recvd,
             cas_failures: self.cas_failures + o.cas_failures,
             doorbells: self.doorbells + o.doorbells,
             coalesced: self.coalesced + o.coalesced,
@@ -216,6 +261,22 @@ mod tests {
     }
 
     #[test]
+    fn two_sided_bytes_are_separate() {
+        let s = OpStats::new();
+        s.record(OpKind::Read, 64);
+        s.record(OpKind::Send, 40);
+        s.record(OpKind::Recv, 24);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_read, 64);
+        assert_eq!(snap.bytes_written, 0);
+        assert_eq!(snap.bytes_sent, 40);
+        assert_eq!(snap.bytes_recvd, 24);
+        assert_eq!(snap.one_sided_bytes(), 64);
+        assert_eq!(snap.two_sided_bytes(), 64);
+        assert_eq!(snap.total_bytes(), 128);
+    }
+
+    #[test]
     fn doorbell_accounting_separates_wire_from_verbs() {
         let s = OpStats::new();
         for _ in 0..5 {
@@ -227,6 +288,8 @@ mod tests {
         assert_eq!(snap.wire_round_trips(), 2); // group leader + lone read
         assert_eq!(snap.doorbells, 1);
         assert_eq!(snap.mean_batch_size(), 4.0);
+        assert_eq!(s.verbs_now(), 5);
+        assert_eq!(s.wire_rts_now(), 2);
         s.record_doorbell(0); // empty batch: no-op
         assert_eq!(s.snapshot().doorbells, 1);
     }
@@ -242,18 +305,21 @@ mod tests {
             reads: 2,
             writes: 3,
             bytes_read: 5,
+            bytes_sent: 7,
             ..Default::default()
         };
         let t: StatsSnapshot = [a, b].into_iter().sum();
         assert_eq!(t.reads, 3);
         assert_eq!(t.writes, 3);
         assert_eq!(t.bytes_read, 15);
+        assert_eq!(t.bytes_sent, 7);
     }
 
     #[test]
     fn reset_zeroes() {
         let s = OpStats::new();
         s.record(OpKind::Faa, 8);
+        s.record(OpKind::Send, 16);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }

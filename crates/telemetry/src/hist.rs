@@ -1,0 +1,308 @@
+//! Log-bucketed latency histograms over virtual nanoseconds.
+//!
+//! HDR-histogram-style layout: values below [`SUB_BUCKETS`] get exact
+//! unit buckets; every power-of-two octave above is split into
+//! [`SUB_BUCKETS`] linear sub-buckets. Reporting the midpoint of a
+//! bucket bounds the relative error by `1 / (2 * SUB_BUCKETS)` ≈ 1.6%,
+//! comfortably inside the ~2% budget the experiments need.
+//!
+//! Recording is one bucket increment (a `Cell` add — no atomics, no
+//! heap); the full `u64` range is covered, so a virtual clock can never
+//! overflow the histogram. Snapshots are plain count vectors that merge
+//! by addition, which makes cross-thread and cross-endpoint aggregation
+//! associative and deterministic regardless of merge order.
+
+use std::cell::Cell;
+
+/// Linear sub-buckets per octave (power of 5 bits → 32).
+pub const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros(); // 5
+/// Total bucket count: exact unit buckets + 59 octaves × 32 (the top
+/// set bit of a bucketed value ranges over 5..=63).
+pub const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Map a value to its bucket index. Monotone non-decreasing in `v`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let shift = msb - SUB_BITS;
+        let sub = (v >> shift) as usize - SUB_BUCKETS; // 0..SUB_BUCKETS
+        SUB_BUCKETS + (msb - SUB_BITS) as usize * SUB_BUCKETS + sub
+    }
+}
+
+/// The representative (midpoint) value of a bucket: every value mapped
+/// to the bucket lies within ±1.6% of this.
+#[inline]
+pub fn bucket_value(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        idx as u64
+    } else {
+        let octave = ((idx - SUB_BUCKETS) / SUB_BUCKETS) as u32;
+        let sub = ((idx - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+        let low = (SUB_BUCKETS as u64 + sub) << octave;
+        let width = 1u64 << octave;
+        low + width / 2
+    }
+}
+
+/// A single-threaded latency histogram (interior mutability via `Cell`;
+/// share one per endpoint/thread and merge snapshots).
+pub struct Histogram {
+    counts: Box<[Cell<u64>]>,
+    total: Cell<u64>,
+    sum: Cell<u64>,
+    min: Cell<u64>,
+    max: Cell<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        Self {
+            counts: (0..BUCKETS).map(|_| Cell::new(0)).collect(),
+            total: Cell::new(0),
+            sum: Cell::new(0),
+            min: Cell::new(u64::MAX),
+            max: Cell::new(0),
+        }
+    }
+
+    /// Record one value: a bucket increment plus count/sum/min/max
+    /// updates. No allocation, no atomics.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let b = &self.counts[bucket_of(v)];
+        b.set(b.get() + 1);
+        self.total.set(self.total.get() + 1);
+        self.sum.set(self.sum.get().saturating_add(v));
+        if v < self.min.get() {
+            self.min.set(v);
+        }
+        if v > self.max.get() {
+            self.max.set(v);
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total.get()
+    }
+
+    /// Copy out a mergeable snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            counts: self.counts.iter().map(Cell::get).collect(),
+            total: self.total.get(),
+            sum: self.sum.get(),
+            min: self.min.get(),
+            max: self.max.get(),
+        }
+    }
+
+    /// Zero everything (between experiment phases).
+    pub fn reset(&self) {
+        for c in self.counts.iter() {
+            c.set(0);
+        }
+        self.total.set(0);
+        self.sum.set(0);
+        self.min.set(u64::MAX);
+        self.max.set(0);
+    }
+}
+
+/// An immutable, mergeable histogram snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// A snapshot with no samples (identity element for [`merge`]).
+    ///
+    /// [`merge`]: HistSnapshot::merge
+    pub fn empty() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Fold another snapshot in. Addition of count vectors: commutative
+    /// and associative, so any merge tree yields the same result.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact arithmetic mean (sum tracked outside the buckets).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the representative value of
+    /// the bucket holding that rank — within ±1.6% of the true sample.
+    /// Returns 0 on an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based, ceil semantics: the
+        // smallest value v such that at least q of the samples are <= v.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the exact extremes so p0/p100 are exact.
+                return bucket_value(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: (p50, p95, p99, p999) in one call.
+    pub fn percentiles(&self) -> (u64, u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+            assert_eq!(bucket_value(bucket_of(v)), v);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS as u64);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_u64() {
+        assert_eq!(bucket_of(0), 0);
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+        // Largest bucket index is actually addressable.
+        let _ = bucket_value(BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for v in [100u64, 1_000, 55_555, 1 << 33, (1 << 60) + 12345] {
+            let rep = bucket_value(bucket_of(v));
+            let err = (rep as i128 - v as i128).unsigned_abs() as f64 / v as f64;
+            assert!(err <= 1.0 / (2.0 * SUB_BUCKETS as f64) + 1e-9, "v={v} rep={rep} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.50);
+        let p99 = s.quantile(0.99);
+        assert!((p50 as f64 - 5_000.0).abs() / 5_000.0 < 0.02, "p50={p50}");
+        assert!((p99 as f64 - 9_900.0).abs() / 9_900.0 < 0.02, "p99={p99}");
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let both = Histogram::new();
+        for v in [5u64, 90, 1700, 1 << 40] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7u64, 90, 250_000] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, both.snapshot());
+    }
+
+    #[test]
+    fn reset_restores_empty() {
+        let h = Histogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.snapshot(), HistSnapshot::empty());
+        assert_eq!(h.snapshot().quantile(0.5), 0);
+    }
+}

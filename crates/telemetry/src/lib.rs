@@ -1,0 +1,38 @@
+//! # telemetry — virtual-time observability for the DSM-DB repro
+//!
+//! The paper's entire argument is made in *latencies and round trips*:
+//! the ~10× local/remote gap (§2), the ≥2-RT shared lock (§4), the
+//! cache-ratio cliffs (§7). Aggregate verb counts and mean RTs/txn hide
+//! both the tail and the *destination* of those round trips, so this
+//! crate supplies the three missing observability primitives:
+//!
+//! * [`hist::Histogram`] — a deterministic, allocation-light,
+//!   log-bucketed latency histogram (HDR-style, ≤1.6% relative error at
+//!   bucket midpoints, mergeable across threads/endpoints). Driven by
+//!   the rdma-sim virtual clock, so p50/p95/p99/p999 are *exactly*
+//!   reproducible run-to-run on deterministic workloads.
+//! * [`span::PhaseTracker`] — span tracing over virtual time: a fixed
+//!   [`span::Phase`] taxonomy (index lookup, page fetch, lock acquire,
+//!   execute, log write, 2PC prepare/decide, coherence, write-back) and
+//!   a `Cell`-based per-thread tracker that attributes elapsed virtual
+//!   nanoseconds *and* verbs/wire-RTs to the innermost open phase — a
+//!   per-transaction flamegraph as a table. No atomics, no heap per
+//!   record.
+//! * [`json`] + [`report`] — a small no-dependency JSON
+//!   serializer/parser and the [`report::Report`] type every `exp_*`
+//!   binary serializes next to its `.txt`, plus the cross-PR
+//!   `BENCH_summary.json` merge.
+//!
+//! The crate is a leaf (no workspace dependencies): `rdma-sim` embeds
+//! the tracker and histograms inside `Endpoint`, and everything above it
+//! reuses the same types.
+
+pub mod hist;
+pub mod json;
+pub mod report;
+pub mod span;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use json::Json;
+pub use report::Report;
+pub use span::{bucket_name, Phase, PhaseSnapshot, PhaseTracker, Sample, OTHER_BUCKET, PHASE_BUCKETS};

@@ -1,0 +1,249 @@
+//! Machine-readable experiment reports.
+//!
+//! Every `exp_*` binary builds one [`Report`] — config in `meta`, one
+//! entry per table row in `rows`, and a small `headline` of the metrics
+//! worth tracking across PRs — then calls [`Report::write`]. That emits
+//! `results/<experiment>.json` and folds the headline into the repo-wide
+//! `BENCH_summary.json`, which maps experiment name → headline and is
+//! kept sorted by name so the file is diffable and independent of the
+//! order experiments were run in. Nothing here consults wall-clock time:
+//! identical runs produce byte-identical files.
+
+use std::path::Path;
+
+use crate::hist::HistSnapshot;
+use crate::json::Json;
+use crate::span::{bucket_name, PhaseSnapshot, OTHER_BUCKET};
+
+/// Schema version stamped into every report, bumped on breaking changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One experiment's machine-readable output.
+#[derive(Debug, Clone)]
+pub struct Report {
+    experiment: String,
+    title: String,
+    meta: Vec<(String, Json)>,
+    rows: Vec<Json>,
+    headline: Vec<(String, Json)>,
+}
+
+impl Report {
+    /// Start a report; `experiment` becomes the JSON file stem (use the
+    /// binary name, e.g. `"exp_c1_cache_ratio"`).
+    pub fn new(experiment: &str, title: &str) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            title: title.to_string(),
+            meta: Vec::new(),
+            rows: Vec::new(),
+            headline: Vec::new(),
+        }
+    }
+
+    /// Attach a config/setup value (node counts, zipf theta, ...).
+    pub fn meta(&mut self, key: &str, value: Json) -> &mut Self {
+        self.meta.push((key.to_string(), value));
+        self
+    }
+
+    /// Append one sweep point. `label` names the row (e.g. `"cache=0.20"`);
+    /// `metrics` are its measured values.
+    pub fn row(&mut self, label: &str, metrics: Vec<(&str, Json)>) -> &mut Self {
+        let mut members = vec![("label".to_string(), Json::S(label.to_string()))];
+        members.extend(metrics.into_iter().map(|(k, v)| (k.to_string(), v)));
+        self.rows.push(Json::O(members));
+        self
+    }
+
+    /// Set a headline metric — the cross-PR trajectory lives on these.
+    pub fn headline(&mut self, key: &str, value: Json) -> &mut Self {
+        self.headline.push((key.to_string(), value));
+        self
+    }
+
+    /// The full report document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::U(SCHEMA_VERSION)),
+            ("experiment", Json::S(self.experiment.clone())),
+            ("title", Json::S(self.title.clone())),
+            ("meta", Json::O(self.meta.clone())),
+            ("rows", Json::A(self.rows.clone())),
+            ("headline", Json::O(self.headline.clone())),
+        ])
+    }
+
+    /// Write `results_dir/<experiment>.json` and merge the headline into
+    /// `summary_path` (created if absent). Returns the report path.
+    pub fn write(
+        &self,
+        results_dir: &Path,
+        summary_path: &Path,
+    ) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(results_dir)?;
+        let path = results_dir.join(format!("{}.json", self.experiment));
+        std::fs::write(&path, self.to_json().render_pretty(2))?;
+        merge_summary(summary_path, &self.experiment, Json::O(self.headline.clone()))?;
+        Ok(path)
+    }
+}
+
+/// Replace `experiment`'s entry in the summary file, keeping entries
+/// from other experiments and sorting by name for run-order independence.
+pub fn merge_summary(summary_path: &Path, experiment: &str, headline: Json) -> std::io::Result<()> {
+    let mut entries: Vec<(String, Json)> = match std::fs::read_to_string(summary_path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(Json::O(members)) => members
+                .into_iter()
+                .find(|(k, _)| k == "experiments")
+                .and_then(|(_, v)| match v {
+                    Json::O(exps) => Some(exps),
+                    _ => None,
+                })
+                .unwrap_or_default(),
+            // A corrupt summary is rebuilt rather than propagated.
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    entries.retain(|(k, _)| k != experiment);
+    entries.push((experiment.to_string(), headline));
+    entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+    let doc = Json::obj(vec![
+        ("schema_version", Json::U(SCHEMA_VERSION)),
+        ("experiments", Json::O(entries)),
+    ]);
+    std::fs::write(summary_path, doc.render_pretty(2))
+}
+
+/// Histogram snapshot → JSON: count, mean, min/max, and the standard
+/// percentile ladder, all in virtual nanoseconds.
+pub fn hist_json(h: &HistSnapshot) -> Json {
+    let (p50, p95, p99, p999) = h.percentiles();
+    Json::obj(vec![
+        ("count", Json::U(h.count())),
+        ("mean_ns", Json::F(h.mean())),
+        ("min_ns", Json::U(h.min())),
+        ("p50_ns", Json::U(p50)),
+        ("p95_ns", Json::U(p95)),
+        ("p99_ns", Json::U(p99)),
+        ("p999_ns", Json::U(p999)),
+        ("max_ns", Json::U(h.max())),
+    ])
+}
+
+/// Phase snapshot → JSON: per-phase `{ns, share, verbs, wire_rts}` for
+/// every bucket (including `other`), shares summing to 1.0.
+pub fn phases_json(p: &PhaseSnapshot) -> Json {
+    let total = p.total_ns();
+    let members = (0..=OTHER_BUCKET)
+        .map(|i| {
+            let share = if total == 0 {
+                0.0
+            } else {
+                p.ns[i] as f64 / total as f64
+            };
+            (
+                bucket_name(i).to_string(),
+                Json::obj(vec![
+                    ("ns", Json::U(p.ns[i])),
+                    ("share", Json::F(share)),
+                    ("verbs", Json::U(p.verbs[i])),
+                    ("wire_rts", Json::U(p.wire_rts[i])),
+                ]),
+            )
+        })
+        .collect();
+    Json::O(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::span::{Phase, PhaseTracker, Sample};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("telemetry-report-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn report_round_trips_and_is_deterministic() {
+        let dir = tmpdir("rt");
+        let summary = dir.join("BENCH_summary.json");
+        let mut r = Report::new("exp_test", "a test");
+        r.meta("nodes", Json::U(4));
+        r.row("point0", vec![("tps", Json::F(123.5))]);
+        r.headline("tps", Json::F(123.5));
+        let path = r.write(&dir, &summary).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        let doc = Json::parse(&first).unwrap();
+        assert_eq!(doc.get("experiment").unwrap().as_str(), Some("exp_test"));
+        assert_eq!(doc.get("rows").unwrap().as_array().unwrap().len(), 1);
+        // Identical second write → byte-identical files.
+        r.write(&dir, &summary).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_merges_and_sorts() {
+        let dir = tmpdir("merge");
+        let summary = dir.join("BENCH_summary.json");
+        merge_summary(&summary, "exp_b", Json::obj(vec![("tps", Json::U(1))])).unwrap();
+        merge_summary(&summary, "exp_a", Json::obj(vec![("tps", Json::U(2))])).unwrap();
+        // Overwrite exp_b; exp_a must survive, order must be sorted.
+        merge_summary(&summary, "exp_b", Json::obj(vec![("tps", Json::U(3))])).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&summary).unwrap()).unwrap();
+        let exps = doc.get("experiments").unwrap();
+        match exps {
+            Json::O(members) => {
+                let names: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(names, ["exp_a", "exp_b"]);
+            }
+            _ => panic!("experiments is not an object"),
+        }
+        assert_eq!(
+            exps.get("exp_b").unwrap().get("tps").unwrap().as_u64(),
+            Some(3)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hist_json_has_percentile_ladder() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let j = hist_json(&h.snapshot());
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(1000));
+        assert!(j.get("p99_ns").unwrap().as_u64().unwrap() >= 970);
+    }
+
+    #[test]
+    fn phases_json_shares_sum_to_one() {
+        let t = PhaseTracker::new();
+        t.enter(Phase::PageFetch, Sample { ns: 0, verbs: 0, wire_rts: 0 });
+        t.exit(Sample { ns: 70, verbs: 3, wire_rts: 2 });
+        t.flush(Sample { ns: 100, verbs: 3, wire_rts: 2 });
+        let j = phases_json(&t.snapshot());
+        let total: f64 = match &j {
+            Json::O(members) => members
+                .iter()
+                .map(|(_, v)| v.get("share").unwrap().as_f64().unwrap())
+                .sum(),
+            _ => unreachable!(),
+        };
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(
+            j.get("page_fetch").unwrap().get("ns").unwrap().as_u64(),
+            Some(70)
+        );
+        assert_eq!(j.get("other").unwrap().get("ns").unwrap().as_u64(), Some(30));
+    }
+}

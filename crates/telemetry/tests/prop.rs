@@ -1,0 +1,105 @@
+//! Property tests for the histogram: bucket monotonicity, merge
+//! associativity, and the quantile error bound the experiments rely on.
+
+use proptest::prelude::*;
+use telemetry::hist::{bucket_of, bucket_value, Histogram, SUB_BUCKETS};
+use telemetry::HistSnapshot;
+
+fn snapshot_of(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bucket_index_is_monotone(v in any::<u64>(), delta in 0u64..1 << 20) {
+        let w = v.saturating_add(delta);
+        prop_assert!(bucket_of(v) <= bucket_of(w), "bucket_of({v}) > bucket_of({w})");
+    }
+
+    #[test]
+    fn bucket_value_lands_in_own_bucket(v in any::<u64>()) {
+        // The representative value must map back to the same bucket,
+        // otherwise quantiles could drift across octave boundaries.
+        let idx = bucket_of(v);
+        prop_assert_eq!(bucket_of(bucket_value(idx)), idx);
+    }
+
+    #[test]
+    fn representative_error_is_bounded(v in 1u64..u64::MAX / 2) {
+        let rep = bucket_value(bucket_of(v));
+        let err = (rep as i128 - v as i128).unsigned_abs() as f64 / v as f64;
+        prop_assert!(
+            err <= 1.0 / (2.0 * SUB_BUCKETS as f64) + 1e-9,
+            "v={} rep={} err={}", v, rep, err
+        );
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1 << 40, 0..64),
+        b in proptest::collection::vec(0u64..1 << 40, 0..64),
+        c in proptest::collection::vec(0u64..1 << 40, 0..64),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // (a + b) + c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a + (b + c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // c + b + a
+        let mut rev = sc;
+        rev.merge(&sb);
+        rev.merge(&sa);
+        prop_assert_eq!(&left, &rev);
+
+        // And both equal recording everything into one histogram.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+
+    #[test]
+    fn quantile_error_bound_holds(
+        values in proptest::collection::vec(1u64..1 << 48, 1..256),
+        qs in proptest::collection::vec(0u64..=1000, 1..8),
+    ) {
+        let snap = snapshot_of(&values);
+        let mut values = values;
+        values.sort_unstable();
+        for q in qs {
+            let q = q as f64 / 1000.0;
+            let est = snap.quantile(q);
+            // Exact quantile with the same ceil-rank semantics.
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let err = (est as i128 - exact as i128).unsigned_abs() as f64 / exact as f64;
+            prop_assert!(
+                err <= 1.0 / (2.0 * SUB_BUCKETS as f64) + 1e-9,
+                "q={} est={} exact={} err={}", q, est, exact, err
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(values in proptest::collection::vec(0u64..1 << 30, 1..128)) {
+        let snap = snapshot_of(&values);
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let cur = snap.quantile(i as f64 / 20.0);
+            prop_assert!(cur >= prev, "quantile regressed at q={}", i as f64 / 20.0);
+            prev = cur;
+        }
+    }
+}

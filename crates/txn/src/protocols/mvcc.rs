@@ -13,6 +13,8 @@
 
 use std::sync::Arc;
 
+use rdma_sim::Phase;
+
 use super::{apply_delta, ConcurrencyControl, Op, TxnCtx, TxnError, TxnOutput};
 use crate::locks::ExclusiveLock;
 use crate::oracle::TimestampOracle;
@@ -76,6 +78,7 @@ impl ConcurrencyControl for Mvcc {
         // Snapshot read: whole slot in one READ, pick newest wts <= ts,
         // then validate that version's wts did not change underneath us.
         let read_snapshot = |key: u64| -> Result<Vec<u8>, TxnError> {
+            let _span = ctx.ep.span(Phase::PageFetch);
             for _attempt in 0..3 {
                 let mut buf = vec![0u8; slot_len];
                 layer.read(ctx.ep, ctx.table.slot_addr(key), &mut buf)?;
@@ -136,6 +139,7 @@ impl ConcurrencyControl for Mvcc {
         let mut locked: Vec<u64> = Vec::new();
         let mut abort = None;
 
+        let lock_span = ctx.ep.span(Phase::LockAcquire);
         for &key in &write_keys {
             match ExclusiveLock::acquire(
                 layer,
@@ -176,8 +180,10 @@ impl ConcurrencyControl for Mvcc {
                 views.push((key, view));
             }
         }
+        drop(lock_span);
 
         if abort.is_none() {
+            let _span = ctx.ep.span(Phase::Writeback);
             'install: for (key, view) in &views {
                 let key = *key;
                 let value = match staged
@@ -220,9 +226,11 @@ impl ConcurrencyControl for Mvcc {
             }
         }
 
+        let release_span = ctx.ep.span(Phase::LockAcquire);
         for &key in locked.iter().rev() {
             ExclusiveLock::release(layer, ctx.ep, ctx.table.lock_addr(key))?;
         }
+        drop(release_span);
 
         match abort {
             None => Ok(out),

@@ -8,6 +8,8 @@
 //! reader that raced a partial write always sees a version mismatch at
 //! validation.
 
+use rdma_sim::Phase;
+
 use super::{apply_delta, ConcurrencyControl, Op, TxnCtx, TxnError, TxnOutput};
 use crate::locks::ExclusiveLock;
 
@@ -52,6 +54,7 @@ impl ConcurrencyControl for Occ {
                      versions: &mut Vec<(u64, u64)>|
          -> Result<Vec<u8>, TxnError> {
             // One READ covering [wts | payload] (contiguous in the slot).
+            let _span = ctx.ep.span(Phase::PageFetch);
             let mut buf = vec![0u8; 8 + psize];
             layer.read(ctx.ep, ctx.table.wts_addr(key, 0), &mut buf)?;
             let wts = u64::from_le_bytes(buf[0..8].try_into().unwrap());
@@ -99,6 +102,7 @@ impl ConcurrencyControl for Occ {
 
         // --- Validation phase -------------------------------------------
         // Lock the write set in sorted order.
+        let validate_span = ctx.ep.span(Phase::LockAcquire);
         let mut locked: Vec<u64> = Vec::with_capacity(write_keys.len());
         let mut abort: Option<TxnError> = None;
         for &key in &write_keys {
@@ -140,8 +144,11 @@ impl ConcurrencyControl for Occ {
             }
         }
 
+        drop(validate_span);
+
         // --- Write phase -------------------------------------------------
         if abort.is_none() {
+            let _span = ctx.ep.span(Phase::Writeback);
             for &key in &write_keys {
                 let value = local
                     .iter()
@@ -169,6 +176,7 @@ impl ConcurrencyControl for Occ {
         }
 
         // Release locks regardless of outcome.
+        let _release_span = ctx.ep.span(Phase::LockAcquire);
         for &key in locked.iter().rev() {
             ExclusiveLock::release(layer, ctx.ep, ctx.table.lock_addr(key))?;
         }

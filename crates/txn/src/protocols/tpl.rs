@@ -16,6 +16,8 @@
 //! `rts` word, so this configuration must not be mixed with TSO/MVCC on
 //! the same table.
 
+use rdma_sim::Phase;
+
 use super::{apply_delta, key_sets, ConcurrencyControl, Op, TxnCtx, TxnError, TxnOutput};
 use crate::locks::{ExclusiveLock, SharedExclusiveLock};
 
@@ -67,6 +69,7 @@ impl ConcurrencyControl for TwoPhaseLocking {
 
         // Growing phase, sorted order.
         let mut failed = None;
+        let grow_span = ctx.ep.span(Phase::LockAcquire);
         for &key in &all_keys {
             let lock = ctx.table.lock_addr(key);
             let is_write = write_keys.binary_search(&key).is_ok();
@@ -88,6 +91,7 @@ impl ConcurrencyControl for TwoPhaseLocking {
                 }
             }
         }
+        drop(grow_span);
 
         // Execute (only if fully locked).
         let mut out = TxnOutput::default();
@@ -98,16 +102,22 @@ impl ConcurrencyControl for TwoPhaseLocking {
                 let r: Result<(), TxnError> = (|| {
                     match op {
                         Op::Read(key) => {
+                            let _span = ctx.ep.span(Phase::PageFetch);
                             ctx.io.read_payload(ctx.ep, ctx.table, *key, 0, &mut buf)?;
                             out.reads.push((*key, buf.clone()));
                         }
                         Op::Update { key, value } => {
+                            let _span = ctx.ep.span(Phase::Writeback);
                             ctx.io.write_payload(ctx.ep, ctx.table, *key, 0, value)?;
                         }
                         Op::Rmw { key, delta } => {
-                            ctx.io.read_payload(ctx.ep, ctx.table, *key, 0, &mut buf)?;
+                            {
+                                let _span = ctx.ep.span(Phase::PageFetch);
+                                ctx.io.read_payload(ctx.ep, ctx.table, *key, 0, &mut buf)?;
+                            }
                             out.reads.push((*key, buf.clone()));
                             apply_delta(&mut buf, *delta);
+                            let _span = ctx.ep.span(Phase::Writeback);
                             ctx.io.write_payload(ctx.ep, ctx.table, *key, 0, &buf)?;
                         }
                     }
@@ -121,6 +131,7 @@ impl ConcurrencyControl for TwoPhaseLocking {
         }
 
         // Shrinking phase: always release what we hold.
+        let _shrink_span = ctx.ep.span(Phase::LockAcquire);
         for h in held.into_iter().rev() {
             let release = |key: u64| -> Result<(), TxnError> {
                 let lock = ctx.table.lock_addr(key);

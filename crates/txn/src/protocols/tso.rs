@@ -10,6 +10,8 @@
 
 use std::sync::Arc;
 
+use rdma_sim::Phase;
+
 use super::{apply_delta, ConcurrencyControl, Op, TxnCtx, TxnError, TxnOutput};
 use crate::locks::ExclusiveLock;
 use crate::oracle::TimestampOracle;
@@ -54,6 +56,7 @@ impl ConcurrencyControl for Tso {
 
         let read_value = |key: u64| -> Result<Vec<u8>, TxnError> {
             // Read header+payload in one READ: [lock|rts|wts|payload].
+            let _span = ctx.ep.span(Phase::PageFetch);
             let mut buf = vec![0u8; 24 + psize];
             layer.read(ctx.ep, ctx.table.lock_addr(key), &mut buf)?;
             let lock = u64::from_le_bytes(buf[0..8].try_into().unwrap());
@@ -107,6 +110,7 @@ impl ConcurrencyControl for Tso {
         let mut locked: Vec<u64> = Vec::new();
         let mut abort = None;
 
+        let lock_span = ctx.ep.span(Phase::LockAcquire);
         for &key in &write_keys {
             match ExclusiveLock::acquire(
                 layer,
@@ -145,8 +149,10 @@ impl ConcurrencyControl for Tso {
                 }
             }
         }
+        drop(lock_span);
 
         if abort.is_none() {
+            let _span = ctx.ep.span(Phase::Writeback);
             for &key in &write_keys {
                 let r: Result<(), TxnError> = (|| {
                     let value = match staged
@@ -177,9 +183,11 @@ impl ConcurrencyControl for Tso {
             }
         }
 
+        let release_span = ctx.ep.span(Phase::LockAcquire);
         for &key in locked.iter().rev() {
             ExclusiveLock::release(layer, ctx.ep, ctx.table.lock_addr(key))?;
         }
+        drop(release_span);
 
         match abort {
             None => Ok(out),

@@ -13,7 +13,7 @@
 //! directly with one-sided verbs + locks, skipping 2PC entirely.
 //! Experiment **C11** compares both paths.
 
-use rdma_sim::{Endpoint, Mailbox, MailboxId, RdmaResult};
+use rdma_sim::{Endpoint, Mailbox, MailboxId, Phase, RdmaResult};
 
 /// 2PC wire-message kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +105,7 @@ pub fn coordinate(
     work: &[(MailboxId, Vec<u8>)],
 ) -> RdmaResult<TwoPcOutcome> {
     // Phase 1: prepare.
+    let prepare_span = ep.span(Phase::TwoPcPrepare);
     for (participant, body) in work {
         ep.send(*participant, my_id, encode(MsgKind::Prepare, txn_id, body))?;
     }
@@ -122,7 +123,9 @@ pub fn coordinate(
             _ => {}
         }
     }
+    drop(prepare_span);
     // Phase 2: decision.
+    let _decide_span = ep.span(Phase::TwoPcDecide);
     let (decision, outcome) = if no == 0 {
         (MsgKind::Commit, TwoPcOutcome::Committed)
     } else {
