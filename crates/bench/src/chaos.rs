@@ -1,0 +1,514 @@
+//! Deterministic chaos harness for experiment **C13**: kill a memory
+//! node and a lock-holding compute session mid-workload, watch the
+//! engine degrade gracefully, recover, and prove that *no committed
+//! write is lost* and *no lock stays held forever*.
+//!
+//! Everything is driven from ONE real thread on the virtual clock —
+//! sessions run round-robin, faults fire at fixed round boundaries, and
+//! all randomness is splitmix64 from [`ChaosConfig::seed`] — so two runs
+//! with the same seed produce byte-identical reports.
+//!
+//! Timeline (rounds split in thirds):
+//!
+//! 1. **pre** — healthy baseline. A seeded [`FaultPlan`] injects first-N
+//!    transient failures and a short partition of a group-1 node; the
+//!    DSM retry policy absorbs both (they never surface as aborts).
+//! 2. **fault** — a "zombie" session grabs lease locks on hot keys and
+//!    stops (simulated compute crash); group 0's primary memory node is
+//!    hard-crashed; a latency spike slows the surviving group.
+//!    Transactions on dead-group keys abort with the typed
+//!    [`TxnError::NodeUnavailable`]; zombie-held keys time out until the
+//!    lease expires, then get stolen.
+//! 3. **post** — the fault plan is cleared, the dead member is rebuilt
+//!    from its mirror, the membership epoch is bumped (crash-recover
+//!    cycle on record), and the zombie wakes to find every lock fenced.
+//!
+//! The audit then replays the committed-transfer model against DSM
+//! (zero lost writes) and runs a janitor over every lock word (zero
+//! permanently-held locks).
+
+use dsmdb::{
+    Architecture, CcProtocol, Cluster, ClusterConfig, NodeStatus, Op, Session, TxnError,
+};
+use rdma_sim::{FaultPlan, NetworkProfile, PhaseSnapshot};
+use txn::locks::LeaseLock;
+
+use crate::report::{phases_json, Json, Report};
+
+/// Knobs for one chaos run. All sizes are full-scale; callers shrink via
+/// [`crate::scale_down`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Master seed: workload keys, fault plan, jitter.
+    pub seed: u64,
+    /// Virtual sessions (threads on the single compute node).
+    pub sessions: usize,
+    /// Rounds per session; each round is one transfer attempt.
+    pub rounds: usize,
+    /// Records in the table (striped across 2 mirror groups).
+    pub records: u64,
+    /// Payload bytes per record.
+    pub payload: usize,
+    /// Lease horizon for the leased 2PL protocol, virtual ns.
+    pub lease_ns: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC13,
+            sessions: 8,
+            rounds: 900,
+            records: 256,
+            payload: 64,
+            lease_ns: 300_000,
+        }
+    }
+}
+
+/// Commit/abort tally over one timeline segment.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WindowStats {
+    /// Committed transfers.
+    pub commits: u64,
+    /// Aborted attempts (all causes).
+    pub aborts: u64,
+    /// Virtual time at segment start (max session clock), ns.
+    pub start_ns: u64,
+    /// Virtual time at segment end, ns.
+    pub end_ns: u64,
+}
+
+impl WindowStats {
+    /// Committed transactions per virtual second inside the window.
+    pub fn tps(&self) -> f64 {
+        let span = self.end_ns.saturating_sub(self.start_ns);
+        if span == 0 {
+            0.0
+        } else {
+            self.commits as f64 * 1e9 / span as f64
+        }
+    }
+}
+
+/// Abort causes, by typed reason.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AbortKinds {
+    /// Typed `NodeUnavailable` (dead mirror group).
+    pub node_unavailable: u64,
+    /// Lease lock held by a live (or not-yet-expired) owner.
+    pub lock_timeout: u64,
+    /// Commit-time revalidation found the lease stolen.
+    pub lease_stolen: u64,
+    /// Transient fabric fault leaked past the DSM retry budget.
+    pub transient: u64,
+    /// Anything else (CC conflicts etc).
+    pub other: u64,
+}
+
+/// Everything a chaos run measures.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Segment tallies: pre-fault, fault, post-recovery.
+    pub pre: WindowStats,
+    /// The fault window (memory node dead, zombie locks held).
+    pub fault: WindowStats,
+    /// After mirror rebuild + epoch bump.
+    pub post: WindowStats,
+    /// Abort causes across the whole run.
+    pub aborts: AbortKinds,
+    /// Expired leases stolen by workers.
+    pub steals: u64,
+    /// Zombie locks fenced (release refused: stolen or wiped).
+    pub zombie_fenced: u64,
+    /// Zombie locks released cleanly (lease never contested).
+    pub zombie_survived: u64,
+    /// Keys whose final DSM value diverged from the committed model.
+    pub lost_writes: u64,
+    /// Locks still held and unexpired after the run (must be 0).
+    pub stuck_locks: u64,
+    /// Expired leftovers the janitor stole and cleared.
+    pub janitor_reclaims: u64,
+    /// Degraded (mirror-fallback) reads observed during the outage.
+    pub degraded_reads: u64,
+    /// Bytes copied rebuilding the dead member from its mirror.
+    pub recovery_bytes: u64,
+    /// Node 0's membership epoch after the crash-recover cycle.
+    pub final_epoch: u64,
+    /// Virtual ns from the crash instant until windowed throughput was
+    /// back at >= 90% of the pre-fault rate (u64::MAX if never).
+    pub time_to_steady_ns: u64,
+    /// post tps / pre tps.
+    pub recovered_tps_ratio: f64,
+    /// Merged per-phase attribution across all sessions.
+    pub phases: PhaseSnapshot,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Wrap-aware "deadline passed" on u32 microseconds (mirrors the lease
+/// word's encoding).
+fn lease_expired(now_us: u32, expiry_us: u32) -> bool {
+    now_us.wrapping_sub(expiry_us) < (1 << 31)
+}
+
+fn max_clock(sessions: &[Session]) -> u64 {
+    sessions
+        .iter()
+        .map(|s| s.endpoint().clock().now_ns())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Run the chaos experiment. Deterministic in `cfg` (and nothing else).
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
+    assert!(cfg.rounds >= 9, "need at least 3 rounds per segment");
+    let cluster = Cluster::build(ClusterConfig {
+        compute_nodes: 1,
+        threads_per_node: cfg.sessions,
+        memory_nodes: 4,
+        replication: 2,
+        capacity_per_node: 8 << 20,
+        n_records: cfg.records,
+        payload_size: cfg.payload,
+        profile: NetworkProfile::rdma_cx6(),
+        architecture: Architecture::NoCacheNoShard,
+        cc: CcProtocol::TplLeased,
+        lease_ns: cfg.lease_ns,
+        ..Default::default()
+    })
+    .expect("chaos cluster");
+    let layer = cluster.layer().clone();
+    let fabric = cluster.fabric().clone();
+    let table = cluster.table().clone();
+
+    // One hot key per mirror group: the group-1 key exercises the
+    // lease-steal path (its lock survives the memory-node crash), the
+    // group-0 key the typed-unavailability path.
+    let hot_g0 = (0..cfg.records).find(|&k| table.group_of(k) == 0).expect("group-0 key");
+    let hot_g1 = (0..cfg.records).find(|&k| table.group_of(k) == 1).expect("group-1 key");
+    let g1_primary = layer.group_primary(1).id();
+
+    // Background noise from round 0: first-N transient completions and a
+    // short partition of group 1's primary. Both are absorbed by the DSM
+    // retry policy (reads degrade to the mirror mid-partition).
+    fabric.install_fault_plan(
+        FaultPlan::new(cfg.seed)
+            .transient_first_n(g1_primary, 2)
+            .partition(g1_primary, 40_000, 70_000),
+    );
+
+    let mut sessions: Vec<Session> = (0..cfg.sessions).map(|t| cluster.session(0, t)).collect();
+    let mut model: Vec<i64> = vec![0; cfg.records as usize];
+    let mut out = ChaosOutcome {
+        pre: WindowStats::default(),
+        fault: WindowStats::default(),
+        post: WindowStats::default(),
+        aborts: AbortKinds::default(),
+        steals: 0,
+        zombie_fenced: 0,
+        zombie_survived: 0,
+        lost_writes: 0,
+        stuck_locks: 0,
+        janitor_reclaims: 0,
+        degraded_reads: 0,
+        recovery_bytes: 0,
+        final_epoch: 0,
+        time_to_steady_ns: u64::MAX,
+        recovered_tps_ratio: 0.0,
+        phases: PhaseSnapshot::default(),
+    };
+
+    let r_crash = cfg.rounds / 3;
+    let r_recover = 2 * cfg.rounds / 3;
+    let mut zombie: Option<(rdma_sim::Endpoint, Vec<(dsm::GlobalAddr, txn::LeaseToken)>)> = None;
+    let mut t_crash = 0u64;
+    // Post-recovery sub-windows for time-to-steady-state.
+    let chunk = ((cfg.rounds - r_recover) / 8).max(1);
+    let mut chunk_commits = 0u64;
+    let mut chunk_start = 0u64;
+
+    for round in 0..cfg.rounds {
+        if round == r_crash {
+            t_crash = max_clock(&sessions);
+            out.pre.end_ns = t_crash;
+            out.fault.start_ns = t_crash;
+
+            // A compute session crashes while holding lease locks on the
+            // hot keys: a fresh endpoint (clock aligned with the fleet)
+            // acquires them and then goes silent.
+            let zep = fabric.endpoint();
+            zep.charge_local(t_crash);
+            let mut held = Vec::new();
+            for &k in &[hot_g0, hot_g1] {
+                let token = LeaseLock::acquire(
+                    &layer,
+                    &zep,
+                    table.lock_addr(k),
+                    999,
+                    1,
+                    cfg.lease_ns,
+                    4,
+                )
+                .expect("locks are free between rounds");
+                held.push((table.lock_addr(k), token));
+            }
+            zombie = Some((zep, held));
+
+            // Group 0's primary memory node dies for real.
+            layer.crash_member(0, 0).expect("crash member");
+            cluster
+                .membership()
+                .mark(&layer, sessions[0].endpoint(), 0, NodeStatus::Down)
+                .ok();
+
+            // Degraded read: the dead group still answers from its mirror.
+            let probe = fabric.endpoint();
+            let mut buf = vec![0u8; cfg.payload];
+            if layer.read(&probe, table.payload_addr(hot_g0, 0), &mut buf).is_ok() {
+                out.degraded_reads += 1;
+            }
+
+            // Survivors also get slower: latency spike on group 1.
+            fabric.install_fault_plan(
+                FaultPlan::new(cfg.seed ^ 0xC13)
+                    .latency_spike(g1_primary, t_crash, u64::MAX, 2_000),
+            );
+        }
+        if round == r_recover {
+            let t = max_clock(&sessions);
+            out.fault.end_ns = t;
+            out.post.start_ns = t;
+            chunk_start = t;
+
+            fabric.clear_fault_plan();
+            let rec_ep = fabric.endpoint();
+            out.recovery_bytes = layer
+                .recover_member_from_mirror(&rec_ep, 0, 0)
+                .expect("mirror rebuild");
+            // The crash-recover cycle goes on record: epoch bump fences
+            // anything still signed with the old epoch.
+            out.final_epoch = cluster
+                .membership()
+                .bump_epoch(&layer, &rec_ep, 0)
+                .expect("epoch bump");
+            cluster
+                .membership()
+                .mark(&layer, &rec_ep, 0, NodeStatus::Up)
+                .expect("mark up");
+
+            // The zombie wakes up and tries to release: every contested
+            // lock must refuse it (stolen by a worker, or wiped by the
+            // mirror rebuild).
+            if let Some((zep, held)) = zombie.take() {
+                for (addr, token) in held {
+                    match LeaseLock::release(&layer, &zep, addr, token) {
+                        Err(_) => out.zombie_fenced += 1,
+                        Ok(()) => out.zombie_survived += 1,
+                    }
+                }
+            }
+        }
+
+        let seg = if round < r_crash {
+            &mut out.pre
+        } else if round < r_recover {
+            &mut out.fault
+        } else {
+            &mut out.post
+        };
+        for (t, s) in sessions.iter_mut().enumerate() {
+            let mut r = splitmix64(cfg.seed ^ ((t as u64) << 32) ^ round as u64);
+            let mut a = r % cfg.records;
+            r = splitmix64(r);
+            let mut b = r % cfg.records;
+            // Keep the hot keys hot so zombie leases get contested.
+            if round % 3 == 0 {
+                a = hot_g1;
+            } else if round % 5 == 0 {
+                a = hot_g0;
+            }
+            if b == a {
+                b = (b + 1) % cfg.records;
+            }
+            let delta = 1 + (r % 7) as i64;
+            let ops = [
+                Op::Rmw { key: a, delta: -delta },
+                Op::Rmw { key: b, delta },
+            ];
+            match s.execute(&ops) {
+                Ok(_) => {
+                    model[a as usize] -= delta;
+                    model[b as usize] += delta;
+                    seg.commits += 1;
+                    if round >= r_recover {
+                        chunk_commits += 1;
+                    }
+                }
+                Err(e) => {
+                    seg.aborts += 1;
+                    match e {
+                        TxnError::NodeUnavailable { .. } => out.aborts.node_unavailable += 1,
+                        TxnError::Aborted("lock-timeout") => out.aborts.lock_timeout += 1,
+                        TxnError::Aborted("lease-stolen") => out.aborts.lease_stolen += 1,
+                        TxnError::Aborted("transient-fault") => out.aborts.transient += 1,
+                        TxnError::Aborted(_) => out.aborts.other += 1,
+                        e => panic!("chaos run hit a non-typed failure: {e}"),
+                    }
+                }
+            }
+        }
+
+        // Time-to-steady-state: first post-recovery chunk back at >= 90%
+        // of the pre-fault rate.
+        if round >= r_recover
+            && (round - r_recover + 1).is_multiple_of(chunk)
+            && out.time_to_steady_ns == u64::MAX
+        {
+            let now = max_clock(&sessions);
+            let span = now.saturating_sub(chunk_start);
+            let pre_tps = out.pre.tps();
+            if span > 0 && (chunk_commits as f64 * 1e9 / span as f64) >= 0.9 * pre_tps {
+                out.time_to_steady_ns = now.saturating_sub(t_crash);
+            }
+            chunk_commits = 0;
+            chunk_start = now;
+        }
+    }
+    let t_end = max_clock(&sessions);
+    out.post.end_ns = t_end;
+    out.pre.start_ns = 0;
+    out.recovered_tps_ratio = if out.pre.tps() > 0.0 {
+        out.post.tps() / out.pre.tps()
+    } else {
+        0.0
+    };
+    out.steals = sessions.iter().map(|s| s.lock_steals()).sum();
+    for s in &sessions {
+        out.phases.merge(&s.phases());
+    }
+    drop(sessions);
+
+    // --- Audit 1: no committed write lost. Every record's final DSM
+    // value must equal the committed-transfer model exactly.
+    let audit = fabric.endpoint();
+    let mut buf = vec![0u8; cfg.payload];
+    for k in 0..cfg.records {
+        layer
+            .read(&audit, table.payload_addr(k, 0), &mut buf)
+            .expect("post-recovery read");
+        let v = i64::from_le_bytes(buf[0..8].try_into().unwrap());
+        if v != model[k as usize] {
+            out.lost_writes += 1;
+        }
+    }
+
+    // --- Audit 2: no lock held forever. A live, unexpired lock word
+    // after the fleet has exited would spin everyone forever; expired
+    // leftovers must be stealable (janitor steals and clears them).
+    audit.charge_local(t_end.saturating_sub(audit.clock().now_ns()));
+    for k in 0..cfg.records {
+        let word = layer.read_u64(&audit, table.lock_addr(k)).expect("lock read");
+        if word == 0 {
+            continue;
+        }
+        let (_, _, expiry_us) = LeaseLock::decode(word);
+        let now_us = (audit.clock().now_ns() / 1_000) as u32;
+        if !lease_expired(now_us, expiry_us) {
+            out.stuck_locks += 1;
+            continue;
+        }
+        let token = LeaseLock::acquire(
+            &layer,
+            &audit,
+            table.lock_addr(k),
+            998,
+            1,
+            cfg.lease_ns,
+            4,
+        )
+        .expect("expired lease must be stealable");
+        LeaseLock::release(&layer, &audit, table.lock_addr(k), token)
+            .expect("janitor owns the word it installed");
+        out.janitor_reclaims += 1;
+    }
+    out
+}
+
+/// Build the C13 report (shared by the binary and the determinism test
+/// so both render the exact same JSON).
+pub fn report_for(cfg: &ChaosConfig, out: &ChaosOutcome) -> Report {
+    let mut rep = Report::new(
+        "exp_c13_chaos",
+        "C13: chaos — node crash, lease steal, graceful degradation",
+    );
+    rep.meta("seed", Json::U(cfg.seed));
+    rep.meta("sessions", Json::U(cfg.sessions as u64));
+    rep.meta("rounds", Json::U(cfg.rounds as u64));
+    rep.meta("records", Json::U(cfg.records));
+    rep.meta("lease_ns", Json::U(cfg.lease_ns));
+    for (name, w) in [("pre", &out.pre), ("fault", &out.fault), ("post", &out.post)] {
+        rep.row(
+            &format!("window={name}"),
+            vec![
+                ("window", Json::S(name.to_string())),
+                ("commits", Json::U(w.commits)),
+                ("aborts", Json::U(w.aborts)),
+                ("tps", Json::F(w.tps())),
+                ("start_ns", Json::U(w.start_ns)),
+                ("end_ns", Json::U(w.end_ns)),
+            ],
+        );
+    }
+    rep.row(
+        "aborts",
+        vec![
+            ("node_unavailable", Json::U(out.aborts.node_unavailable)),
+            ("lock_timeout", Json::U(out.aborts.lock_timeout)),
+            ("lease_stolen", Json::U(out.aborts.lease_stolen)),
+            ("transient", Json::U(out.aborts.transient)),
+            ("other", Json::U(out.aborts.other)),
+        ],
+    );
+    rep.row(
+        "invariants",
+        vec![
+            ("lost_writes", Json::U(out.lost_writes)),
+            ("stuck_locks", Json::U(out.stuck_locks)),
+            ("janitor_reclaims", Json::U(out.janitor_reclaims)),
+            ("zombie_fenced", Json::U(out.zombie_fenced)),
+            ("zombie_survived", Json::U(out.zombie_survived)),
+        ],
+    );
+    rep.row(
+        "recovery",
+        vec![
+            ("steals", Json::U(out.steals)),
+            ("degraded_reads", Json::U(out.degraded_reads)),
+            ("recovery_bytes", Json::U(out.recovery_bytes)),
+            ("final_epoch", Json::U(out.final_epoch)),
+            (
+                "time_to_steady_ns",
+                if out.time_to_steady_ns == u64::MAX {
+                    Json::Null
+                } else {
+                    Json::U(out.time_to_steady_ns)
+                },
+            ),
+            ("phases", phases_json(&out.phases)),
+        ],
+    );
+    rep.headline("pre_tps", Json::F(out.pre.tps()));
+    rep.headline("fault_tps", Json::F(out.fault.tps()));
+    rep.headline("post_tps", Json::F(out.post.tps()));
+    rep.headline("recovered_tps_ratio", Json::F(out.recovered_tps_ratio));
+    rep.headline("steals", Json::U(out.steals));
+    rep.headline("lost_writes", Json::U(out.lost_writes));
+    rep.headline("stuck_locks", Json::U(out.stuck_locks));
+    rep
+}

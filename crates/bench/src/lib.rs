@@ -16,6 +16,8 @@
 //! * [`table`] — fixed-width table printing so experiment output reads
 //!   like the paper's tables.
 
+pub mod chaos;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

@@ -20,6 +20,7 @@ use memnode::{AllocError, AllocStats, MemoryNode, OffloadFn};
 use rdma_sim::{Endpoint, Fabric, NetworkProfile, NodeId, RdmaError};
 
 use crate::addr::GlobalAddr;
+use crate::retry::RetryPolicy;
 
 /// Errors from the DSM layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +45,16 @@ impl std::fmt::Display for DsmError {
                 write!(f, "mirror group of node {primary} fully unavailable")
             }
         }
+    }
+}
+
+impl DsmError {
+    /// Whether retrying can reasonably succeed: true only for transient
+    /// fabric faults (injected timeouts / QP hiccups). Hard failures —
+    /// crashed nodes, protection faults, exhausted groups, allocation
+    /// failures — are not retryable.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DsmError::Rdma(e) if e.is_transient())
     }
 }
 
@@ -112,6 +123,9 @@ pub struct DsmLayer {
     by_primary: HashMap<NodeId, usize>,
     next_group: AtomicUsize,
     replication: usize,
+    /// Retry policy applied to every data-path verb (transient faults
+    /// absorbed with virtual-time backoff).
+    retry: parking_lot::RwLock<RetryPolicy>,
 }
 
 impl DsmLayer {
@@ -147,7 +161,19 @@ impl DsmLayer {
             by_primary,
             next_group: AtomicUsize::new(0),
             replication: config.replication,
+            retry: parking_lot::RwLock::new(RetryPolicy::default()),
         })
+    }
+
+    /// Replace the data-path retry policy (e.g. [`RetryPolicy::none`] to
+    /// surface every fault to the caller).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.write() = policy;
+    }
+
+    /// The retry policy currently in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.read()
     }
 
     /// The fabric this layer lives on.
@@ -244,18 +270,34 @@ impl DsmLayer {
     }
 
     /// One-sided READ from `addr`, failing over across mirror members.
+    /// Transient faults are absorbed by the layer's [`RetryPolicy`].
     pub fn read(&self, ep: &Endpoint, addr: GlobalAddr, dst: &mut [u8]) -> DsmResult<()> {
+        self.retry_policy().run(ep, || self.read_once(ep, addr, &mut *dst))
+    }
+
+    fn read_once(&self, ep: &Endpoint, addr: GlobalAddr, dst: &mut [u8]) -> DsmResult<()> {
         let g = self.group_of(addr)?;
+        // Track transient failures across the member sweep: if no member
+        // answered but one failed transiently, report *that* so the retry
+        // policy re-sweeps, instead of declaring the group dead.
+        let mut transient: Option<RdmaError> = None;
         for member in &g.members {
             match ep.read(member.id(), addr.offset(), dst) {
                 Ok(()) => return Ok(()),
                 Err(RdmaError::NodeUnreachable(_)) => continue,
+                Err(e) if e.is_transient() => {
+                    transient = Some(e);
+                    continue;
+                }
                 Err(e) => return Err(e.into()),
             }
         }
-        Err(DsmError::GroupUnavailable {
-            primary: addr.node(),
-        })
+        match transient {
+            Some(e) => Err(e.into()),
+            None => Err(DsmError::GroupUnavailable {
+                primary: addr.node(),
+            }),
+        }
     }
 
     /// Doorbell-batched multi-get: every address in `reqs` is read in one
@@ -264,12 +306,17 @@ impl DsmLayer {
     /// first live member of its mirror group; if a member dies mid-batch
     /// the whole set falls back to per-address fail-over [`DsmLayer::read`]s.
     pub fn read_batch(&self, ep: &Endpoint, reqs: &mut [(GlobalAddr, &mut [u8])]) -> DsmResult<()> {
+        self.retry_policy()
+            .run(ep, || self.read_batch_once(ep, &mut *reqs))
+    }
+
+    fn read_batch_once(&self, ep: &Endpoint, reqs: &mut [(GlobalAddr, &mut [u8])]) -> DsmResult<()> {
         if reqs.is_empty() {
             return Ok(());
         }
         if reqs.len() == 1 {
             let (addr, dst) = &mut reqs[0];
-            return self.read(ep, *addr, dst);
+            return self.read_once(ep, *addr, dst);
         }
         let mut ops: Vec<(NodeId, u64, &mut [u8])> = Vec::with_capacity(reqs.len());
         for (addr, dst) in reqs.iter_mut() {
@@ -278,7 +325,7 @@ impl DsmLayer {
                 .members
                 .iter()
                 .map(|m| m.id())
-                .find(|&id| self.fabric.is_alive(id))
+                .find(|&id| ep.node_reachable(id))
                 .ok_or(DsmError::GroupUnavailable {
                     primary: addr.node(),
                 })?;
@@ -291,7 +338,7 @@ impl DsmLayer {
                 // retry slowly, letting per-address fail-over pick mirrors.
                 drop(ops);
                 for (addr, dst) in reqs.iter_mut() {
-                    self.read(ep, *addr, dst)?;
+                    self.read_once(ep, *addr, dst)?;
                 }
                 Ok(())
             }
@@ -304,6 +351,10 @@ impl DsmLayer {
     /// one doorbell group (k-way replication of m pages = one wire round
     /// trip plus `k*m - 1` coalesced ops).
     pub fn write_batch(&self, ep: &Endpoint, reqs: &[(GlobalAddr, &[u8])]) -> DsmResult<()> {
+        self.retry_policy().run(ep, || self.write_batch_once(ep, reqs))
+    }
+
+    fn write_batch_once(&self, ep: &Endpoint, reqs: &[(GlobalAddr, &[u8])]) -> DsmResult<()> {
         if reqs.is_empty() {
             return Ok(());
         }
@@ -313,7 +364,7 @@ impl DsmLayer {
             let g = self.group_of(*addr)?;
             let before = ops.len();
             for m in &g.members {
-                if self.fabric.is_alive(m.id()) {
+                if ep.node_reachable(m.id()) {
                     ops.push((m.id(), addr.offset(), src));
                 }
             }
@@ -323,6 +374,9 @@ impl DsmLayer {
                 });
             }
         }
+        // Fault injection pre-flights every distinct target before any
+        // byte lands, so an injected fault fails the replica set
+        // all-or-nothing and the retry re-issues the whole doorbell.
         ep.write_batch(&ops)?;
         Ok(())
     }
@@ -330,55 +384,70 @@ impl DsmLayer {
     /// One-sided WRITE of `src` to `addr` on every live mirror member
     /// (doorbell-batched).
     pub fn write(&self, ep: &Endpoint, addr: GlobalAddr, src: &[u8]) -> DsmResult<()> {
+        self.retry_policy().run(ep, || self.write_once(ep, addr, src))
+    }
+
+    fn write_once(&self, ep: &Endpoint, addr: GlobalAddr, src: &[u8]) -> DsmResult<()> {
         let g = self.group_of(addr)?;
-        let mut wrote_any = false;
-        let live: Vec<NodeId> = g
+        let ops: Vec<(NodeId, u64, &[u8])> = g
             .members
             .iter()
             .map(|m| m.id())
-            .filter(|&id| self.fabric.is_alive(id))
+            .filter(|&id| ep.node_reachable(id))
+            .map(|id| (id, addr.offset(), src))
             .collect();
-        let ops: Vec<(NodeId, u64, &[u8])> =
-            live.iter().map(|&id| (id, addr.offset(), src)).collect();
-        if !ops.is_empty() {
-            ep.write_batch(&ops)?;
-            wrote_any = true;
-        }
-        if wrote_any {
-            Ok(())
-        } else {
-            Err(DsmError::GroupUnavailable {
+        if ops.is_empty() {
+            return Err(DsmError::GroupUnavailable {
                 primary: addr.node(),
-            })
+            });
         }
+        ep.write_batch(&ops)?;
+        Ok(())
     }
 
     /// 8-byte CAS on the group primary (synchronization state lives on the
-    /// primary only).
+    /// primary only). Safe to retry: an injected fault fires before the
+    /// NIC's atomic unit executes, so a failed attempt never swapped.
     pub fn cas(&self, ep: &Endpoint, addr: GlobalAddr, expected: u64, new: u64) -> DsmResult<u64> {
         let g = self.group_of(addr)?;
-        Ok(ep.cas(g.primary().id(), addr.offset(), expected, new)?)
+        let node = g.primary().id();
+        self.retry_policy()
+            .run(ep, || Ok(ep.cas(node, addr.offset(), expected, new)?))
     }
 
     /// 8-byte FAA on the group primary.
     pub fn faa(&self, ep: &Endpoint, addr: GlobalAddr, add: u64) -> DsmResult<u64> {
         let g = self.group_of(addr)?;
-        Ok(ep.faa(g.primary().id(), addr.offset(), add)?)
+        let node = g.primary().id();
+        self.retry_policy()
+            .run(ep, || Ok(ep.faa(node, addr.offset(), add)?))
     }
 
     /// Aligned 8-byte read (primary, with mirror failover).
     pub fn read_u64(&self, ep: &Endpoint, addr: GlobalAddr) -> DsmResult<u64> {
+        self.retry_policy().run(ep, || self.read_u64_once(ep, addr))
+    }
+
+    fn read_u64_once(&self, ep: &Endpoint, addr: GlobalAddr) -> DsmResult<u64> {
         let g = self.group_of(addr)?;
+        let mut transient: Option<RdmaError> = None;
         for member in &g.members {
             match ep.read_u64(member.id(), addr.offset()) {
                 Ok(v) => return Ok(v),
                 Err(RdmaError::NodeUnreachable(_)) => continue,
+                Err(e) if e.is_transient() => {
+                    transient = Some(e);
+                    continue;
+                }
                 Err(e) => return Err(e.into()),
             }
         }
-        Err(DsmError::GroupUnavailable {
-            primary: addr.node(),
-        })
+        match transient {
+            Some(e) => Err(e.into()),
+            None => Err(DsmError::GroupUnavailable {
+                primary: addr.node(),
+            }),
+        }
     }
 
     /// Aligned 8-byte write to every live mirror member.
@@ -594,6 +663,40 @@ mod tests {
         assert_eq!(l.faa(&ep, a, 3).unwrap(), 5);
         // Primary sees 8; the CAS/FAA did not mirror (by design).
         assert_eq!(l.read_u64(&ep, a).unwrap(), 8);
+    }
+
+    #[test]
+    fn transient_faults_absorbed_by_retry_policy() {
+        use rdma_sim::FaultPlan;
+        let (f, l) = layer(2, 2);
+        let ep = f.endpoint();
+        let a = l.alloc(16).unwrap();
+        l.write(&ep, a, &[5; 16]).unwrap();
+        // The next few verbs to both members hiccup; the default policy
+        // must absorb them without the caller noticing.
+        f.install_fault_plan(
+            FaultPlan::new(11)
+                .transient_first_n(0, 2)
+                .transient_first_n(1, 2),
+        );
+        let mut buf = [0u8; 16];
+        l.read(&ep, a, &mut buf).unwrap();
+        assert_eq!(buf, [5; 16]);
+        l.write(&ep, a, &[6; 16]).unwrap();
+        assert_eq!(l.read_u64(&ep, a).unwrap(), u64::from_le_bytes([6; 8]));
+    }
+
+    #[test]
+    fn no_retry_policy_surfaces_transients_as_typed_errors() {
+        use rdma_sim::FaultPlan;
+        let (f, l) = layer(1, 1);
+        let ep = f.endpoint();
+        let a = l.alloc(8).unwrap();
+        l.set_retry_policy(RetryPolicy::none());
+        f.install_fault_plan(FaultPlan::new(1).transient_first_n(0, 1));
+        let err = l.read_u64(&ep, a).unwrap_err();
+        assert_eq!(err, DsmError::Rdma(RdmaError::Transient(0)));
+        assert!(err.is_transient());
     }
 
     #[test]

@@ -28,9 +28,11 @@ pub mod checkpoint;
 pub mod durability;
 pub mod erasure;
 pub mod layer;
+pub mod retry;
 
 pub use addr::GlobalAddr;
 pub use checkpoint::{CheckpointManager, RecoveryStats};
 pub use durability::{DurabilityMode, DurableLog};
 pub use erasure::{ErasureConfig, ErasureStore, StripedPage};
 pub use layer::{DsmConfig, DsmError, DsmLayer, DsmResult};
+pub use retry::RetryPolicy;

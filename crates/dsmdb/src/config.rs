@@ -30,6 +30,9 @@ pub enum CcProtocol {
     TplExclusive,
     /// 2PL with 2-RT shared-exclusive locks (readers share).
     TplSharedExclusive,
+    /// 2PL over lease locks: buffered writes, commit-time revalidation,
+    /// crashed owners' locks stealable after lease expiry.
+    TplLeased,
     /// Optimistic CC with version validation.
     Occ,
     /// Timestamp ordering (FAA oracle).
@@ -68,6 +71,10 @@ pub struct ClusterConfig {
     pub architecture: Architecture,
     /// CC protocol.
     pub cc: CcProtocol,
+    /// Lease horizon for [`CcProtocol::TplLeased`] locks, virtual ns.
+    /// Must exceed the worst-case lock-hold time of a healthy
+    /// transaction; only crashed/stalled holders lose their leases.
+    pub lease_ns: u64,
 }
 
 impl Default for ClusterConfig {
@@ -86,6 +93,7 @@ impl Default for ClusterConfig {
             profile: NetworkProfile::rdma_cx6(),
             architecture: Architecture::NoCacheNoShard,
             cc: CcProtocol::TplExclusive,
+            lease_ns: 2_000_000,
         }
     }
 }
@@ -103,6 +111,14 @@ impl ClusterConfig {
         );
         if self.cc == CcProtocol::Mvcc {
             assert!(self.versions >= 2, "MVCC needs >= 2 versions");
+        }
+        if self.cc == CcProtocol::TplLeased {
+            assert!(self.lease_ns > 0, "lease horizon must be positive");
+            assert!(
+                matches!(self.architecture, Architecture::NoCacheNoShard),
+                "leased locking commits via one direct doorbell write and \
+                 requires the no-cache architecture"
+            );
         }
         if matches!(self.architecture, Architecture::CacheNoShard(_)) {
             assert!(
@@ -145,6 +161,26 @@ mod tests {
         ClusterConfig {
             architecture: Architecture::CacheNoShard(CoherenceMode::Invalidate),
             cc: CcProtocol::Occ,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "no-cache architecture")]
+    fn leased_locking_rejects_cached_architectures() {
+        ClusterConfig {
+            architecture: Architecture::CacheNoShard(CoherenceMode::Invalidate),
+            cc: CcProtocol::TplLeased,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn leased_locking_valid_on_no_cache() {
+        ClusterConfig {
+            cc: CcProtocol::TplLeased,
             ..Default::default()
         }
         .validate();

@@ -24,12 +24,13 @@ use telemetry::Histogram;
 use txn::table::RecordTable;
 use txn::twopc::{decode as decode_2pc, encode as encode_2pc, MsgKind};
 use txn::{
-    ConcurrencyControl, DirectIo, FaaOracle, Mvcc, Occ, Op, PayloadIo, TwoPhaseLocking, Tso,
-    TxnError, TxnOutput,
+    ConcurrencyControl, DirectIo, FaaOracle, LeasedTpl, Mvcc, Occ, Op, PayloadIo,
+    TwoPhaseLocking, Tso, TxnError, TxnOutput,
 };
 
 use crate::coherence::{node_inbox_id, session_inbox_id, CoherentIo, Directory, NodeCache};
 use crate::config::{Architecture, CcProtocol, ClusterConfig};
+use crate::membership::Membership;
 use crate::shard::{LockTable, ShardMap};
 
 /// Engine-level failures (everything else surfaces as [`TxnError`]).
@@ -60,6 +61,10 @@ pub struct SessionStats {
     pub cross_shard: u64,
     /// Sub-transactions served for other nodes (3c only).
     pub served_subtxns: u64,
+    /// Decided-commit write-backs that failed (3c participant side): the
+    /// 2PC decision was final but the staged writes could not reach DSM —
+    /// the record is left to mirror rebuild instead of silently dropped.
+    pub apply_failures: u64,
 }
 
 /// Buffered writes of a (sub-)transaction: `(key, new payload)`.
@@ -95,6 +100,7 @@ pub struct Cluster {
     directory: Option<Arc<Directory>>,
     nodes: Vec<Arc<NodeRuntime>>,
     shard_map: Arc<ShardMap>,
+    membership: Membership,
     txn_ids: AtomicU64,
 }
 
@@ -118,6 +124,11 @@ impl Cluster {
             RecordTable::create(&layer, config.n_records, config.payload_size, config.versions)
                 .map_err(|e| EngineError::Setup(e.to_string()))?,
         );
+        let membership = {
+            let ep = fabric.endpoint();
+            Membership::create(&layer, &ep, config.compute_nodes)
+                .map_err(|e| EngineError::Setup(e.to_string()))?
+        };
         let oracle = match config.cc {
             CcProtocol::Tso | CcProtocol::Mvcc => Some(Arc::new(
                 FaaOracle::new(&layer).map_err(|e| EngineError::Setup(e.to_string()))?,
@@ -185,6 +196,7 @@ impl Cluster {
             directory,
             nodes,
             shard_map: Arc::new(ShardMap::equal(config.compute_nodes, config.n_records)),
+            membership,
             txn_ids: AtomicU64::new(1),
         }))
     }
@@ -214,6 +226,11 @@ impl Cluster {
         &self.shard_map
     }
 
+    /// The compute-node membership/epoch table (crash-recover tracking).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
     /// Open the session for `(node, thread)`. Each worker thread gets
     /// exactly one; sessions are not `Sync`.
     pub fn session(self: &Arc<Self>, node: usize, thread: usize) -> Session {
@@ -222,10 +239,16 @@ impl Cluster {
         let ep = self.fabric.endpoint();
         let reply_id = session_inbox_id(node, thread);
         let reply = self.fabric.mailboxes().register(reply_id);
-        let worker_tag = (node * self.config.threads_per_node + thread + 1) as u64;
+        let owner_tag = (node * self.config.threads_per_node + thread + 1) as u64;
+        // Sessions sign lock words and 2PC prepares with their node's
+        // current epoch; after a crash-recover cycle bumps it, anything
+        // signed with the old epoch is fenced.
+        let epoch = self.membership.epoch(&self.layer, &ep, node).unwrap_or(1);
+        let worker_tag = compose_worker_tag(self.config.cc, owner_tag, epoch);
         let cc: Option<Box<dyn ConcurrencyControl>> = match self.config.cc {
             CcProtocol::TplExclusive => Some(Box::new(TwoPhaseLocking::exclusive())),
             CcProtocol::TplSharedExclusive => Some(Box::new(TwoPhaseLocking::shared_exclusive())),
+            CcProtocol::TplLeased => Some(Box::new(LeasedTpl::new(self.config.lease_ns))),
             CcProtocol::Occ => Some(Box::new(Occ::new())),
             CcProtocol::Tso => Some(Box::new(Tso::new(
                 self.oracle.as_ref().expect("oracle built").clone(),
@@ -253,6 +276,8 @@ impl Cluster {
             reply_id,
             cc,
             io,
+            owner_tag,
+            epoch,
             worker_tag,
             stats: SessionStats::default(),
             arena: PageArena::default(),
@@ -276,6 +301,18 @@ impl Cluster {
             }
         }
         v
+    }
+}
+
+/// Lock-ownership tag for `(owner, epoch)`. Lease-based locking packs the
+/// epoch into bits 16..32 of the tag (the lease word's epoch field) so a
+/// recovered node's new sessions never collide with pre-crash lock words;
+/// the other protocols use the plain owner id, whose uniqueness is all
+/// they need.
+fn compose_worker_tag(cc: CcProtocol, owner: u64, epoch: u64) -> u64 {
+    match cc {
+        CcProtocol::TplLeased => ((epoch & 0xFFFF) << 16) | (owner & 0xFFFF),
+        _ => owner,
     }
 }
 
@@ -324,6 +361,8 @@ pub struct Session {
     reply_id: MailboxId,
     cc: Option<Box<dyn ConcurrencyControl>>,
     io: Box<dyn PayloadIo>,
+    owner_tag: u64,
+    epoch: u64,
     worker_tag: u64,
     stats: SessionStats,
     arena: PageArena,
@@ -345,6 +384,32 @@ impl Session {
     /// Commit/abort counters.
     pub fn stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// The node epoch this session signs its work with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Re-read the node's epoch from the membership table and re-sign.
+    /// A session that survived a crash-recover cycle (or was merely
+    /// partitioned while the cluster declared its node dead) must call
+    /// this before doing new work — until then its prepares are fenced.
+    pub fn refresh_epoch(&mut self) {
+        if let Ok(e) =
+            self.cluster
+                .membership
+                .epoch(&self.cluster.layer, &self.ep, self.node)
+        {
+            self.epoch = e;
+            self.worker_tag = compose_worker_tag(self.cluster.config.cc, self.owner_tag, e);
+        }
+    }
+
+    /// Expired-lease locks this session stole from crashed/stalled owners
+    /// (nonzero only under [`CcProtocol::TplLeased`]).
+    pub fn lock_steals(&self) -> u64 {
+        self.cc.as_ref().map_or(0, |cc| cc.steals())
     }
 
     /// End-to-end transaction latency distribution (virtual ns, every
@@ -544,7 +609,13 @@ impl Session {
                 (
                     node_inbox_id(owner),
                     self.reply_id,
-                    encode_2pc(MsgKind::Prepare, txn_id, &encode_subtxn(ops)),
+                    // Prepares carry the coordinator's (node, epoch)
+                    // signature; participants fence stale epochs.
+                    encode_2pc(
+                        MsgKind::Prepare,
+                        txn_id,
+                        &encode_prepare(self.epoch, self.node, ops),
+                    ),
                 )
             }))
             .unwrap_or(0);
@@ -716,7 +787,29 @@ impl Session {
         match m.kind {
             MsgKind::Prepare => {
                 self.ep.phase_enter(Phase::TwoPcPrepare);
-                let ops = decode_subtxn(&m.body);
+                let (coord_epoch, coord_node, ops) = decode_prepare(&m.body);
+                // Epoch fence: once the cluster bumps a node's epoch
+                // (declaring it crashed and its locks stealable), prepares
+                // signed with the older epoch are refused — a zombie
+                // coordinator that was merely partitioned cannot come back
+                // and drive a commit with pre-crash state.
+                let fenced = match self.cluster.membership.epoch(
+                    &self.cluster.layer,
+                    &self.ep,
+                    coord_node,
+                ) {
+                    Ok(current) => coord_epoch < current,
+                    Err(_) => true, // membership unreadable: refuse, don't guess
+                };
+                if fenced {
+                    let _ = self.ep.send(
+                        msg.from,
+                        node_inbox_id(self.node),
+                        encode_2pc(MsgKind::VoteNo, m.txn_id, &[]),
+                    );
+                    self.ep.phase_exit();
+                    return true;
+                }
                 let mut keys: Vec<u64> = ops.iter().map(|o| o.key()).collect();
                 keys.sort_unstable();
                 keys.dedup();
@@ -762,10 +855,14 @@ impl Session {
                 let prepared = node.prepared.lock().remove(&m.txn_id);
                 if let Some(p) = prepared {
                     if m.kind == MsgKind::Commit {
-                        // Apply; failures here would need recovery — the
-                        // simulated DSM only fails when crashed, which the
-                        // experiments do not do mid-2PC.
-                        let _ = self.apply_staged(&p.staged);
+                        // The decision is final; if the write-back cannot
+                        // reach DSM (memory node crashed mid-2PC) the
+                        // failure is counted, not swallowed — the record's
+                        // surviving mirrors hold the pre-txn value until
+                        // rebuild, and the operator sees the count.
+                        if self.apply_staged(&p.staged).is_err() {
+                            self.stats.apply_failures += 1;
+                        }
                     }
                     node.locks.unlock_all(&p.keys);
                 }
@@ -788,6 +885,22 @@ impl Session {
 const OP_READ: u8 = 0;
 const OP_UPDATE: u8 = 1;
 const OP_RMW: u8 = 2;
+
+/// Prepare body: `[epoch u64 | coordinator node u64 | subtxn]`. The
+/// (node, epoch) pair is the coordinator's signature for epoch fencing.
+fn encode_prepare(epoch: u64, node: usize, ops: &[Op]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + 2 + ops.len() * 12);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(node as u64).to_le_bytes());
+    out.extend_from_slice(&encode_subtxn(ops));
+    out
+}
+
+fn decode_prepare(body: &[u8]) -> (u64, usize, Vec<Op>) {
+    let epoch = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    let node = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
+    (epoch, node, decode_subtxn(&body[16..]))
+}
 
 fn encode_subtxn(ops: &[Op]) -> Vec<u8> {
     let mut out = Vec::with_capacity(2 + ops.len() * 12);
@@ -910,6 +1023,7 @@ mod tests {
         assert_eq!(decode_subtxn(&encode_subtxn(&ops)), ops);
         let reads = vec![(1u64, vec![9u8; 16]), (2, vec![])];
         assert_eq!(decode_reads(&encode_reads(&reads)), reads);
+        assert_eq!(decode_prepare(&encode_prepare(7, 3, &ops)), (7, 3, ops));
     }
 
     #[test]
@@ -932,6 +1046,7 @@ mod tests {
         for cc in [
             CcProtocol::TplExclusive,
             CcProtocol::TplSharedExclusive,
+            CcProtocol::TplLeased,
             CcProtocol::Occ,
             CcProtocol::Tso,
             CcProtocol::Mvcc,
@@ -964,6 +1079,11 @@ mod tests {
     #[test]
     fn multi_master_bank_invariant_3a() {
         bank_run(Architecture::NoCacheNoShard, CcProtocol::Occ, 2, 2);
+    }
+
+    #[test]
+    fn multi_master_bank_invariant_3a_leased() {
+        bank_run(Architecture::NoCacheNoShard, CcProtocol::TplLeased, 2, 2);
     }
 
     #[test]
@@ -1116,6 +1236,54 @@ mod tests {
                 .collect();
             assert_eq!(vals[&1], -10);
             assert_eq!(vals[&60], 10);
+            stop.store(true, Ordering::Relaxed);
+            server.join().unwrap();
+        });
+    }
+
+    /// A coordinator whose node epoch was bumped (declared crashed) is
+    /// refused by 2PC participants until it refreshes its epoch — the
+    /// zombie-coordinator fence.
+    #[test]
+    fn stale_epoch_coordinator_is_fenced_until_refresh() {
+        let cluster =
+            Cluster::build(config(Architecture::CacheShard, CcProtocol::TplExclusive, 2, 1))
+                .unwrap();
+        std::thread::scope(|sc| {
+            let c2 = cluster.clone();
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop2 = stop.clone();
+            let server = sc.spawn(move || {
+                let mut s = c2.session(1, 0);
+                while !stop2.load(Ordering::Relaxed) {
+                    if !s.serve_pending(16) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            let mut s0 = cluster.session(0, 0);
+            assert_eq!(s0.epoch(), 1);
+            // The cluster declares node 0 crashed-and-recovered.
+            let ep = cluster.fabric().endpoint();
+            cluster
+                .membership()
+                .bump_epoch(cluster.layer(), &ep, 0)
+                .unwrap();
+            // s0 still signs with epoch 1: every cross-shard attempt is
+            // voted down by the participant.
+            let ops = [
+                Op::Rmw { key: 1, delta: -10 }, // local shard
+                Op::Rmw { key: 60, delta: 10 }, // remote shard
+            ];
+            let err = s0.execute_retrying(&ops, 3).unwrap_err();
+            assert!(
+                matches!(err, TxnError::Aborted("remote-vote-no")),
+                "stale coordinator must be fenced, got {err}"
+            );
+            // After re-reading the membership table it commits.
+            s0.refresh_epoch();
+            assert_eq!(s0.epoch(), 2);
+            s0.execute_retrying(&ops, 50).unwrap();
             stop.store(true, Ordering::Relaxed);
             server.join().unwrap();
         });

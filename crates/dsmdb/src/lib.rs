@@ -24,10 +24,12 @@
 pub mod coherence;
 pub mod config;
 pub mod engine;
+pub mod membership;
 pub mod shard;
 
 pub use config::{Architecture, CcProtocol, ClusterConfig, CoherenceMode};
 pub use engine::{Cluster, EngineError, Session, SessionStats};
+pub use membership::{Membership, NodeStatus};
 pub use shard::ShardMap;
 
 pub use txn::{Op, TxnError, TxnOutput};

@@ -192,8 +192,9 @@ fn tpcc_lite_drives_cross_shard_2pc() {
     assert!(cross.load(Ordering::Relaxed) > 10, "mix produced cross txns");
 }
 
-/// A fully dead mirror group surfaces as an infrastructure error, not an
-/// abort (callers must not blindly retry).
+/// A fully dead mirror group surfaces as the typed unavailability error,
+/// not a retryable abort (callers must not blindly retry: only recovery
+/// helps).
 #[test]
 fn whole_group_failure_is_an_infrastructure_error() {
     let cluster = Cluster::build(ClusterConfig {
@@ -212,8 +213,8 @@ fn whole_group_failure_is_an_infrastructure_error() {
     sess.execute(&[Op::Rmw { key: 1, delta: 1 }]).unwrap();
     cluster.layer().crash_member(0, 0).unwrap();
     match sess.execute(&[Op::Read(1)]) {
-        Err(TxnError::Dsm(_)) => {}
-        other => panic!("expected infrastructure error, got {other:?}"),
+        Err(TxnError::NodeUnavailable { node: 0 }) => {}
+        other => panic!("expected typed node-unavailable error, got {other:?}"),
     }
 }
 

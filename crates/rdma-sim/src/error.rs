@@ -29,6 +29,22 @@ pub enum RdmaError {
     NoReceiver(u64),
     /// RECV on an empty mailbox with no blocking allowed.
     WouldBlock,
+    /// The verb's completion timer fired (injected partition or packet
+    /// loss): the peer may be alive, retrying may succeed.
+    Timeout(u16),
+    /// A transient verb failure (injected NIC/QP hiccup): the completion
+    /// surfaced with an error status but the peer is healthy.
+    Transient(u16),
+}
+
+impl RdmaError {
+    /// Whether retrying the same verb can reasonably succeed. Hard
+    /// failures (crashed peer, protection fault, misalignment) are *not*
+    /// transient; injected timeouts and QP hiccups are. [`RdmaError::WouldBlock`]
+    /// is a normal poll miss, not a fault, so it is excluded.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RdmaError::Timeout(_) | RdmaError::Transient(_))
+    }
 }
 
 impl fmt::Display for RdmaError {
@@ -50,6 +66,8 @@ impl fmt::Display for RdmaError {
             }
             RdmaError::NoReceiver(id) => write!(f, "no receiver registered for mailbox {id}"),
             RdmaError::WouldBlock => write!(f, "receive would block"),
+            RdmaError::Timeout(n) => write!(f, "verb to node {n} timed out"),
+            RdmaError::Transient(n) => write!(f, "transient verb failure to node {n}"),
         }
     }
 }
@@ -75,5 +93,15 @@ mod tests {
             RdmaError::Misaligned { offset: 7 }.to_string(),
             "atomic verb on misaligned offset 7"
         );
+    }
+
+    #[test]
+    fn transient_classifier_separates_retryable_faults() {
+        assert!(RdmaError::Timeout(1).is_transient());
+        assert!(RdmaError::Transient(1).is_transient());
+        assert!(!RdmaError::NodeUnreachable(1).is_transient());
+        assert!(!RdmaError::UnknownNode(1).is_transient());
+        assert!(!RdmaError::WouldBlock.is_transient());
+        assert!(!RdmaError::Misaligned { offset: 4 }.is_transient());
     }
 }

@@ -1,7 +1,7 @@
 //! The fabric: registered nodes, endpoints, and verb execution.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -9,6 +9,7 @@ use telemetry::{HistSnapshot, Histogram, Phase, PhaseSnapshot, PhaseTracker, Sam
 
 use crate::clock::{Clock, SharedTimeline};
 use crate::error::{RdmaError, RdmaResult};
+use crate::fault::{FaultPlan, FaultView};
 use crate::mailbox::{Mailbox, MailboxId, MailboxRegistry, Message};
 use crate::profile::NetworkProfile;
 use crate::region::Region;
@@ -35,6 +36,10 @@ pub struct Fabric {
     profile: NetworkProfile,
     nodes: RwLock<Vec<NodeSlot>>,
     mailboxes: MailboxRegistry,
+    /// Installed fault schedule (None = fault-free). Endpoints cache it
+    /// and re-read when `fault_gen` moves.
+    fault_plan: RwLock<Option<Arc<FaultPlan>>>,
+    fault_gen: AtomicU64,
 }
 
 impl Fabric {
@@ -44,7 +49,30 @@ impl Fabric {
             profile,
             nodes: RwLock::new(Vec::new()),
             mailboxes: MailboxRegistry::new(),
+            fault_plan: RwLock::new(None),
+            fault_gen: AtomicU64::new(0),
         })
+    }
+
+    /// Install (or swap) the fault schedule. Every endpoint picks it up on
+    /// its next verb and restarts its per-peer deterministic counters.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.fault_plan.write() = Some(Arc::new(plan));
+        self.fault_gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Remove the fault schedule: subsequent verbs run fault-free.
+    pub fn clear_fault_plan(&self) {
+        *self.fault_plan.write() = None;
+        self.fault_gen.fetch_add(1, Ordering::Release);
+    }
+
+    fn fault_generation(&self) -> u64 {
+        self.fault_gen.load(Ordering::Acquire)
+    }
+
+    fn fault_plan_arc(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_plan.read().clone()
     }
 
     /// The cost model in force.
@@ -165,6 +193,7 @@ impl Fabric {
             tracker: PhaseTracker::new(),
             verb_lat: std::array::from_fn(|_| Histogram::new()),
             peer_lat: RefCell::new(Vec::new()),
+            faults: RefCell::new(FaultView::default()),
         }
     }
 }
@@ -199,6 +228,9 @@ pub struct Endpoint {
     verb_lat: [Histogram; 6],
     /// Lazily grown per-peer latency histograms (one-sided + atomics).
     peer_lat: RefCell<Vec<(NodeId, Histogram)>>,
+    /// This endpoint's view of the installed fault plan (deterministic
+    /// per-peer counters live here).
+    faults: RefCell<FaultView>,
 }
 
 /// Position of a verb class in [`Endpoint`]'s latency histogram array.
@@ -312,6 +344,8 @@ impl Endpoint {
     }
 
     /// Reset clock, counters, and telemetry (between experiment phases).
+    /// The fault view is re-seeded too, so per-peer injection counters
+    /// restart deterministically with the phase.
     pub fn reset(&self) {
         self.clock.reset();
         self.stats.reset();
@@ -320,6 +354,8 @@ impl Endpoint {
             h.reset();
         }
         self.peer_lat.borrow_mut().clear();
+        let gen = self.fabric.fault_generation();
+        self.faults.borrow_mut().rebind(gen, self.fabric.fault_plan_arc());
     }
 
     /// Charge local CPU/DRAM work that is not a verb (buffer-pool
@@ -329,11 +365,51 @@ impl Endpoint {
         self.clock.advance(ns);
     }
 
+    /// Consult the installed [`FaultPlan`] (if any) for one verb to
+    /// `node`. Returns the extra latency an active spike adds; on an
+    /// injected fault, charges the plan's detection latency (the
+    /// completion timeout) and surfaces the fault.
+    fn inject(&self, node: NodeId) -> RdmaResult<u64> {
+        let gen = self.fabric.fault_generation();
+        let mut view = self.faults.borrow_mut();
+        if view.generation() != gen {
+            view.rebind(gen, self.fabric.fault_plan_arc());
+        }
+        match view.check(node, self.clock.now_ns()) {
+            Ok(extra) => Ok(extra),
+            Err(e) => {
+                let detect = view.plan().map(|p| p.detect_ns()).unwrap_or(0);
+                self.clock.advance(detect);
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether `node` looks reachable from this endpoint *right now*:
+    /// registered, not crashed on the fabric, and not inside an injected
+    /// crash window at this endpoint's virtual time. This is the health
+    /// check replication layers should use when choosing write targets.
+    pub fn node_reachable(&self, node: NodeId) -> bool {
+        if !self.fabric.is_alive(node) {
+            return false;
+        }
+        let gen = self.fabric.fault_generation();
+        let mut view = self.faults.borrow_mut();
+        if view.generation() != gen {
+            view.rebind(gen, self.fabric.fault_plan_arc());
+        }
+        match view.plan() {
+            Some(plan) => !plan.crash_active(node, self.clock.now_ns()),
+            None => true,
+        }
+    }
+
     /// One-sided READ of `dst.len()` bytes from `(node, offset)`.
     pub fn read(&self, node: NodeId, offset: u64, dst: &mut [u8]) -> RdmaResult<()> {
+        let extra = self.inject(node)?;
         let region = self.fabric.live_region(node)?;
         region.read(offset, dst).map_err(|e| fix_node(e, node))?;
-        let cost = self.profile.rw_cost_ns(dst.len());
+        let cost = self.profile.rw_cost_ns(dst.len()) + extra;
         self.clock.advance(cost);
         self.stats.record(OpKind::Read, dst.len());
         self.note_verb(OpKind::Read, Some(node), cost);
@@ -342,12 +418,31 @@ impl Endpoint {
 
     /// One-sided WRITE of `src` to `(node, offset)`.
     pub fn write(&self, node: NodeId, offset: u64, src: &[u8]) -> RdmaResult<()> {
+        let extra = self.inject(node)?;
         let region = self.fabric.live_region(node)?;
         region.write(offset, src).map_err(|e| fix_node(e, node))?;
-        let cost = self.profile.rw_cost_ns(src.len());
+        let cost = self.profile.rw_cost_ns(src.len()) + extra;
         self.clock.advance(cost);
         self.stats.record(OpKind::Write, src.len());
         self.note_verb(OpKind::Write, Some(node), cost);
+        Ok(())
+    }
+
+    /// Pre-flight an entire doorbell batch against the fault plan: every
+    /// distinct target node is checked *before any memory is touched*, so
+    /// an injected fault fails the batch all-or-nothing instead of
+    /// leaving a half-written replica set. Spike latency is charged once
+    /// per distinct node (the doorbell amortizes the rest).
+    fn inject_batch<'t>(&self, targets: impl Iterator<Item = &'t NodeId>) -> RdmaResult<()> {
+        let mut seen: Vec<NodeId> = Vec::new();
+        let mut extra_total = 0u64;
+        for &node in targets {
+            if !seen.contains(&node) {
+                seen.push(node);
+                extra_total += self.inject(node)?;
+            }
+        }
+        self.clock.advance(extra_total);
         Ok(())
     }
 
@@ -355,6 +450,7 @@ impl Endpoint {
     /// pay the marginal batched cost. Targets may span nodes (multiple QPs
     /// rung in one doorbell).
     pub fn read_batch(&self, ops: &mut [(NodeId, u64, &mut [u8])]) -> RdmaResult<()> {
+        self.inject_batch(ops.iter().map(|(node, _, _)| node))?;
         self.stats.record_doorbell(ops.len());
         for (i, (node, offset, dst)) in ops.iter_mut().enumerate() {
             let region = self.fabric.live_region(*node)?;
@@ -373,6 +469,7 @@ impl Endpoint {
 
     /// Doorbell-batched writes (see [`Endpoint::read_batch`]).
     pub fn write_batch(&self, ops: &[(NodeId, u64, &[u8])]) -> RdmaResult<()> {
+        self.inject_batch(ops.iter().map(|(node, _, _)| node))?;
         self.stats.record_doorbell(ops.len());
         for (i, (node, offset, src)) in ops.iter().enumerate() {
             let region = self.fabric.live_region(*node)?;
@@ -393,12 +490,13 @@ impl Endpoint {
     /// installed iff the return equals `expected`. Atomics serialize at
     /// the target NIC's atomic unit (queueing under contention).
     pub fn cas(&self, node: NodeId, offset: u64, expected: u64, new: u64) -> RdmaResult<u64> {
+        let extra = self.inject(node)?;
         let (region, unit) = self.fabric.live_region_atomic(node)?;
         let prev = region
             .cas_u64(offset, expected, new)
             .map_err(|e| fix_node(e, node))?;
         let start = self.clock.now_ns();
-        self.clock.advance(self.profile.atomic_cost_ns());
+        self.clock.advance(self.profile.atomic_cost_ns() + extra);
         if self.profile.atomic_unit_ns > 0 {
             let done = unit.reserve(self.clock.now_ns(), self.profile.atomic_unit_ns);
             self.clock.advance_to(done);
@@ -416,12 +514,13 @@ impl Endpoint {
     /// 8-byte fetch-and-add. Returns the pre-add value. Serializes at the
     /// target NIC's atomic unit like [`Endpoint::cas`].
     pub fn faa(&self, node: NodeId, offset: u64, add: u64) -> RdmaResult<u64> {
+        let extra = self.inject(node)?;
         let (region, unit) = self.fabric.live_region_atomic(node)?;
         let prev = region
             .faa_u64(offset, add)
             .map_err(|e| fix_node(e, node))?;
         let start = self.clock.now_ns();
-        self.clock.advance(self.profile.atomic_cost_ns());
+        self.clock.advance(self.profile.atomic_cost_ns() + extra);
         if self.profile.atomic_unit_ns > 0 {
             let done = unit.reserve(self.clock.now_ns(), self.profile.atomic_unit_ns);
             self.clock.advance_to(done);
@@ -433,9 +532,10 @@ impl Endpoint {
 
     /// Aligned 8-byte read priced as a small one-sided READ.
     pub fn read_u64(&self, node: NodeId, offset: u64) -> RdmaResult<u64> {
+        let extra = self.inject(node)?;
         let region = self.fabric.live_region(node)?;
         let v = region.read_u64(offset).map_err(|e| fix_node(e, node))?;
-        let cost = self.profile.rw_cost_ns(8);
+        let cost = self.profile.rw_cost_ns(8) + extra;
         self.clock.advance(cost);
         self.stats.record(OpKind::Read, 8);
         self.note_verb(OpKind::Read, Some(node), cost);
@@ -444,11 +544,12 @@ impl Endpoint {
 
     /// Aligned 8-byte write priced as a small one-sided WRITE.
     pub fn write_u64(&self, node: NodeId, offset: u64, value: u64) -> RdmaResult<()> {
+        let extra = self.inject(node)?;
         let region = self.fabric.live_region(node)?;
         region
             .write_u64(offset, value)
             .map_err(|e| fix_node(e, node))?;
-        let cost = self.profile.rw_cost_ns(8);
+        let cost = self.profile.rw_cost_ns(8) + extra;
         self.clock.advance(cost);
         self.stats.record(OpKind::Write, 8);
         self.note_verb(OpKind::Write, Some(node), cost);
@@ -716,6 +817,89 @@ mod tests {
         // Everything observed exactly once.
         assert_eq!(phases.total_ns(), ep.clock().now_ns());
         assert_eq!(phases.total_verbs(), ep.stats().round_trips());
+    }
+
+    #[test]
+    fn partition_window_times_out_then_heals() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(64);
+        let ep = fabric.endpoint();
+        ep.write_u64(node, 0, 9).unwrap();
+        let start = ep.clock().now_ns();
+        fabric.install_fault_plan(
+            FaultPlan::new(1)
+                .detect_after_ns(7_000)
+                .partition(node, start, start + 50_000),
+        );
+        assert_eq!(ep.read_u64(node, 0).unwrap_err(), RdmaError::Timeout(node));
+        // Detection latency was charged.
+        assert_eq!(ep.clock().now_ns(), start + 7_000);
+        assert!(!ep.node_reachable(node) || fabric.is_alive(node)); // partition ≠ crash
+        // Wait out the partition on the virtual clock: heals by itself.
+        ep.charge_local(60_000);
+        assert_eq!(ep.read_u64(node, 0).unwrap(), 9);
+    }
+
+    #[test]
+    fn crash_window_is_hard_and_visible_to_reachability() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(64);
+        let ep = fabric.endpoint();
+        fabric.install_fault_plan(FaultPlan::new(1).crash(node, 0, 1_000_000));
+        let e = ep.read_u64(node, 0).unwrap_err();
+        assert_eq!(e, RdmaError::NodeUnreachable(node));
+        assert!(!e.is_transient());
+        assert!(!ep.node_reachable(node));
+        fabric.clear_fault_plan();
+        assert!(ep.node_reachable(node));
+        assert!(ep.read_u64(node, 0).is_ok());
+    }
+
+    #[test]
+    fn first_n_transients_then_clean() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(64);
+        fabric.install_fault_plan(FaultPlan::new(3).transient_first_n(node, 2));
+        let ep = fabric.endpoint();
+        assert_eq!(ep.read_u64(node, 0).unwrap_err(), RdmaError::Transient(node));
+        assert_eq!(ep.write_u64(node, 0, 1).unwrap_err(), RdmaError::Transient(node));
+        assert!(ep.cas(node, 0, 0, 1).is_ok());
+        // A second endpoint has its own first-N budget.
+        let ep2 = fabric.endpoint();
+        assert_eq!(ep2.read_u64(node, 0).unwrap_err(), RdmaError::Transient(node));
+    }
+
+    #[test]
+    fn batch_faults_are_all_or_nothing() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let a = fabric.register_node(64);
+        let b = fabric.register_node(64);
+        // Node b fails the first verb: the whole batch must fail before
+        // any byte lands on node a.
+        fabric.install_fault_plan(FaultPlan::new(5).transient_first_n(b, 1));
+        let ep = fabric.endpoint();
+        let err = ep
+            .write_batch(&[(a, 0, &7u64.to_le_bytes()), (b, 0, &7u64.to_le_bytes())])
+            .unwrap_err();
+        assert_eq!(err, RdmaError::Transient(b));
+        assert_eq!(fabric.region(a).unwrap().read_u64(0).unwrap(), 0);
+        // Retry succeeds and writes both.
+        ep.write_batch(&[(a, 0, &7u64.to_le_bytes()), (b, 0, &7u64.to_le_bytes())])
+            .unwrap();
+        assert_eq!(fabric.region(b).unwrap().read_u64(0).unwrap(), 7);
+    }
+
+    #[test]
+    fn latency_spike_slows_but_succeeds() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(64);
+        let base = fabric.endpoint();
+        base.read_u64(node, 0).unwrap();
+        let clean_cost = base.clock().now_ns();
+        fabric.install_fault_plan(FaultPlan::new(0).latency_spike(node, 0, u64::MAX, 25_000));
+        let ep = fabric.endpoint();
+        ep.read_u64(node, 0).unwrap();
+        assert_eq!(ep.clock().now_ns(), clean_cost + 25_000);
     }
 
     #[test]

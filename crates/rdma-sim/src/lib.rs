@@ -41,6 +41,7 @@
 pub mod clock;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod mailbox;
 pub mod profile;
 pub mod region;
@@ -48,6 +49,7 @@ pub mod stats;
 
 pub use clock::Clock;
 pub use error::{RdmaError, RdmaResult};
+pub use fault::FaultPlan;
 pub use fabric::{Endpoint, Fabric, NodeId, SpanGuard};
 pub use mailbox::{Mailbox, MailboxId, Message};
 pub use profile::NetworkProfile;

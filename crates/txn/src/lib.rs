@@ -32,10 +32,10 @@ pub mod protocols;
 pub mod table;
 pub mod twopc;
 
-pub use locks::{ExclusiveLock, LockError, SharedExclusiveLock};
+pub use locks::{ExclusiveLock, LeaseLock, LeaseToken, LockError, SharedExclusiveLock};
 pub use oracle::{FaaOracle, HybridClockOracle, RpcOracle, TimestampOracle};
 pub use protocols::{
-    ConcurrencyControl, DirectIo, Mvcc, Occ, Op, PayloadIo, TwoPhaseLocking, Tso, TxnCtx,
-    TxnError, TxnOutput,
+    ConcurrencyControl, DirectIo, LeasedTpl, Mvcc, Occ, Op, PayloadIo, TwoPhaseLocking, Tso,
+    TxnCtx, TxnError, TxnOutput,
 };
 pub use table::RecordTable;

@@ -11,10 +11,18 @@
 //!   batched): update the metadata and release the latch. Readers admit
 //!   concurrently; writers drain readers.
 //!
-//! Both are *no-wait with bounded retries*: after `max_retries` failed
-//! attempts the caller gets [`LockError::Busy`] and (in the protocols)
-//! aborts — the standard choice for RDMA CC where blocking remotely is
-//! expensive.
+//! Both are *no-wait with bounded retries and backoff*: after
+//! `max_retries` failed attempts the caller gets [`LockError::Busy`]
+//! (latch contention) or [`LockError::Timeout`] (holder never released
+//! within the budget) and — in the protocols — aborts. Blocking remotely
+//! is expensive, and an unbounded spin under a holder that crashed would
+//! wedge the acquirer forever.
+//!
+//! [`LeaseLock`] is the recoverable variant: the lock word encodes
+//! `owner | epoch | lease-expiry`, so when the owner crashes the lease
+//! runs out on the virtual clock and the next acquirer CAS-*steals* the
+//! word (Lotus-style recoverable disaggregated locks). The old owner
+//! discovers the theft on release/validation and must abort.
 
 use dsm::{DsmError, DsmLayer, GlobalAddr};
 use rdma_sim::Endpoint;
@@ -24,6 +32,18 @@ use rdma_sim::Endpoint;
 pub enum LockError {
     /// Lock still held after the retry budget.
     Busy,
+    /// The holder never released within the bounded-retry budget (likely
+    /// crashed or stalled; for [`LeaseLock`]s the lease has not expired
+    /// yet).
+    Timeout,
+    /// A lease release/validation found the word changed: the lease
+    /// expired and another worker stole the lock. The ex-owner must not
+    /// commit.
+    Stolen,
+    /// A release was issued in a state that cannot be released (e.g.
+    /// shared release with zero readers) — a protocol bug surfaced as a
+    /// typed error instead of a debug-only assert.
+    ReleaseViolation(&'static str),
     /// Fabric/DSM failure.
     Dsm(DsmError),
 }
@@ -38,12 +58,23 @@ impl std::fmt::Display for LockError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LockError::Busy => write!(f, "lock busy"),
+            LockError::Timeout => write!(f, "lock acquisition timed out"),
+            LockError::Stolen => write!(f, "lock lease expired and was stolen"),
+            LockError::ReleaseViolation(what) => write!(f, "lock release violation: {what}"),
             LockError::Dsm(e) => write!(f, "lock dsm error: {e}"),
         }
     }
 }
 
 impl std::error::Error for LockError {}
+
+/// Exponential virtual-time backoff between lock attempts: 100 ns
+/// doubling up to ~25 µs, so contenders drain instead of hammering the
+/// remote atomic unit.
+#[inline]
+fn backoff(ep: &Endpoint, attempt: u32) {
+    ep.charge_local(100u64 << attempt.min(8));
+}
 
 /// The 1-round-trip exclusive CAS spinlock.
 ///
@@ -62,10 +93,13 @@ impl ExclusiveLock {
         max_retries: u32,
     ) -> Result<(), LockError> {
         debug_assert!(owner_tag != 0);
-        for _ in 0..=max_retries {
+        for attempt in 0..=max_retries {
             let prev = layer.cas(ep, lock, 0, owner_tag)?;
             if prev == 0 {
                 return Ok(());
+            }
+            if attempt < max_retries {
+                backoff(ep, attempt);
             }
         }
         Err(LockError::Busy)
@@ -104,7 +138,10 @@ impl SharedExclusiveLock {
         addr: GlobalAddr,
         max_retries: u32,
     ) -> Result<u64, LockError> {
-        for _ in 0..=max_retries {
+        for attempt in 0..=max_retries {
+            if attempt > 0 {
+                backoff(ep, attempt - 1);
+            }
             if layer.cas(ep, Self::latch(addr), 0, 1)? == 0 {
                 // Same round trip in spirit (doorbell-batched with the
                 // CAS on real hardware); the read is charged separately
@@ -135,27 +172,35 @@ impl SharedExclusiveLock {
         Ok(())
     }
 
-    /// Acquire in shared mode (2 round trips when uncontended).
+    /// Acquire in shared mode (2 round trips when uncontended). Bounded:
+    /// if a writer holds the lock for the whole budget the caller gets
+    /// [`LockError::Timeout`] instead of spinning forever under a holder
+    /// that may never release (crash).
     pub fn acquire_shared(
         layer: &DsmLayer,
         ep: &Endpoint,
         addr: GlobalAddr,
         max_retries: u32,
     ) -> Result<(), LockError> {
-        for _ in 0..=max_retries {
+        for attempt in 0..=max_retries {
             let meta = Self::enter(layer, ep, addr, max_retries)?;
             if meta & WRITER_BIT != 0 {
-                // Writer holds it: release latch and retry.
+                // Writer holds it: release latch, back off, retry.
                 Self::exit(layer, ep, addr, meta)?;
+                if attempt < max_retries {
+                    backoff(ep, attempt);
+                }
                 continue;
             }
             Self::exit(layer, ep, addr, meta + 1)?;
             return Ok(());
         }
-        Err(LockError::Busy)
+        Err(LockError::Timeout)
     }
 
-    /// Release shared mode.
+    /// Release shared mode. Releasing with zero readers is a protocol
+    /// bug: surfaced as [`LockError::ReleaseViolation`] (checked in
+    /// release builds too), with the latch restored.
     pub fn release_shared(
         layer: &DsmLayer,
         ep: &Endpoint,
@@ -163,31 +208,38 @@ impl SharedExclusiveLock {
         max_retries: u32,
     ) -> Result<(), LockError> {
         let meta = Self::enter(layer, ep, addr, max_retries)?;
-        debug_assert!(meta & READER_MASK > 0, "release_shared with no readers");
+        if meta & READER_MASK == 0 {
+            Self::exit(layer, ep, addr, meta)?;
+            return Err(LockError::ReleaseViolation("release_shared with no readers"));
+        }
         Self::exit(layer, ep, addr, meta - 1)
     }
 
     /// Acquire in exclusive mode: waits for readers to drain (within the
-    /// retry budget).
+    /// retry budget); [`LockError::Timeout`] if they never do.
     pub fn acquire_exclusive(
         layer: &DsmLayer,
         ep: &Endpoint,
         addr: GlobalAddr,
         max_retries: u32,
     ) -> Result<(), LockError> {
-        for _ in 0..=max_retries {
+        for attempt in 0..=max_retries {
             let meta = Self::enter(layer, ep, addr, max_retries)?;
             if meta != 0 {
                 Self::exit(layer, ep, addr, meta)?;
+                if attempt < max_retries {
+                    backoff(ep, attempt);
+                }
                 continue;
             }
             Self::exit(layer, ep, addr, WRITER_BIT)?;
             return Ok(());
         }
-        Err(LockError::Busy)
+        Err(LockError::Timeout)
     }
 
-    /// Release exclusive mode.
+    /// Release exclusive mode. Releasing without the writer bit set is a
+    /// protocol bug: surfaced as [`LockError::ReleaseViolation`].
     pub fn release_exclusive(
         layer: &DsmLayer,
         ep: &Endpoint,
@@ -195,8 +247,128 @@ impl SharedExclusiveLock {
         max_retries: u32,
     ) -> Result<(), LockError> {
         let meta = Self::enter(layer, ep, addr, max_retries)?;
-        debug_assert!(meta & WRITER_BIT != 0, "release_exclusive without writer");
+        if meta & WRITER_BIT == 0 {
+            Self::exit(layer, ep, addr, meta)?;
+            return Err(LockError::ReleaseViolation("release_exclusive without writer"));
+        }
         Self::exit(layer, ep, addr, meta & !WRITER_BIT)
+    }
+}
+
+/// A recoverable exclusive lock whose word encodes the holder and a
+/// lease deadline:
+///
+/// ```text
+/// bits 48..64   owner    (worker tag, nonzero)
+/// bits 32..48   epoch    (owner's membership epoch — fences zombies)
+/// bits  0..32   expiry   (virtual microseconds, wrapping)
+/// ```
+///
+/// Acquisition is one CAS when free. When the word is occupied but the
+/// lease has *expired* on the acquirer's virtual clock, the acquirer
+/// CAS-steals the exact observed word — so two racers can't both steal,
+/// and a live holder that refreshed its lease wins the race. Release is
+/// a CAS back to zero that fails with [`LockError::Stolen`] if the word
+/// changed, which is the ex-owner's only-and-sufficient signal that it
+/// lost ownership and must abort.
+///
+/// Expiry wraps every ~71 virtual minutes (u32 µs); comparisons are
+/// wrap-aware over a half-range window, which is sound while leases are
+/// far shorter than the wrap period.
+pub struct LeaseLock;
+
+/// Proof of (possibly stolen-from-someone) lease ownership: the exact
+/// word installed. Needed to release and to validate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseToken {
+    /// The installed lock word.
+    pub word: u64,
+    /// Whether acquisition stole an expired lease (telemetry).
+    pub stole: bool,
+}
+
+impl LeaseLock {
+    /// Pack owner/epoch/expiry into a lock word.
+    pub fn encode(owner: u16, epoch: u16, expiry_us: u32) -> u64 {
+        debug_assert!(owner != 0, "owner tag must be nonzero");
+        ((owner as u64) << 48) | ((epoch as u64) << 32) | expiry_us as u64
+    }
+
+    /// Unpack a lock word into (owner, epoch, expiry_µs).
+    pub fn decode(word: u64) -> (u16, u16, u32) {
+        ((word >> 48) as u16, (word >> 32) as u16, word as u32)
+    }
+
+    /// Wrap-aware "deadline passed" on u32 microseconds.
+    fn expired(now_us: u32, expiry_us: u32) -> bool {
+        now_us.wrapping_sub(expiry_us) < (1 << 31)
+    }
+
+    /// Acquire (or steal) the lease at `lock`. `lease_ns` is the validity
+    /// horizon granted to this holder, charged from the acquirer's
+    /// virtual clock at CAS time. Bounded by `max_retries` with
+    /// [`backoff`]; a live unexpired holder yields [`LockError::Timeout`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn acquire(
+        layer: &DsmLayer,
+        ep: &Endpoint,
+        lock: GlobalAddr,
+        owner: u16,
+        epoch: u16,
+        lease_ns: u64,
+        max_retries: u32,
+    ) -> Result<LeaseToken, LockError> {
+        let lease_us = (lease_ns / 1_000).max(1) as u32;
+        for attempt in 0..=max_retries {
+            let now_us = (ep.clock().now_ns() / 1_000) as u32;
+            let word = Self::encode(owner, epoch, now_us.wrapping_add(lease_us));
+            let prev = layer.cas(ep, lock, 0, word)?;
+            if prev == 0 {
+                return Ok(LeaseToken { word, stole: false });
+            }
+            let (_, _, prev_expiry) = Self::decode(prev);
+            if Self::expired(now_us, prev_expiry) {
+                // The holder's lease ran out (it crashed or stalled):
+                // steal by CASing the exact expired word we observed.
+                let raced = layer.cas(ep, lock, prev, word)?;
+                if raced == prev {
+                    return Ok(LeaseToken { word, stole: true });
+                }
+            }
+            if attempt < max_retries {
+                backoff(ep, attempt);
+            }
+        }
+        Err(LockError::Timeout)
+    }
+
+    /// Whether this token still owns the lock (one read). A `false`
+    /// means the lease expired and someone stole it.
+    pub fn validate(
+        layer: &DsmLayer,
+        ep: &Endpoint,
+        lock: GlobalAddr,
+        token: LeaseToken,
+    ) -> Result<bool, LockError> {
+        Ok(layer.read_u64(ep, lock)? == token.word)
+    }
+
+    /// Release via CAS of the exact installed word. [`LockError::Stolen`]
+    /// if the word changed — the caller lost the lease (or the word was
+    /// wiped by memory-node recovery, which loses unreplicated lock
+    /// state by design) and must treat its critical section as fenced.
+    pub fn release(
+        layer: &DsmLayer,
+        ep: &Endpoint,
+        lock: GlobalAddr,
+        token: LeaseToken,
+    ) -> Result<(), LockError> {
+        let prev = layer.cas(ep, lock, token.word, 0)?;
+        if prev == token.word {
+            Ok(())
+        } else {
+            Err(LockError::Stolen)
+        }
     }
 }
 
@@ -276,18 +448,130 @@ mod tests {
         SharedExclusiveLock::acquire_shared(&l, &r2, a, 4).unwrap();
         assert_eq!(
             SharedExclusiveLock::acquire_exclusive(&l, &w, a, 2).unwrap_err(),
-            LockError::Busy
+            LockError::Timeout
         );
         SharedExclusiveLock::release_shared(&l, &r1, a, 4).unwrap();
         SharedExclusiveLock::release_shared(&l, &r2, a, 4).unwrap();
         SharedExclusiveLock::acquire_exclusive(&l, &w, a, 4).unwrap();
-        // Now readers bounce.
+        // Now readers bounce — with a bounded Timeout, not a livelock.
         assert_eq!(
             SharedExclusiveLock::acquire_shared(&l, &r1, a, 2).unwrap_err(),
-            LockError::Busy
+            LockError::Timeout
         );
         SharedExclusiveLock::release_exclusive(&l, &w, a, 4).unwrap();
         SharedExclusiveLock::acquire_shared(&l, &r1, a, 4).unwrap();
+    }
+
+    #[test]
+    fn bounded_shared_acquire_under_stuck_writer_costs_backoff() {
+        // A writer that never releases (crashed owner) must not livelock
+        // the reader: bounded attempts, virtual-time backoff, Timeout.
+        let (f, l, a) = setup();
+        let w = f.endpoint();
+        let r = f.endpoint();
+        SharedExclusiveLock::acquire_exclusive(&l, &w, a, 0).unwrap();
+        let before = r.clock().now_ns();
+        assert_eq!(
+            SharedExclusiveLock::acquire_shared(&l, &r, a, 5).unwrap_err(),
+            LockError::Timeout
+        );
+        // 5 backoffs of 100<<attempt ns = 3100 ns on top of the verbs.
+        assert!(r.clock().now_ns() >= before + 3_100);
+    }
+
+    #[test]
+    fn release_violations_are_checked_errors_not_debug_asserts() {
+        let (f, l, a) = setup();
+        let ep = f.endpoint();
+        assert_eq!(
+            SharedExclusiveLock::release_shared(&l, &ep, a, 4).unwrap_err(),
+            LockError::ReleaseViolation("release_shared with no readers")
+        );
+        assert_eq!(
+            SharedExclusiveLock::release_exclusive(&l, &ep, a, 4).unwrap_err(),
+            LockError::ReleaseViolation("release_exclusive without writer")
+        );
+        // The failed releases restored the latch: the lock still works.
+        SharedExclusiveLock::acquire_shared(&l, &ep, a, 4).unwrap();
+        SharedExclusiveLock::release_shared(&l, &ep, a, 4).unwrap();
+    }
+
+    #[test]
+    fn lease_word_roundtrips() {
+        let w = LeaseLock::encode(7, 3, 123_456);
+        assert_eq!(LeaseLock::decode(w), (7, 3, 123_456));
+        let w = LeaseLock::encode(u16::MAX, u16::MAX, u32::MAX);
+        assert_eq!(LeaseLock::decode(w), (u16::MAX, u16::MAX, u32::MAX));
+    }
+
+    #[test]
+    fn lease_acquire_release_roundtrip() {
+        let (f, l, a) = setup();
+        let ep = f.endpoint();
+        let t = LeaseLock::acquire(&l, &ep, a, 1, 1, 1_000_000, 3).unwrap();
+        assert!(!t.stole);
+        assert!(LeaseLock::validate(&l, &ep, a, t).unwrap());
+        LeaseLock::release(&l, &ep, a, t).unwrap();
+        assert_eq!(l.read_u64(&ep, a).unwrap(), 0);
+    }
+
+    #[test]
+    fn unexpired_lease_times_out_other_acquirers() {
+        let (f, l, a) = setup();
+        let owner = f.endpoint();
+        let other = f.endpoint();
+        let _t = LeaseLock::acquire(&l, &owner, a, 1, 1, 10_000_000, 0).unwrap();
+        assert_eq!(
+            LeaseLock::acquire(&l, &other, a, 2, 1, 10_000_000, 3).unwrap_err(),
+            LockError::Timeout
+        );
+    }
+
+    #[test]
+    fn expired_lease_is_stolen_and_owner_release_fences() {
+        let (f, l, a) = setup();
+        let owner = f.endpoint();
+        let thief = f.endpoint();
+        // Short lease: 50 µs.
+        let t = LeaseLock::acquire(&l, &owner, a, 1, 1, 50_000, 0).unwrap();
+        // The thief's clock sails past the expiry (owner "crashed").
+        thief.charge_local(200_000);
+        let s = LeaseLock::acquire(&l, &thief, a, 2, 1, 1_000_000, 0).unwrap();
+        assert!(s.stole, "expired lease must be stealable");
+        // The zombie owner wakes up: validation and release both fence.
+        assert!(!LeaseLock::validate(&l, &owner, a, t).unwrap());
+        assert_eq!(
+            LeaseLock::release(&l, &owner, a, t).unwrap_err(),
+            LockError::Stolen
+        );
+        // The thief's lease is intact and releasable.
+        LeaseLock::release(&l, &thief, a, s).unwrap();
+        assert_eq!(l.read_u64(&thief, a).unwrap(), 0);
+    }
+
+    #[test]
+    fn steal_race_has_exactly_one_winner() {
+        // Two thieves race a CAS-steal of the same expired word: the CAS
+        // on the observed word guarantees a single winner.
+        let (f, l, a) = setup();
+        let owner = f.endpoint();
+        let _t = LeaseLock::acquire(&l, &owner, a, 1, 1, 1_000, 0).unwrap();
+        let wins = std::sync::atomic::AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for tid in 2..=5u16 {
+                let (f, l) = (f.clone(), l.clone());
+                let wins = &wins;
+                s.spawn(move || {
+                    let ep = f.endpoint();
+                    ep.charge_local(10_000_000); // lease long dead
+                    if let Ok(tok) = LeaseLock::acquire(&l, &ep, a, tid, 1, 1_000_000, 0) {
+                        assert!(tok.stole);
+                        wins.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(std::sync::atomic::Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -20,11 +20,13 @@
 mod mvcc;
 mod occ;
 mod tpl;
+mod tpl_leased;
 mod tso;
 
 pub use mvcc::Mvcc;
 pub use occ::Occ;
 pub use tpl::TwoPhaseLocking;
+pub use tpl_leased::LeasedTpl;
 pub use tso::Tso;
 
 use dsm::{DsmError, DsmResult};
@@ -81,6 +83,13 @@ pub struct TxnOutput {
 pub enum TxnError {
     /// CC-level abort; retry is safe. The label names the rule that fired.
     Aborted(&'static str),
+    /// A node the transaction must reach is down: the transaction aborted
+    /// cleanly (no partial state) and retry only helps after recovery.
+    NodeUnavailable {
+        /// The unreachable fabric node (a mirror-group primary when the
+        /// whole group is out).
+        node: u16,
+    },
     /// Infrastructure failure; retry may not help.
     Dsm(DsmError),
 }
@@ -89,6 +98,9 @@ impl std::fmt::Display for TxnError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TxnError::Aborted(why) => write!(f, "transaction aborted: {why}"),
+            TxnError::NodeUnavailable { node } => {
+                write!(f, "transaction aborted: node {node} unavailable")
+            }
             TxnError::Dsm(e) => write!(f, "transaction failed: {e}"),
         }
     }
@@ -98,7 +110,19 @@ impl std::error::Error for TxnError {}
 
 impl From<DsmError> for TxnError {
     fn from(e: DsmError) -> Self {
-        TxnError::Dsm(e)
+        match e {
+            // Hard unreachability becomes the typed degradation signal.
+            DsmError::Rdma(rdma_sim::RdmaError::NodeUnreachable(n)) => {
+                TxnError::NodeUnavailable { node: n }
+            }
+            DsmError::GroupUnavailable { primary } => {
+                TxnError::NodeUnavailable { node: primary }
+            }
+            // A transient that leaked through the DSM retry budget is a
+            // clean retryable abort at the transaction level.
+            e if e.is_transient() => TxnError::Aborted("transient-fault"),
+            e => TxnError::Dsm(e),
+        }
     }
 }
 
@@ -106,7 +130,10 @@ impl From<LockError> for TxnError {
     fn from(e: LockError) -> Self {
         match e {
             LockError::Busy => TxnError::Aborted("lock-busy"),
-            LockError::Dsm(e) => TxnError::Dsm(e),
+            LockError::Timeout => TxnError::Aborted("lock-timeout"),
+            LockError::Stolen => TxnError::Aborted("lease-stolen"),
+            LockError::ReleaseViolation(_) => TxnError::Aborted("lock-release-violation"),
+            LockError::Dsm(e) => e.into(),
         }
     }
 }
@@ -183,6 +210,11 @@ pub trait ConcurrencyControl: Send + Sync {
     fn name(&self) -> &'static str;
     /// Execute one transaction; `Err(Aborted)` means retry-able conflict.
     fn execute(&self, ctx: &TxnCtx<'_>, ops: &[Op]) -> Result<TxnOutput, TxnError>;
+    /// Expired-lease locks stolen from crashed/stalled owners so far
+    /// (only nonzero for lease-based protocols).
+    fn steals(&self) -> u64 {
+        0
+    }
 }
 
 /// Apply an [`Op::Rmw`] delta to a payload buffer in place.
