@@ -2,9 +2,13 @@
 //!
 //! Used by CI after a reduced-scale experiment run: every
 //! `results/exp_*.json` must parse, carry the report schema
-//! (schema_version / experiment / title / rows), and any embedded phase
-//! breakdown must have shares that sum to ~1. `BENCH_summary.json` must
-//! parse and reference only experiments whose report file exists.
+//! (schema_version / experiment / title / rows), any embedded phase
+//! breakdown must have shares that sum to ~1, and any embedded
+//! `contention` section must carry the observatory schema (ranked
+//! top-K lists, wait-for summary, coherence counters).
+//! `results/exp_*_trace.json` files are Chrome `trace_event` exports
+//! and must hold a non-empty `traceEvents` array. `BENCH_summary.json`
+//! must parse and reference only experiments whose report file exists.
 //!
 //! Exits non-zero with a message per violation.
 
@@ -44,6 +48,98 @@ fn check_phases(path: &Path, ctx: &str, v: &Json, errors: &mut Vec<String>) {
     }
 }
 
+/// Validate every embedded `contention` section (the observatory
+/// schema emitted by `ContentionSnapshot::to_json`).
+fn check_contention(path: &Path, ctx: &str, v: &Json, errors: &mut Vec<String>) {
+    match v {
+        Json::O(members) => {
+            if let Some(c) = v.get("contention") {
+                validate_contention(path, ctx, c, errors);
+            }
+            for (key, member) in members {
+                check_contention(path, &format!("{ctx}.{key}"), member, errors);
+            }
+        }
+        Json::A(items) => {
+            for (i, item) in items.iter().enumerate() {
+                check_contention(path, &format!("{ctx}[{i}]"), item, errors);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn validate_contention(path: &Path, ctx: &str, c: &Json, errors: &mut Vec<String>) {
+    let mut err = |msg: String| errors.push(format!("{}: {ctx}: {msg}", path.display()));
+    for key in ["top_wait_ns", "top_cas_retries", "wait_for", "coherence", "wait_ns_total"] {
+        if c.get(key).is_none() {
+            err(format!("contention section missing \"{key}\""));
+        }
+    }
+    for list in ["top_wait_ns", "top_cas_retries"] {
+        if let Some(Json::A(items)) = c.get(list) {
+            let mut prev = u64::MAX;
+            for (i, item) in items.iter().enumerate() {
+                let count = item.get("count").and_then(|v| v.as_u64());
+                let e = item.get("err").and_then(|v| v.as_u64());
+                match (item.get("key"), count, e) {
+                    (Some(_), Some(count), Some(e)) => {
+                        if count > prev {
+                            err(format!("{list}[{i}] not sorted by count desc"));
+                        }
+                        if e > count {
+                            err(format!("{list}[{i}]: err {e} exceeds count {count}"));
+                        }
+                        prev = count;
+                    }
+                    _ => err(format!("{list}[{i}] missing key/count/err")),
+                }
+            }
+        }
+    }
+    if let Some(wf) = c.get("wait_for") {
+        for key in ["edges", "cycles", "max_depth", "dropped"] {
+            if wf.get(key).is_none() {
+                err(format!("wait_for missing \"{key}\""));
+            }
+        }
+    }
+    if let Some(co) = c.get("coherence") {
+        for key in ["broadcasts", "messages", "max_fanout"] {
+            if co.get(key).is_none() {
+                err(format!("coherence missing \"{key}\""));
+            }
+        }
+    }
+}
+
+/// Validate a Chrome `trace_event` export: parses and carries a
+/// non-empty `traceEvents` array whose entries have a `ph` tag.
+fn check_trace(path: &Path, errors: &mut Vec<String>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return errors.push(format!("{}: unreadable: {e}", path.display())),
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => return errors.push(format!("{}: invalid JSON: {e}", path.display())),
+    };
+    match json.get("traceEvents").and_then(|t| t.as_array()) {
+        Some(events) if !events.is_empty() => {
+            for (i, ev) in events.iter().enumerate() {
+                if ev.get("ph").and_then(|p| p.as_str()).is_none() {
+                    errors.push(format!(
+                        "{}: traceEvents[{i}] has no \"ph\" tag",
+                        path.display()
+                    ));
+                    break;
+                }
+            }
+        }
+        _ => errors.push(format!("{}: no traceEvents", path.display())),
+    }
+}
+
 fn check_report(path: &Path, errors: &mut Vec<String>) -> Option<String> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -78,6 +174,7 @@ fn check_report(path: &Path, errors: &mut Vec<String>) -> Option<String> {
         errors.push(format!("{}: no rows", path.display()));
     }
     check_phases(path, "$", &json, errors);
+    check_contention(path, "$", &json, errors);
     experiment
 }
 
@@ -102,6 +199,11 @@ fn main() -> ExitCode {
         }
     };
     entries.sort();
+    let (traces, entries): (Vec<_>, Vec<_>) = entries.into_iter().partition(|p| {
+        p.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with("_trace.json"))
+    });
     if entries.is_empty() {
         eprintln!("no exp_*.json reports in {}", dir.display());
         return ExitCode::FAILURE;
@@ -110,6 +212,9 @@ fn main() -> ExitCode {
         if let Some(name) = check_report(path, &mut errors) {
             reports.push(name);
         }
+    }
+    for path in &traces {
+        check_trace(path, &mut errors);
     }
 
     let summary_path = dir.join("BENCH_summary.json");
@@ -137,8 +242,9 @@ fn main() -> ExitCode {
 
     if errors.is_empty() {
         println!(
-            "ok: {} report(s) + BENCH_summary.json valid in {}",
+            "ok: {} report(s) + {} trace(s) + BENCH_summary.json valid in {}",
             reports.len(),
+            traces.len(),
             dir.display()
         );
         ExitCode::SUCCESS

@@ -33,11 +33,14 @@ fn main() {
     }
     println!();
     println!(
-        "aborts: node_unavailable={} lock_timeout={} lease_stolen={} transient={} other={}",
+        "aborts: node_unavailable={} lock_timeout={} lease_stolen={} transient={} \
+         lock_busy={} validation_fail={} other={}",
         out.aborts.node_unavailable,
         out.aborts.lock_timeout,
         out.aborts.lease_stolen,
         out.aborts.transient,
+        out.aborts.lock_busy,
+        out.aborts.validation_fail,
         out.aborts.other,
     );
     println!(
@@ -64,6 +67,11 @@ fn main() {
     );
 
     report::emit(&report_for(&cfg, &out));
+    let trace_path = report::results_dir().join("exp_c13_chaos_trace.json");
+    match out.trace.write(&trace_path) {
+        Ok(()) => println!("wrote {} ({} events; open in Perfetto)", trace_path.display(), out.trace.len()),
+        Err(e) => eprintln!("warning: could not write chrome trace: {e}"),
+    }
 
     assert_eq!(out.lost_writes, 0, "committed writes were lost");
     assert_eq!(out.stuck_locks, 0, "a lock stayed held forever");

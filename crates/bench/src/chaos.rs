@@ -30,10 +30,15 @@
 use dsmdb::{
     Architecture, CcProtocol, Cluster, ClusterConfig, NodeStatus, Op, Session, TxnError,
 };
-use rdma_sim::{FaultPlan, NetworkProfile, PhaseSnapshot};
+use rdma_sim::{ChromeTrace, ContentionSnapshot, FaultPlan, NetworkProfile, PhaseSnapshot};
 use txn::locks::LeaseLock;
 
-use crate::report::{phases_json, Json, Report};
+use crate::report::{abort_causes_json, phases_json, Json, Report};
+use crate::AbortCauses;
+
+/// Flight-recorder ring capacity per session: deep enough to keep the
+/// interesting tail (fault window + recovery) of a smoke-scale run.
+const TRACE_RING: usize = 4096;
 
 /// Knobs for one chaos run. All sizes are full-scale; callers shrink via
 /// [`crate::scale_down`].
@@ -91,21 +96,6 @@ impl WindowStats {
     }
 }
 
-/// Abort causes, by typed reason.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct AbortKinds {
-    /// Typed `NodeUnavailable` (dead mirror group).
-    pub node_unavailable: u64,
-    /// Lease lock held by a live (or not-yet-expired) owner.
-    pub lock_timeout: u64,
-    /// Commit-time revalidation found the lease stolen.
-    pub lease_stolen: u64,
-    /// Transient fabric fault leaked past the DSM retry budget.
-    pub transient: u64,
-    /// Anything else (CC conflicts etc).
-    pub other: u64,
-}
-
 /// Everything a chaos run measures.
 #[derive(Debug, Clone)]
 pub struct ChaosOutcome {
@@ -115,8 +105,9 @@ pub struct ChaosOutcome {
     pub fault: WindowStats,
     /// After mirror rebuild + epoch bump.
     pub post: WindowStats,
-    /// Abort causes across the whole run.
-    pub aborts: AbortKinds,
+    /// Abort causes across the whole run (shared taxonomy with
+    /// [`crate::WorkloadResult`]).
+    pub aborts: AbortCauses,
     /// Expired leases stolen by workers.
     pub steals: u64,
     /// Zombie locks fenced (release refused: stolen or wiped).
@@ -142,6 +133,11 @@ pub struct ChaosOutcome {
     pub recovered_tps_ratio: f64,
     /// Merged per-phase attribution across all sessions.
     pub phases: PhaseSnapshot,
+    /// Merged hot-key/wait-for contention profile across all sessions.
+    pub contention: ContentionSnapshot,
+    /// Chrome `trace_event` timeline of the run (one thread track per
+    /// session), built from each endpoint's flight-recorder ring.
+    pub trace: ChromeTrace,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -204,12 +200,17 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     );
 
     let mut sessions: Vec<Session> = (0..cfg.sessions).map(|t| cluster.session(0, t)).collect();
+    // Flight recording is free in virtual time, so enabling it cannot
+    // perturb the measured timeline.
+    for s in &sessions {
+        s.endpoint().enable_flight_recorder(TRACE_RING);
+    }
     let mut model: Vec<i64> = vec![0; cfg.records as usize];
     let mut out = ChaosOutcome {
         pre: WindowStats::default(),
         fault: WindowStats::default(),
         post: WindowStats::default(),
-        aborts: AbortKinds::default(),
+        aborts: AbortCauses::default(),
         steals: 0,
         zombie_fenced: 0,
         zombie_survived: 0,
@@ -222,6 +223,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         time_to_steady_ns: u64::MAX,
         recovered_tps_ratio: 0.0,
         phases: PhaseSnapshot::default(),
+        contention: ContentionSnapshot::default(),
+        trace: ChromeTrace::new(),
     };
 
     let r_crash = cfg.rounds / 3;
@@ -352,14 +355,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
                 }
                 Err(e) => {
                     seg.aborts += 1;
-                    match e {
-                        TxnError::NodeUnavailable { .. } => out.aborts.node_unavailable += 1,
-                        TxnError::Aborted("lock-timeout") => out.aborts.lock_timeout += 1,
-                        TxnError::Aborted("lease-stolen") => out.aborts.lease_stolen += 1,
-                        TxnError::Aborted("transient-fault") => out.aborts.transient += 1,
-                        TxnError::Aborted(_) => out.aborts.other += 1,
-                        e => panic!("chaos run hit a non-typed failure: {e}"),
+                    if let TxnError::Dsm(_) = e {
+                        panic!("chaos run hit a non-typed failure: {e}");
                     }
+                    out.aborts.classify(&e);
                 }
             }
         }
@@ -389,8 +388,12 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         0.0
     };
     out.steals = sessions.iter().map(|s| s.lock_steals()).sum();
-    for s in &sessions {
+    out.trace.name_process(0, "compute0");
+    for (t, s) in sessions.iter().enumerate() {
         out.phases.merge(&s.phases());
+        out.contention.merge(&s.endpoint().contention_snapshot());
+        out.trace.name_thread(0, t as u64 + 1, &format!("session{t}"));
+        s.endpoint().export_chrome_trace(&mut out.trace, 0, t as u64 + 1);
     }
     drop(sessions);
 
@@ -465,16 +468,8 @@ pub fn report_for(cfg: &ChaosConfig, out: &ChaosOutcome) -> Report {
             ],
         );
     }
-    rep.row(
-        "aborts",
-        vec![
-            ("node_unavailable", Json::U(out.aborts.node_unavailable)),
-            ("lock_timeout", Json::U(out.aborts.lock_timeout)),
-            ("lease_stolen", Json::U(out.aborts.lease_stolen)),
-            ("transient", Json::U(out.aborts.transient)),
-            ("other", Json::U(out.aborts.other)),
-        ],
-    );
+    rep.row("aborts", vec![("abort_causes", abort_causes_json(&out.aborts))]);
+    rep.row("contention", vec![("contention", out.contention.to_json())]);
     rep.row(
         "invariants",
         vec![

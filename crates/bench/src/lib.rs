@@ -17,12 +17,14 @@
 //!   like the paper's tables.
 
 pub mod chaos;
+pub mod observatory;
+pub mod regression;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use dsmdb::{Cluster, Op, Session, TxnError};
-use rdma_sim::{Endpoint, HistSnapshot, PhaseSnapshot};
+use rdma_sim::{ContentionSnapshot, Endpoint, HistSnapshot, PhaseSnapshot};
 
 /// Drive `clients` virtual clients in lockstep for `rounds` rounds. The
 /// closure runs one operation for one client; returns the makespan (max
@@ -39,13 +41,85 @@ where
     eps.iter().map(|e| e.clock().now_ns()).max().unwrap_or(0)
 }
 
+/// Typed abort-cause taxonomy. Every aborted attempt is classified by
+/// *why* it aborted, so experiment reports can show the abort mix
+/// shifting (e.g. validation failures giving way to lock timeouts as
+/// contention rises) instead of one opaque count.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AbortCauses {
+    /// A no-wait lock was held by someone else for the whole retry
+    /// budget (`lock-busy`, and the sharded engine's local lock table).
+    pub lock_busy: u64,
+    /// The lock holder never released within the bounded-retry budget
+    /// (likely crashed or stalled).
+    pub lock_timeout: u64,
+    /// Commit-time validation failed: OCC read-set drift, TSO/MVCC
+    /// version conflicts.
+    pub validation_fail: u64,
+    /// A lease expired mid-transaction and another worker stole the
+    /// lock; the ex-owner must not commit.
+    pub lease_stolen: u64,
+    /// A node the transaction must reach is down (typed
+    /// [`TxnError::NodeUnavailable`]).
+    pub node_unavailable: u64,
+    /// A transient fabric fault leaked past the DSM retry budget.
+    pub transient: u64,
+    /// Anything else (unclassified CC labels, infrastructure errors).
+    pub other: u64,
+}
+
+impl AbortCauses {
+    /// Tally one failed attempt under its typed cause.
+    pub fn classify(&mut self, e: &TxnError) {
+        match e {
+            TxnError::NodeUnavailable { .. } => self.node_unavailable += 1,
+            TxnError::Aborted(why) => match *why {
+                "lock-busy" | "local-lock-busy" => self.lock_busy += 1,
+                "lock-timeout" => self.lock_timeout += 1,
+                "lease-stolen" => self.lease_stolen += 1,
+                "transient-fault" => self.transient += 1,
+                w if w.starts_with("validate-")
+                    || w.starts_with("tso-")
+                    || w.starts_with("mvcc-") =>
+                {
+                    self.validation_fail += 1
+                }
+                _ => self.other += 1,
+            },
+            TxnError::Dsm(_) => self.other += 1,
+        }
+    }
+
+    /// Total aborted attempts across all causes.
+    pub fn total(&self) -> u64 {
+        self.lock_busy
+            + self.lock_timeout
+            + self.validation_fail
+            + self.lease_stolen
+            + self.node_unavailable
+            + self.transient
+            + self.other
+    }
+
+    /// Fold another tally into this one.
+    pub fn merge(&mut self, o: &AbortCauses) {
+        self.lock_busy += o.lock_busy;
+        self.lock_timeout += o.lock_timeout;
+        self.validation_fail += o.validation_fail;
+        self.lease_stolen += o.lease_stolen;
+        self.node_unavailable += o.node_unavailable;
+        self.transient += o.transient;
+        self.other += o.other;
+    }
+}
+
 /// Outcome of a cluster workload run.
 #[derive(Debug, Clone)]
 pub struct WorkloadResult {
     /// Committed transactions across all sessions.
     pub commits: u64,
-    /// Aborted attempts.
-    pub aborts: u64,
+    /// Aborted attempts, by typed cause.
+    pub aborts: AbortCauses,
     /// Makespan: max session virtual time, ns.
     pub makespan_ns: u64,
     /// Sum of round trips (verbs) across sessions.
@@ -58,6 +132,9 @@ pub struct WorkloadResult {
     pub latency: HistSnapshot,
     /// Per-phase virtual-time/verb attribution, merged across sessions.
     pub phases: PhaseSnapshot,
+    /// Hot-key/wait-for/coherence contention profile, merged across
+    /// every session endpoint.
+    pub contention: ContentionSnapshot,
 }
 
 impl WorkloadResult {
@@ -72,11 +149,12 @@ impl WorkloadResult {
 
     /// Abort ratio over all attempts.
     pub fn abort_rate(&self) -> f64 {
-        let total = self.commits + self.aborts;
+        let aborts = self.aborts.total();
+        let total = self.commits + aborts;
         if total == 0 {
             0.0
         } else {
-            self.aborts as f64 / total as f64
+            aborts as f64 / total as f64
         }
     }
 
@@ -124,7 +202,8 @@ where
     let total_workers = nodes * threads;
     let finished = AtomicUsize::new(0);
     let commits = AtomicUsize::new(0);
-    let aborts = AtomicUsize::new(0);
+    let aborts = Mutex::new(AbortCauses::default());
+    let contention = Mutex::new(ContentionSnapshot::default());
     let makespan = std::sync::atomic::AtomicU64::new(0);
     let rts = std::sync::atomic::AtomicU64::new(0);
     let wire_rts = std::sync::atomic::AtomicU64::new(0);
@@ -138,6 +217,7 @@ where
                 let finished = &finished;
                 let commits = &commits;
                 let aborts = &aborts;
+                let contention = &contention;
                 let makespan = &makespan;
                 let rts = &rts;
                 let wire_rts = &wire_rts;
@@ -145,6 +225,7 @@ where
                 let phases = &phases;
                 sc.spawn(move || {
                     let mut s: Session = cluster.session(n, t);
+                    let mut my_aborts = AbortCauses::default();
                     for i in 0..txns_per_session {
                         let ops = gen(n, t, i);
                         loop {
@@ -153,8 +234,8 @@ where
                                     commits.fetch_add(1, Ordering::Relaxed);
                                     break;
                                 }
-                                Err(TxnError::Aborted(_)) => {
-                                    aborts.fetch_add(1, Ordering::Relaxed);
+                                Err(e @ TxnError::Aborted(_)) => {
+                                    my_aborts.classify(&e);
                                     s.serve_pending(8);
                                     // Real-thread fairness: give the lock
                                     // holder a chance instead of spinning
@@ -178,18 +259,24 @@ where
                     wire_rts.fetch_add(snap.wire_round_trips(), Ordering::Relaxed);
                     latency.lock().unwrap().merge(&s.latency());
                     phases.lock().unwrap().merge(&s.phases());
+                    aborts.lock().unwrap().merge(&my_aborts);
+                    contention
+                        .lock()
+                        .unwrap()
+                        .merge(&s.endpoint().contention_snapshot());
                 });
             }
         }
     });
     WorkloadResult {
         commits: commits.load(Ordering::Relaxed) as u64,
-        aborts: aborts.load(Ordering::Relaxed) as u64,
+        aborts: aborts.into_inner().unwrap(),
         makespan_ns: makespan.load(Ordering::Relaxed),
         round_trips: rts.load(Ordering::Relaxed),
         wire_round_trips: wire_rts.load(Ordering::Relaxed),
         latency: latency.into_inner().unwrap(),
         phases: phases.into_inner().unwrap(),
+        contention: contention.into_inner().unwrap(),
     }
 }
 
@@ -203,7 +290,7 @@ pub mod report {
     pub use telemetry::report::{hist_json, phases_json};
     pub use telemetry::{Json, Report};
 
-    use crate::WorkloadResult;
+    use crate::{AbortCauses, WorkloadResult};
 
     /// Where reports land: `$BENCH_RESULTS_DIR`, defaulting to
     /// `results/` under the current directory.
@@ -223,19 +310,35 @@ pub mod report {
         }
     }
 
+    /// Per-cause abort tally as a JSON object (fixed key order).
+    pub fn abort_causes_json(a: &AbortCauses) -> Json {
+        Json::obj(vec![
+            ("lock_busy", Json::U(a.lock_busy)),
+            ("lock_timeout", Json::U(a.lock_timeout)),
+            ("validation_fail", Json::U(a.validation_fail)),
+            ("lease_stolen", Json::U(a.lease_stolen)),
+            ("node_unavailable", Json::U(a.node_unavailable)),
+            ("transient", Json::U(a.transient)),
+            ("other", Json::U(a.other)),
+        ])
+    }
+
     /// The standard metrics object for one workload run: throughput,
-    /// aborts, round trips, the latency ladder, and the phase breakdown.
+    /// aborts (total + per-cause), round trips, the latency ladder, the
+    /// phase breakdown, and the contention profile.
     pub fn workload_json(r: &WorkloadResult) -> Json {
         Json::obj(vec![
             ("commits", Json::U(r.commits)),
-            ("aborts", Json::U(r.aborts)),
+            ("aborts", Json::U(r.aborts.total())),
             ("abort_rate", Json::F(r.abort_rate())),
+            ("abort_causes", abort_causes_json(&r.aborts)),
             ("makespan_ns", Json::U(r.makespan_ns)),
             ("tps", Json::F(r.tps())),
             ("rts_per_txn", Json::F(r.rts_per_txn())),
             ("wire_rts_per_txn", Json::F(r.wire_rts_per_txn())),
             ("latency", hist_json(&r.latency)),
             ("phases", phases_json(&r.phases)),
+            ("contention", r.contention.to_json()),
         ])
     }
 

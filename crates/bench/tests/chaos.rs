@@ -64,9 +64,20 @@ fn chaos_preserves_safety_and_recovers() {
 #[test]
 fn chaos_is_deterministic_in_the_seed() {
     let cfg = cfg();
-    let a = report_for(&cfg, &run_chaos(&cfg)).to_json().render_pretty(2);
-    let b = report_for(&cfg, &run_chaos(&cfg)).to_json().render_pretty(2);
+    let out_a = run_chaos(&cfg);
+    let out_b = run_chaos(&cfg);
+    let a = report_for(&cfg, &out_a).to_json().render_pretty(2);
+    let b = report_for(&cfg, &out_b).to_json().render_pretty(2);
     assert_eq!(a, b, "two same-seed chaos runs diverged");
+    // The report now embeds the contention section; the Chrome trace
+    // must be byte-identical too — the flight recorder's whole value
+    // rests on same-seed reruns reproducing the exact timeline.
+    assert_eq!(
+        out_a.trace.render(),
+        out_b.trace.render(),
+        "two same-seed chaos traces diverged"
+    );
+    assert!(!out_a.trace.is_empty(), "chaos trace recorded nothing");
     // A different seed must still satisfy safety, proving the invariants
     // are not an artifact of one lucky schedule.
     let other = ChaosConfig { seed: 7, ..cfg };

@@ -412,10 +412,13 @@ impl BufferPool {
             if let Some(&f) = s.page_table.get(&key) {
                 if s.frames[f].filling {
                     // Another thread's fetch is in flight: wait on the
-                    // frame, not the pool — then it's a hit.
+                    // frame, not the pool — then it's a hit. Real
+                    // page-level contention: attribute it to the page in
+                    // the endpoint's hot-key sketch.
                     if !can_wait {
                         return Ok(Step::MustFlush);
                     }
+                    ep.note_lock_wait(key, LOCK_NS);
                     sh.cv.wait(&mut inner);
                     continue;
                 }
@@ -434,6 +437,7 @@ impl BufferPool {
                 if !can_wait {
                     return Ok(Step::MustFlush);
                 }
+                ep.note_lock_wait(key, LOCK_NS);
                 sh.cv.wait(&mut inner);
                 continue;
             }
@@ -631,6 +635,7 @@ impl BufferPool {
                     if !can_wait {
                         return Ok(Step::MustFlush);
                     }
+                    ep.note_lock_wait(key, LOCK_NS);
                     sh.cv.wait(&mut inner);
                     continue;
                 }
@@ -655,6 +660,7 @@ impl BufferPool {
                 if !can_wait {
                     return Ok(Step::MustFlush);
                 }
+                ep.note_lock_wait(key, LOCK_NS);
                 sh.cv.wait(&mut inner);
                 continue;
             }

@@ -187,6 +187,7 @@ impl CoherentIo {
         if others == 0 {
             return Ok(());
         }
+        ep.note_inval_fanout(others.count_ones() as u64);
         let addr = Self::page_addr(table, key, 0);
         // The broadcast to all M sharers is ONE doorbell group: the first
         // message pays the full send latency, the rest ride along. Nodes

@@ -282,6 +282,7 @@ impl Cluster {
             stats: SessionStats::default(),
             arena: PageArena::default(),
             txn_lat: Histogram::new(),
+            txn_seq: 0,
         }
     }
 
@@ -368,6 +369,10 @@ pub struct Session {
     arena: PageArena,
     /// End-to-end virtual-time latency of every [`Session::execute`].
     txn_lat: Histogram,
+    /// Local transaction sequence for trace ids: `owner_tag << 32 | seq`
+    /// is unique cluster-wide yet independent of thread interleaving, so
+    /// same-seed runs stamp identical ids into the flight recorder.
+    txn_seq: u64,
 }
 
 impl Session {
@@ -427,6 +432,8 @@ impl Session {
     pub fn execute(&mut self, ops: &[Op]) -> Result<TxnOutput, TxnError> {
         // Stay a good citizen: serve pending cluster work first.
         self.serve_pending(4);
+        self.txn_seq += 1;
+        self.ep.set_trace_id((self.owner_tag << 32) | self.txn_seq);
         let t0 = self.ep.clock().now_ns();
         self.ep.phase_enter(Phase::Execute);
         let result = match self.cluster.config.architecture {
@@ -442,6 +449,7 @@ impl Session {
             Architecture::CacheShard => self.execute_sharded(ops),
         };
         self.ep.phase_exit();
+        self.ep.clear_trace_id();
         self.txn_lat.record(self.ep.clock().now_ns().saturating_sub(t0));
         match &result {
             Ok(_) => self.stats.commits += 1,

@@ -1,17 +1,21 @@
 //! The fabric: registered nodes, endpoints, and verb execution.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use telemetry::{HistSnapshot, Histogram, Phase, PhaseSnapshot, PhaseTracker, Sample};
+use telemetry::{
+    ChromeTrace, ContentionSnapshot, HistSnapshot, Histogram, Phase, PhaseSnapshot, PhaseTracker,
+    Sample,
+};
 
 use crate::clock::{Clock, SharedTimeline};
 use crate::error::{RdmaError, RdmaResult};
 use crate::fault::{FaultPlan, FaultView};
 use crate::mailbox::{Mailbox, MailboxId, MailboxRegistry, Message};
 use crate::profile::NetworkProfile;
+use crate::recorder::{outcome, pack_addr, ContentionProbe, Event, EventKind, FlightRecorder};
 use crate::region::Region;
 use crate::stats::{OpKind, OpStats, StatsSnapshot};
 
@@ -194,6 +198,9 @@ impl Fabric {
             verb_lat: std::array::from_fn(|_| Histogram::new()),
             peer_lat: RefCell::new(Vec::new()),
             faults: RefCell::new(FaultView::default()),
+            recorder: FlightRecorder::default(),
+            contention: ContentionProbe::new(),
+            trace_id: Cell::new(0),
         }
     }
 }
@@ -231,6 +238,15 @@ pub struct Endpoint {
     /// This endpoint's view of the installed fault plan (deterministic
     /// per-peer counters live here).
     faults: RefCell<FaultView>,
+    /// Causal flight recorder (ring of verb/fault/phase events).
+    /// Disabled by default; see [`Endpoint::enable_flight_recorder`].
+    recorder: FlightRecorder,
+    /// Always-on contention accounting (hot keys, CAS retries,
+    /// wait-for edges, coherence fan-out).
+    contention: ContentionProbe,
+    /// The transaction trace id recorded into every event (0 = none),
+    /// threaded in by the session layer around each transaction.
+    trace_id: Cell<u64>,
 }
 
 /// Position of a verb class in [`Endpoint`]'s latency histogram array.
@@ -253,7 +269,7 @@ pub struct SpanGuard<'a> {
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
-        self.ep.tracker.exit(self.ep.sample());
+        self.ep.phase_exit();
     }
 }
 
@@ -289,7 +305,7 @@ impl Endpoint {
     /// charged to `phase` (or to a nested inner span).
     #[inline]
     pub fn span(&self, phase: Phase) -> SpanGuard<'_> {
-        self.tracker.enter(phase, self.sample());
+        self.phase_enter(phase);
         SpanGuard { ep: self }
     }
 
@@ -299,11 +315,13 @@ impl Endpoint {
     /// on every path.
     pub fn phase_enter(&self, phase: Phase) {
         self.tracker.enter(phase, self.sample());
+        self.record_event(EventKind::PhaseBegin, None, phase as u64, 0, outcome::OK, 0);
     }
 
     /// Close the innermost phase opened by [`Endpoint::phase_enter`].
     pub fn phase_exit(&self) {
         self.tracker.exit(self.sample());
+        self.record_event(EventKind::PhaseEnd, None, 0, 0, outcome::OK, 0);
     }
 
     /// Per-phase attribution so far (flushes the open interval first).
@@ -356,6 +374,106 @@ impl Endpoint {
         self.peer_lat.borrow_mut().clear();
         let gen = self.fabric.fault_generation();
         self.faults.borrow_mut().rebind(gen, self.fabric.fault_plan_arc());
+        self.recorder.clear();
+        self.contention.reset();
+        self.trace_id.set(0);
+    }
+
+    /// Turn on the flight recorder with a ring of `cap` events (0 turns
+    /// it back off). Recording never advances the virtual clock, so
+    /// virtual-time throughput is identical with the recorder on or off.
+    pub fn enable_flight_recorder(&self, cap: usize) {
+        self.recorder.set_capacity(cap);
+    }
+
+    /// Recorded flight events, oldest first.
+    pub fn flight_events(&self) -> Vec<Event> {
+        self.recorder.events()
+    }
+
+    /// Events overwritten because the recorder ring wrapped.
+    pub fn flight_dropped(&self) -> u64 {
+        self.recorder.dropped()
+    }
+
+    /// Render this endpoint's flight events onto `trace` as the
+    /// `(pid, tid)` track.
+    pub fn export_chrome_trace(&self, trace: &mut ChromeTrace, pid: u64, tid: u64) {
+        crate::recorder::export_chrome(&self.flight_events(), pid, tid, trace);
+    }
+
+    /// Tag subsequent events with a transaction trace id (0 = none).
+    /// The session layer sets this around each transaction so every
+    /// wire round trip is attributable to the transaction that paid it.
+    #[inline]
+    pub fn set_trace_id(&self, id: u64) {
+        self.trace_id.set(id);
+    }
+
+    /// The active transaction trace id.
+    #[inline]
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id.get()
+    }
+
+    /// Clear the transaction trace id.
+    #[inline]
+    pub fn clear_trace_id(&self) {
+        self.trace_id.set(0);
+    }
+
+    /// Account `ns` of lock/latch waiting attributed to the packed
+    /// address `addr` (feeds the hot-key wait sketch).
+    #[inline]
+    pub fn note_lock_wait(&self, addr: u64, ns: u64) {
+        self.contention.note_wait(addr, ns);
+    }
+
+    /// Record a lock wait-for edge: `waiter` wanted `addr`, which
+    /// `holder` held (holder 0 = unknown).
+    #[inline]
+    pub fn note_wait_edge(&self, waiter: u64, holder: u64, addr: u64) {
+        self.contention.note_wait_edge(waiter, holder, addr);
+    }
+
+    /// Account one coherence broadcast fanning out to `n` sharers.
+    #[inline]
+    pub fn note_inval_fanout(&self, n: u64) {
+        self.contention.note_inval_fanout(n);
+    }
+
+    /// Copy out this endpoint's contention observations.
+    pub fn contention_snapshot(&self) -> ContentionSnapshot {
+        self.contention.snapshot()
+    }
+
+    /// Push one event into the flight recorder (no-op when disabled,
+    /// never advances the clock). `dur_ns` is subtracted from the
+    /// current clock to recover the event's start time.
+    #[inline]
+    fn record_event(
+        &self,
+        kind: EventKind,
+        peer: Option<NodeId>,
+        addr: u64,
+        bytes: usize,
+        outcome_code: u8,
+        dur_ns: u64,
+    ) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        self.recorder.push(Event {
+            ts_ns: self.clock.now_ns().saturating_sub(dur_ns),
+            dur_ns,
+            kind,
+            peer: peer.unwrap_or(u16::MAX),
+            addr,
+            bytes: bytes as u32,
+            outcome: outcome_code,
+            txn: self.trace_id.get(),
+            phase: self.tracker.innermost() as u8,
+        });
     }
 
     /// Charge local CPU/DRAM work that is not a verb (buffer-pool
@@ -380,6 +498,13 @@ impl Endpoint {
             Err(e) => {
                 let detect = view.plan().map(|p| p.detect_ns()).unwrap_or(0);
                 self.clock.advance(detect);
+                drop(view);
+                let code = match &e {
+                    RdmaError::Timeout(_) => outcome::TIMEOUT,
+                    RdmaError::Transient(_) => outcome::TRANSIENT,
+                    _ => outcome::UNREACHABLE,
+                };
+                self.record_event(EventKind::Fault, Some(node), 0, 0, code, detect);
                 Err(e)
             }
         }
@@ -413,6 +538,14 @@ impl Endpoint {
         self.clock.advance(cost);
         self.stats.record(OpKind::Read, dst.len());
         self.note_verb(OpKind::Read, Some(node), cost);
+        self.record_event(
+            EventKind::Verb(OpKind::Read),
+            Some(node),
+            pack_addr(node, offset),
+            dst.len(),
+            outcome::OK,
+            cost,
+        );
         Ok(())
     }
 
@@ -425,6 +558,14 @@ impl Endpoint {
         self.clock.advance(cost);
         self.stats.record(OpKind::Write, src.len());
         self.note_verb(OpKind::Write, Some(node), cost);
+        self.record_event(
+            EventKind::Verb(OpKind::Write),
+            Some(node),
+            pack_addr(node, offset),
+            src.len(),
+            outcome::OK,
+            cost,
+        );
         Ok(())
     }
 
@@ -463,6 +604,14 @@ impl Endpoint {
             self.clock.advance(cost);
             self.stats.record(OpKind::Read, dst.len());
             self.note_verb(OpKind::Read, Some(*node), cost);
+            self.record_event(
+                EventKind::Verb(OpKind::Read),
+                Some(*node),
+                pack_addr(*node, *offset),
+                dst.len(),
+                outcome::OK,
+                cost,
+            );
         }
         Ok(())
     }
@@ -482,6 +631,14 @@ impl Endpoint {
             self.clock.advance(cost);
             self.stats.record(OpKind::Write, src.len());
             self.note_verb(OpKind::Write, Some(*node), cost);
+            self.record_event(
+                EventKind::Verb(OpKind::Write),
+                Some(*node),
+                pack_addr(*node, *offset),
+                src.len(),
+                outcome::OK,
+                cost,
+            );
         }
         Ok(())
     }
@@ -504,10 +661,25 @@ impl Endpoint {
         self.stats.record(OpKind::Cas, 8);
         // Latency includes atomic-unit queueing: that contention delay is
         // exactly what the per-verb tail should expose.
-        self.note_verb(OpKind::Cas, Some(node), self.clock.now_ns() - start);
-        if prev != expected {
+        let dur = self.clock.now_ns() - start;
+        self.note_verb(OpKind::Cas, Some(node), dur);
+        let code = if prev != expected {
             self.stats.record_cas_failure();
-        }
+            // A lost CAS is the contention signal: feed the hot-word
+            // retry sketch with the packed lock-word address.
+            self.contention.note_cas_retry(pack_addr(node, offset));
+            outcome::CAS_LOST
+        } else {
+            outcome::OK
+        };
+        self.record_event(
+            EventKind::Verb(OpKind::Cas),
+            Some(node),
+            pack_addr(node, offset),
+            8,
+            code,
+            dur,
+        );
         Ok(prev)
     }
 
@@ -526,7 +698,16 @@ impl Endpoint {
             self.clock.advance_to(done);
         }
         self.stats.record(OpKind::Faa, 8);
-        self.note_verb(OpKind::Faa, Some(node), self.clock.now_ns() - start);
+        let dur = self.clock.now_ns() - start;
+        self.note_verb(OpKind::Faa, Some(node), dur);
+        self.record_event(
+            EventKind::Verb(OpKind::Faa),
+            Some(node),
+            pack_addr(node, offset),
+            8,
+            outcome::OK,
+            dur,
+        );
         Ok(prev)
     }
 
@@ -539,6 +720,14 @@ impl Endpoint {
         self.clock.advance(cost);
         self.stats.record(OpKind::Read, 8);
         self.note_verb(OpKind::Read, Some(node), cost);
+        self.record_event(
+            EventKind::Verb(OpKind::Read),
+            Some(node),
+            pack_addr(node, offset),
+            8,
+            outcome::OK,
+            cost,
+        );
         Ok(v)
     }
 
@@ -553,6 +742,14 @@ impl Endpoint {
         self.clock.advance(cost);
         self.stats.record(OpKind::Write, 8);
         self.note_verb(OpKind::Write, Some(node), cost);
+        self.record_event(
+            EventKind::Verb(OpKind::Write),
+            Some(node),
+            pack_addr(node, offset),
+            8,
+            outcome::OK,
+            cost,
+        );
         Ok(())
     }
 
@@ -572,6 +769,7 @@ impl Endpoint {
         )?;
         self.stats.record(OpKind::Send, len);
         self.note_verb(OpKind::Send, None, cost);
+        self.record_event(EventKind::Verb(OpKind::Send), None, to, len, outcome::OK, cost);
         Ok(())
     }
 
@@ -604,6 +802,14 @@ impl Endpoint {
                 Ok(()) => {
                     self.stats.record(OpKind::Send, len);
                     self.note_verb(OpKind::Send, None, cost);
+                    self.record_event(
+                        EventKind::Verb(OpKind::Send),
+                        None,
+                        to,
+                        len,
+                        outcome::OK,
+                        cost,
+                    );
                     delivered += 1;
                 }
                 Err(RdmaError::NoReceiver(_)) => {}
@@ -641,6 +847,14 @@ impl Endpoint {
         self.clock.advance_to(msg.deliver_at_ns);
         self.stats.record(OpKind::Recv, msg.payload.len());
         self.note_verb(OpKind::Recv, None, wait);
+        self.record_event(
+            EventKind::Verb(OpKind::Recv),
+            None,
+            msg.from,
+            msg.payload.len(),
+            outcome::OK,
+            wait,
+        );
     }
 }
 
@@ -900,6 +1114,55 @@ mod tests {
         let ep = fabric.endpoint();
         ep.read_u64(node, 0).unwrap();
         assert_eq!(ep.clock().now_ns(), clean_cost + 25_000);
+    }
+
+    #[test]
+    fn flight_recorder_is_free_in_virtual_time_and_attributes_events() {
+        let run = |record: bool| {
+            let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+            let node = fabric.register_node(1024);
+            let ep = fabric.endpoint();
+            if record {
+                ep.enable_flight_recorder(1024);
+            }
+            ep.set_trace_id(77);
+            {
+                let _s = ep.span(Phase::LockAcquire);
+                ep.cas(node, 16, 0, 1).unwrap();
+                // Second CAS completes but loses (prev != expected).
+                ep.cas(node, 16, 0, 2).unwrap();
+            }
+            ep.clear_trace_id();
+            let mut buf = [0u8; 8];
+            ep.read(node, 0, &mut buf).unwrap();
+            (ep.clock().now_ns(), ep.flight_events())
+        };
+        let (t_off, ev_off) = run(false);
+        let (t_on, ev_on) = run(true);
+        assert_eq!(t_off, t_on, "recording must not advance virtual time");
+        assert!(ev_off.is_empty());
+        // PhaseBegin, 2x CAS, PhaseEnd, READ.
+        assert_eq!(ev_on.len(), 5);
+        assert_eq!(ev_on[0].kind, EventKind::PhaseBegin);
+        assert_eq!(ev_on[1].txn, 77);
+        assert_eq!(ev_on[1].phase, Phase::LockAcquire as u8);
+        assert_eq!(ev_on[2].outcome, outcome::CAS_LOST);
+        assert_eq!(ev_on[4].kind, EventKind::Verb(OpKind::Read));
+        assert_eq!(ev_on[4].txn, 0, "trace id cleared");
+        // The lost CAS fed the retry sketch.
+        let c = run_probe();
+        assert_eq!(c, 1);
+
+        fn run_probe() -> u64 {
+            let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+            let node = fabric.register_node(1024);
+            let ep = fabric.endpoint();
+            ep.cas(node, 16, 0, 1).unwrap();
+            ep.cas(node, 16, 0, 2).unwrap();
+            let snap = ep.contention_snapshot();
+            assert_eq!(snap.cas_top[0].key, pack_addr(node, 16));
+            snap.cas_top[0].count
+        }
     }
 
     #[test]

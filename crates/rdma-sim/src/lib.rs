@@ -44,6 +44,7 @@ pub mod fabric;
 pub mod fault;
 pub mod mailbox;
 pub mod profile;
+pub mod recorder;
 pub mod region;
 pub mod stats;
 
@@ -53,8 +54,11 @@ pub use fault::FaultPlan;
 pub use fabric::{Endpoint, Fabric, NodeId, SpanGuard};
 pub use mailbox::{Mailbox, MailboxId, Message};
 pub use profile::NetworkProfile;
+pub use recorder::{pack_addr, Event, EventKind, FlightRecorder};
 pub use region::Region;
 pub use stats::{OpKind, OpStats, StatsSnapshot};
 // Telemetry vocabulary, re-exported so downstream crates that already
 // depend on rdma-sim can open spans without a direct telemetry dep.
-pub use telemetry::{HistSnapshot, Phase, PhaseSnapshot, Sample};
+pub use telemetry::{
+    ChromeTrace, ContentionSnapshot, HistSnapshot, Phase, PhaseSnapshot, Sample, TopEntry, WaitEdge,
+};

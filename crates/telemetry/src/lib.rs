@@ -27,12 +27,18 @@
 //! the tracker and histograms inside `Endpoint`, and everything above it
 //! reuses the same types.
 
+pub mod contention;
 pub mod hist;
 pub mod json;
 pub mod report;
 pub mod span;
+pub mod trace;
 
+pub use contention::{
+    merge_top, wait_for_analysis, ContentionSnapshot, TopEntry, TopK, WaitEdge, WaitForSummary,
+};
 pub use hist::{HistSnapshot, Histogram};
 pub use json::Json;
 pub use report::Report;
 pub use span::{bucket_name, Phase, PhaseSnapshot, PhaseTracker, Sample, OTHER_BUCKET, PHASE_BUCKETS};
+pub use trace::ChromeTrace;

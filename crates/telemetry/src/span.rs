@@ -182,6 +182,19 @@ impl PhaseTracker {
         self.depth.get()
     }
 
+    /// Bucket index of the innermost open phase, or [`OTHER_BUCKET`]
+    /// when no span is open — used by the flight recorder to tag each
+    /// event with the phase that issued it.
+    #[inline]
+    pub fn innermost(&self) -> usize {
+        let d = self.depth.get();
+        if d == 0 {
+            OTHER_BUCKET
+        } else {
+            self.stack[(d - 1).min(MAX_DEPTH - 1)].get() as usize
+        }
+    }
+
     /// Copy out the per-phase accumulators.
     pub fn snapshot(&self) -> PhaseSnapshot {
         let get = |a: &[Cell<u64>; ALL_BUCKETS]| {

@@ -70,10 +70,13 @@ impl std::error::Error for LockError {}
 
 /// Exponential virtual-time backoff between lock attempts: 100 ns
 /// doubling up to ~25 µs, so contenders drain instead of hammering the
-/// remote atomic unit.
+/// remote atomic unit. The wait is attributed to `lock` in the
+/// endpoint's hot-key contention sketch.
 #[inline]
-fn backoff(ep: &Endpoint, attempt: u32) {
-    ep.charge_local(100u64 << attempt.min(8));
+fn backoff(ep: &Endpoint, attempt: u32, lock: GlobalAddr) {
+    let ns = 100u64 << attempt.min(8);
+    ep.charge_local(ns);
+    ep.note_lock_wait(lock.to_raw(), ns);
 }
 
 /// The 1-round-trip exclusive CAS spinlock.
@@ -98,8 +101,11 @@ impl ExclusiveLock {
             if prev == 0 {
                 return Ok(());
             }
+            // The failed CAS's `prev` *is* the holder's tag: a free
+            // wait-for edge for the contention observatory.
+            ep.note_wait_edge(owner_tag, prev, lock.to_raw());
             if attempt < max_retries {
-                backoff(ep, attempt);
+                backoff(ep, attempt, lock);
             }
         }
         Err(LockError::Busy)
@@ -140,7 +146,7 @@ impl SharedExclusiveLock {
     ) -> Result<u64, LockError> {
         for attempt in 0..=max_retries {
             if attempt > 0 {
-                backoff(ep, attempt - 1);
+                backoff(ep, attempt - 1, addr);
             }
             if layer.cas(ep, Self::latch(addr), 0, 1)? == 0 {
                 // Same round trip in spirit (doorbell-batched with the
@@ -185,10 +191,13 @@ impl SharedExclusiveLock {
         for attempt in 0..=max_retries {
             let meta = Self::enter(layer, ep, addr, max_retries)?;
             if meta & WRITER_BIT != 0 {
-                // Writer holds it: release latch, back off, retry.
+                // Writer holds it: release latch, back off, retry. The
+                // meta word stores no holder identity, so the wait-for
+                // edge uses holder 0 ("unknown writer").
+                ep.note_wait_edge(0, 0, addr.to_raw());
                 Self::exit(layer, ep, addr, meta)?;
                 if attempt < max_retries {
-                    backoff(ep, attempt);
+                    backoff(ep, attempt, addr);
                 }
                 continue;
             }
@@ -226,9 +235,10 @@ impl SharedExclusiveLock {
         for attempt in 0..=max_retries {
             let meta = Self::enter(layer, ep, addr, max_retries)?;
             if meta != 0 {
+                ep.note_wait_edge(0, 0, addr.to_raw());
                 Self::exit(layer, ep, addr, meta)?;
                 if attempt < max_retries {
-                    backoff(ep, attempt);
+                    backoff(ep, attempt, addr);
                 }
                 continue;
             }
@@ -326,7 +336,7 @@ impl LeaseLock {
             if prev == 0 {
                 return Ok(LeaseToken { word, stole: false });
             }
-            let (_, _, prev_expiry) = Self::decode(prev);
+            let (prev_owner, _, prev_expiry) = Self::decode(prev);
             if Self::expired(now_us, prev_expiry) {
                 // The holder's lease ran out (it crashed or stalled):
                 // steal by CASing the exact expired word we observed.
@@ -335,8 +345,9 @@ impl LeaseLock {
                     return Ok(LeaseToken { word, stole: true });
                 }
             }
+            ep.note_wait_edge(owner as u64, prev_owner as u64, lock.to_raw());
             if attempt < max_retries {
-                backoff(ep, attempt);
+                backoff(ep, attempt, lock);
             }
         }
         Err(LockError::Timeout)
@@ -572,6 +583,49 @@ mod tests {
             }
         });
         assert_eq!(wins.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn wait_for_snapshot_exposes_a_real_two_session_cycle() {
+        // Session 1 holds lock A and wants lock B; session 2 holds B and
+        // wants A. No-wait bounded acquires fail on both sides, each
+        // recording the waiter→holder edge read straight out of the
+        // failed CAS; the merged snapshot must report exactly one cycle.
+        let (f, l, a) = setup();
+        let b = l.alloc(16).unwrap();
+        let ep1 = f.endpoint();
+        let ep2 = f.endpoint();
+        ExclusiveLock::acquire(&l, &ep1, a, 1, 0).unwrap();
+        ExclusiveLock::acquire(&l, &ep2, b, 2, 0).unwrap();
+        assert_eq!(
+            ExclusiveLock::acquire(&l, &ep1, b, 1, 1).unwrap_err(),
+            LockError::Busy
+        );
+        assert_eq!(
+            ExclusiveLock::acquire(&l, &ep2, a, 2, 1).unwrap_err(),
+            LockError::Busy
+        );
+        let mut merged = ep1.contention_snapshot();
+        merged.merge(&ep2.contention_snapshot());
+        let wf = merged.wait_for();
+        assert!(wf.edges.contains(&rdma_sim::WaitEdge {
+            waiter: 1,
+            holder: 2,
+            addr: b.to_raw()
+        }));
+        assert!(wf.edges.contains(&rdma_sim::WaitEdge {
+            waiter: 2,
+            holder: 1,
+            addr: a.to_raw()
+        }));
+        assert_eq!(wf.cycles, 1, "the 1⇄2 deadlock shape must be visible");
+        assert!(wf.max_depth >= 2);
+        // The backoff waits were attributed to the contended addresses.
+        assert!(merged.wait_ns_total > 0);
+        assert!(merged
+            .wait_top
+            .iter()
+            .any(|e| e.key == a.to_raw() || e.key == b.to_raw()));
     }
 
     #[test]
