@@ -2,10 +2,13 @@
 //!
 //! Used by CI after a reduced-scale experiment run: every
 //! `results/exp_*.json` must parse, carry the report schema
-//! (schema_version / experiment / title / rows), any embedded phase
-//! breakdown must have shares that sum to ~1, and any embedded
-//! `contention` section must carry the observatory schema (ranked
-//! top-K lists, wait-for summary, coherence counters).
+//! (schema_version / experiment / title / rows) plus a top-level
+//! `timeseries` section (schema v2) with consistent window geometry
+//! (monotone starts at exact stride, width x count covering the
+//! makespan) and per-window counts that sum to the recorded totals;
+//! any embedded phase breakdown must have shares that sum to ~1, and
+//! any embedded `contention` section must carry the observatory schema
+//! (ranked top-K lists, wait-for summary, coherence counters).
 //! `results/exp_*_trace.json` files are Chrome `trace_event` exports
 //! and must hold a non-empty `traceEvents` array. `BENCH_summary.json`
 //! must parse and reference only experiments whose report file exists.
@@ -113,6 +116,109 @@ fn validate_contention(path: &Path, ctx: &str, c: &Json, errors: &mut Vec<String
     }
 }
 
+/// Validate the report's top-level `timeseries` section (schema v2):
+/// positive window width, monotone window starts at exact stride,
+/// width x count covering the makespan (to one window's tolerance),
+/// known metric names, per-metric arrays of the right length, and
+/// per-window counts summing to the recorded totals.
+fn check_timeseries(path: &Path, json: &Json, errors: &mut Vec<String>) {
+    let mut err = |msg: String| errors.push(format!("{}: timeseries: {msg}", path.display()));
+    let Some(ts) = json.get("timeseries") else {
+        err("missing (every report must carry a timeseries section)".into());
+        return;
+    };
+    let Some(window_ns) = ts.get("window_ns").and_then(|v| v.as_u64()) else {
+        err("missing window_ns".into());
+        return;
+    };
+    if window_ns == 0 {
+        err("window_ns is 0".into());
+        return;
+    }
+    let Some(n) = ts.get("windows").and_then(|v| v.as_u64()) else {
+        err("missing windows".into());
+        return;
+    };
+    let Some(makespan) = ts.get("makespan_ns").and_then(|v| v.as_u64()) else {
+        err("missing makespan_ns".into());
+        return;
+    };
+    match ts.get("window_starts_ns").and_then(|v| v.as_array()) {
+        Some(starts) => {
+            if starts.len() as u64 != n {
+                err(format!("{} window starts for {n} windows", starts.len()));
+            }
+            for (i, s) in starts.iter().enumerate() {
+                match s.as_u64() {
+                    Some(s) if s == i as u64 * window_ns => {}
+                    Some(s) => {
+                        err(format!(
+                            "window_starts_ns[{i}] = {s}, expected {} (stride {window_ns})",
+                            i as u64 * window_ns
+                        ));
+                        break;
+                    }
+                    None => {
+                        err(format!("window_starts_ns[{i}] not a u64"));
+                        break;
+                    }
+                }
+            }
+        }
+        None => err("missing window_starts_ns".into()),
+    }
+    // Coverage: the windows must span the makespan to within one window
+    // on either side (the last sample can land just before a boundary).
+    let span = n * window_ns;
+    if span + window_ns < makespan {
+        err(format!(
+            "{n} windows x {window_ns} ns = {span} ns do not cover makespan {makespan} ns"
+        ));
+    }
+    if makespan + window_ns < span {
+        err(format!(
+            "{n} windows x {window_ns} ns = {span} ns overshoot makespan {makespan} ns"
+        ));
+    }
+    let totals = match ts.get("totals") {
+        Some(Json::O(members)) => members.clone(),
+        _ => {
+            err("missing totals".into());
+            Vec::new()
+        }
+    };
+    match ts.get("metrics") {
+        Some(Json::O(metrics)) => {
+            for (name, arr) in metrics {
+                if bench::Metric::from_name(name).is_none() {
+                    err(format!("unknown metric \"{name}\""));
+                    continue;
+                }
+                let Some(counts) = arr.as_array() else {
+                    err(format!("metric \"{name}\" is not an array"));
+                    continue;
+                };
+                if counts.len() as u64 != n {
+                    err(format!(
+                        "metric \"{name}\" has {} windows, expected {n}",
+                        counts.len()
+                    ));
+                    continue;
+                }
+                let sum: u64 = counts.iter().filter_map(|c| c.as_u64()).sum();
+                match totals.iter().find(|(k, _)| k == name).and_then(|(_, v)| v.as_u64()) {
+                    Some(total) if total == sum => {}
+                    Some(total) => err(format!(
+                        "metric \"{name}\" windows sum to {sum}, totals say {total}"
+                    )),
+                    None => err(format!("metric \"{name}\" has no totals entry")),
+                }
+            }
+        }
+        _ => err("missing metrics".into()),
+    }
+}
+
 /// Validate a Chrome `trace_event` export: parses and carries a
 /// non-empty `traceEvents` array whose entries have a `ph` tag.
 fn check_trace(path: &Path, errors: &mut Vec<String>) {
@@ -175,6 +281,7 @@ fn check_report(path: &Path, errors: &mut Vec<String>) -> Option<String> {
     }
     check_phases(path, "$", &json, errors);
     check_contention(path, "$", &json, errors);
+    check_timeseries(path, &json, errors);
     experiment
 }
 

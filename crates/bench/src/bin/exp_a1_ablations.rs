@@ -170,6 +170,10 @@ fn ablation_fabric(rep: &mut Report, txns: usize) {
             format!("{:.0}x", profile.gap_vs_local()),
             table::n(r.tps() as u64),
         ]);
+        if profile.name == NetworkProfile::rdma_cx6().name {
+            // Flagship fabric: carry its windowed series in the report.
+            report::attach_timeseries(rep, &r);
+        }
         rep.row(
             &format!("fabric={}", profile.name),
             vec![

@@ -95,6 +95,8 @@ fn main() {
         if cross == 50 {
             rep.headline("sharded_2pc_tps_50cross", Json::F(sharded.tps()));
             rep.headline("onesided_tps_50cross", Json::F(direct.tps()));
+            // Flagship point of the sweep carries the windowed series.
+            report::attach_timeseries(&mut rep, &sharded);
         }
     }
     report::emit(&rep);

@@ -21,7 +21,12 @@ use txn::{ExclusiveLock, LockError};
 
 const HOT_RECORDS: usize = 4;
 
-fn run(threads: usize, sections: usize, hierarchical: bool) -> (f64, u64) {
+fn run(
+    threads: usize,
+    sections: usize,
+    hierarchical: bool,
+    capture: bool,
+) -> (f64, u64, Option<(rdma_sim::SeriesSnapshot, u64)>) {
     let fabric = Fabric::new(NetworkProfile::rdma_cx6());
     let layer = DsmLayer::build(
         &fabric,
@@ -36,6 +41,7 @@ fn run(threads: usize, sections: usize, hierarchical: bool) -> (f64, u64) {
     let mgr = HierarchicalLocks::new(1);
     let total_cas = std::sync::atomic::AtomicU64::new(0);
     let makespan = std::sync::atomic::AtomicU64::new(0);
+    let series = std::sync::Mutex::new(rdma_sim::SeriesSnapshot::empty());
     let barrier = std::sync::Barrier::new(threads);
     std::thread::scope(|s| {
         for t in 0..threads {
@@ -43,9 +49,13 @@ fn run(threads: usize, sections: usize, hierarchical: bool) -> (f64, u64) {
                 (fabric.clone(), layer.clone(), mgr.clone(), locks.clone(), data.clone());
             let total_cas = &total_cas;
             let makespan = &makespan;
+            let series = &series;
             let barrier = &barrier;
             s.spawn(move || {
                 let ep = fabric.endpoint();
+                if capture {
+                    bench::enable_series(std::slice::from_ref(&ep));
+                }
                 barrier.wait();
                 for i in 0..sections {
                     let idx = (t + i) % HOT_RECORDS;
@@ -82,6 +92,9 @@ fn run(threads: usize, sections: usize, hierarchical: bool) -> (f64, u64) {
                 }
                 total_cas.fetch_add(ep.stats().cas, std::sync::atomic::Ordering::Relaxed);
                 makespan.fetch_max(ep.clock().now_ns(), std::sync::atomic::Ordering::Relaxed);
+                if capture {
+                    series.lock().unwrap().merge(&ep.series_snapshot());
+                }
             });
         }
     });
@@ -90,6 +103,7 @@ fn run(threads: usize, sections: usize, hierarchical: bool) -> (f64, u64) {
     (
         total * 1e9 / ns.max(1) as f64,
         total_cas.load(std::sync::atomic::Ordering::Relaxed),
+        capture.then(|| (series.into_inner().unwrap(), ns)),
     )
 }
 
@@ -110,8 +124,10 @@ fn main() {
         "hier CAS",
     ]);
     for &threads in &[1usize, 2, 4, 8] {
-        let (flat_tps, flat_cas) = run(threads, sections, false);
-        let (hier_tps, hier_cas) = run(threads, sections, true);
+        let (flat_tps, flat_cas, _) = run(threads, sections, false, false);
+        // The 8-thread hierarchical run is the flagship and carries the
+        // report's windowed series.
+        let (hier_tps, hier_cas, flagship) = run(threads, sections, true, threads == 8);
         table::row(&[
             threads.to_string(),
             table::n(flat_tps as u64),
@@ -132,6 +148,9 @@ fn main() {
         if threads == 8 {
             rep.headline("flat_cas_8t", Json::U(flat_cas));
             rep.headline("hier_cas_8t", Json::U(hier_cas));
+        }
+        if let Some((s, makespan)) = flagship {
+            rep.timeseries(report::series_json(&s, makespan));
         }
     }
     report::emit(&rep);

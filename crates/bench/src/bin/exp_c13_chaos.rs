@@ -3,15 +3,16 @@
 //!
 //! Mid-workload, a memory node is hard-crashed (its mirror keeps
 //! serving degraded reads) and a lock-holding compute session goes
-//! silent (its lease locks time out, expire, and get stolen). The run
-//! reports the throughput dip, abort mix, lock-steal count, and
-//! time-to-steady-state, and audits the two safety invariants: no
-//! committed write lost, no lock held forever.
+//! silent (its lease locks time out, expire, and get stolen). The
+//! throughput dip and time-to-recovery are *computed* from the windowed
+//! time-series by `telemetry::analysis` (not hand-derived timestamps),
+//! and the run audits the two safety invariants: no committed write
+//! lost, no lock held forever.
 //!
 //! `BENCH_SCALE=10` shrinks the run for CI smoke; the full-scale
 //! invariants are also asserted by `crates/bench/tests/chaos.rs`.
 
-use bench::chaos::{report_for, run_chaos, ChaosConfig};
+use bench::chaos::{report_for, run_chaos, tps_sparkline, ChaosConfig};
 use bench::{report, scale_down, table};
 
 fn main() {
@@ -57,20 +58,37 @@ fn main() {
         "invariants: lost_writes={} stuck_locks={} (janitor reclaimed {})",
         out.lost_writes, out.stuck_locks, out.janitor_reclaims,
     );
-    match out.time_to_steady_ns {
-        u64::MAX => println!("time-to-steady: not reached within the run"),
-        ns => println!("time-to-steady: {:.2} ms after the crash", ns as f64 / 1e6),
+    println!(
+        "recovery (from the windowed series): baseline {:.1} tps, dip {:.1} tps          ({:.0}% deep)",
+        out.recovery.baseline_tps,
+        out.recovery.dip_tps,
+        out.recovery.dip_depth * 100.0,
+    );
+    match out.recovery.time_to_detection_ns {
+        Some(ns) => println!("time-to-detection: {:.2} ms after the crash", ns as f64 / 1e6),
+        None => println!("time-to-detection: throughput never dipped below 90% of baseline"),
+    }
+    match out.recovery.time_to_recovery_ns {
+        Some(0) => println!("time-to-recovery: 0 ms (never dipped)"),
+        Some(ns) => println!("time-to-recovery: {:.2} ms after the crash", ns as f64 / 1e6),
+        None => println!("time-to-recovery: not reached within the run"),
     }
     println!(
         "throughput recovered to {:.0}% of pre-fault",
         out.recovered_tps_ratio * 100.0
     );
+    println!("commit rate  {}  ({} windows of {} ns)",
+        tps_sparkline(&out, 48), out.series.len(), out.series.window_ns);
 
     report::emit(&report_for(&cfg, &out));
-    let trace_path = report::results_dir().join("exp_c13_chaos_trace.json");
-    match out.trace.write(&trace_path) {
-        Ok(()) => println!("wrote {} ({} events; open in Perfetto)", trace_path.display(), out.trace.len()),
-        Err(e) => eprintln!("warning: could not write chrome trace: {e}"),
+    if std::env::var_os("BENCH_TRACE").is_some() {
+        let trace_path = report::results_dir().join("exp_c13_chaos_trace.json");
+        match out.trace.write(&trace_path) {
+            Ok(()) => println!("wrote {} ({} events; open in Perfetto)", trace_path.display(), out.trace.len()),
+            Err(e) => eprintln!("warning: could not write chrome trace: {e}"),
+        }
+    } else {
+        println!("chrome trace skipped (set BENCH_TRACE=1 to write it)");
     }
 
     assert_eq!(out.lost_writes, 0, "committed writes were lost");

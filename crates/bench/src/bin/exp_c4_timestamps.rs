@@ -75,6 +75,14 @@ fn main() {
             rep.headline("faa_ts_per_s_64c", Json::F(faa_tps));
             rep.headline("rpc_ts_per_s_64c", Json::F(rpc_tps));
             rep.headline("hybrid_ts_per_s_64c", Json::F(hybrid_tps));
+            // Flagship replay with the time-series recorder on: the FAA
+            // oracle at max clients, windowed per-verb.
+            let eps: Vec<_> = (0..clients).map(|_| fabric.endpoint()).collect();
+            bench::enable_series(&eps);
+            let makespan = lockstep(&eps, per_client, |_i, ep| {
+                faa.next_ts(ep).unwrap();
+            });
+            report::attach_endpoint_series(&mut rep, &eps, makespan);
         }
     }
     report::emit(&rep);

@@ -32,10 +32,14 @@ struct PolicyRun {
     total_ms: f64,
 }
 
-fn run_gap(profile: NetworkProfile, trace: &[u64]) -> Vec<PolicyRun> {
+fn run_gap(
+    profile: NetworkProfile,
+    trace: &[u64],
+    mut flagship: Option<&mut Report>,
+) -> Vec<PolicyRun> {
     let frames = (RECORDS as f64 * POOL_FRACTION) as usize;
     let mut out = Vec::new();
-    for policy in all_policies(frames) {
+    for (pi, policy) in all_policies(frames).into_iter().enumerate() {
         let fabric = Fabric::new(profile);
         let layer = DsmLayer::build(
             &fabric,
@@ -50,10 +54,25 @@ fn run_gap(profile: NetworkProfile, trace: &[u64]) -> Vec<PolicyRun> {
         let name = policy.name();
         let pool = BufferPool::new(layer.clone(), PAGE, frames, policy, WriteMode::WriteThrough);
         let ep = fabric.endpoint();
+        // The first policy of the flagship gap carries the report's
+        // windowed series (cache hits/misses per window over the replay).
+        let capture = pi == 0 && flagship.is_some();
+        if capture {
+            bench::enable_series(std::slice::from_ref(&ep));
+        }
         let mut buf = vec![0u8; PAGE];
         for &key in trace {
             let addr = GlobalAddr::new(base.node(), base.offset() + key * PAGE as u64);
             pool.read_page(&ep, addr, &mut buf).unwrap();
+        }
+        if capture {
+            if let Some(rep) = flagship.as_deref_mut() {
+                report::attach_endpoint_series(
+                    rep,
+                    std::slice::from_ref(&ep),
+                    ep.clock().now_ns(),
+                );
+            }
         }
         let s = pool.stats();
         out.push(PolicyRun {
@@ -118,9 +137,11 @@ fn main() {
     rep.meta("pool_fraction", Json::F(POOL_FRACTION));
     rep.meta("ops", Json::U(n_ops as u64));
     println!("-- NVMe-class miss penalty (~100 us): hit rate dominates --\n");
-    print_runs(&mut rep, "nvme", run_gap(NetworkProfile::nvme_ssd(), &trace));
+    let nvme_runs = run_gap(NetworkProfile::nvme_ssd(), &trace, None);
+    print_runs(&mut rep, "nvme", nvme_runs);
     println!("\n-- ConnectX-6 miss penalty (~1.7 us): software overhead matters --\n");
-    print_runs(&mut rep, "rdma", run_gap(NetworkProfile::rdma_cx6(), &trace));
+    let rdma_runs = run_gap(NetworkProfile::rdma_cx6(), &trace, Some(&mut rep));
+    print_runs(&mut rep, "rdma", rdma_runs);
     report::emit(&rep);
     println!(
         "\nShape check (§5): the runtime ranking at the RDMA gap is NOT the \

@@ -172,6 +172,27 @@ fn main() {
             rep.headline("fetch_ns_per_q_hot", Json::U(f));
         }
     }
+    // Flagship series: one hot-cache fetch stream, windowed per-verb and
+    // per-cache-event.
+    {
+        let pool = BufferPool::new(
+            layer.clone(),
+            PAGE,
+            2_048,
+            Box::new(ClockPolicy::new(2_048)),
+            WriteMode::WriteThrough,
+        );
+        let ep = layer.fabric().endpoint();
+        bench::enable_series(std::slice::from_ref(&ep));
+        let mut buf = vec![0u8; PAGE];
+        for _ in 0..reps {
+            for k in 0..SEGMENT {
+                pool.read_page(&ep, base.offset_by(k * PAGE as u64), &mut buf)
+                    .unwrap();
+            }
+        }
+        report::attach_endpoint_series(&mut rep, std::slice::from_ref(&ep), ep.clock().now_ns());
+    }
     report::emit(&rep);
     println!(
         "\nShape check: offload wins the cold scan; caching wins once the \

@@ -39,6 +39,11 @@ fn run(
     );
     let log = DurableLog::new(mode_of(&layer), &layer, 4 << 20).unwrap();
     let eps: Vec<_> = (0..8).map(|_| fabric.endpoint()).collect();
+    // The replicated-log flagship carries the report's windowed series.
+    let capture = mode_name == "repl k=3" && group == 1;
+    if capture {
+        bench::enable_series(&eps);
+    }
     let record = vec![0xCCu8; RECORD];
     let rounds = commits / 8;
     let makespan = if group <= 1 {
@@ -72,8 +77,9 @@ fn run(
             ("client_us_per_round", Json::F(lat_us)),
         ],
     );
-    if mode_name == "repl k=3" && group == 1 {
+    if capture {
         rep.headline("repl_k3_commits_per_s", Json::F(tps));
+        report::attach_endpoint_series(rep, &eps, makespan);
     }
 }
 

@@ -25,7 +25,7 @@ use rdma_sim::{Fabric, NetworkProfile};
 const NODE_CAP: usize = 512 << 10; // small regions keep user data ~= region size
 const PAGE: usize = 4_096;
 
-fn mirror3() -> (f64, u64, u64) {
+fn mirror3(rep: &mut Report) -> (f64, u64, u64) {
     let fabric = Fabric::new(NetworkProfile::rdma_cx6());
     let layer = DsmLayer::build(
         &fabric,
@@ -37,15 +37,21 @@ fn mirror3() -> (f64, u64, u64) {
         },
     );
     let ep = fabric.endpoint();
-    // Populate some pages.
+    // Populate some pages. This flagship scheme also carries the report's
+    // windowed series: populate writes followed by the recovery copy.
+    bench::enable_series(std::slice::from_ref(&ep));
     for _ in 0..64 {
         let a = layer.alloc(PAGE as u64).unwrap();
         layer.write(&ep, a, &vec![7u8; PAGE]).unwrap();
     }
     layer.crash_member(0, 1).unwrap();
     let rec_ep = fabric.endpoint();
+    bench::enable_series(std::slice::from_ref(&rec_ep));
     let bytes = layer.recover_member_from_mirror(&rec_ep, 0, 1).unwrap();
-    (3.0, rec_ep.clock().now_ns(), bytes)
+    let eps = [ep, rec_ep];
+    let makespan = eps.iter().map(|e| e.clock().now_ns()).max().unwrap();
+    report::attach_endpoint_series(rep, &eps, makespan);
+    (3.0, eps[1].clock().now_ns(), bytes)
 }
 
 fn erasure42() -> (f64, u64, u64) {
@@ -129,8 +135,9 @@ fn main() {
     rep.meta("node_capacity", Json::U(NODE_CAP as u64));
     rep.meta("page_bytes", Json::U(PAGE as u64));
     table::header(&["scheme", "mem overhead", "recovery ms", "bytes moved"]);
+    let mirror = mirror3(&mut rep);
     for (scheme, (o, ns, b)) in [
-        ("mirror x3", mirror3()),
+        ("mirror x3", mirror),
         ("erasure 4+2", erasure42()),
         ("ckpt+log", checkpoint_log()),
     ] {

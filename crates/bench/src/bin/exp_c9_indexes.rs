@@ -45,6 +45,8 @@ fn main() {
     let lookups: u64 = scale_down(10_000) as u64;
     let keys: Vec<u64> = (0..n).map(|i| (i * 2_654_435_761) % (n * 8) + 1).collect();
     let mut rows = Vec::new();
+    // Flagship series (btree+cache lookups), attached once the report exists.
+    let mut flagship: Option<(rdma_sim::SeriesSnapshot, u64)> = None;
 
     // --- B+tree, cached internals (Sherman) ----------------------------
     for (name, cached) in [("btree+cache", true), ("btree naive", false)] {
@@ -56,9 +58,18 @@ fn main() {
         }
         let load_ns = ep.clock().now_ns();
         let lep = l.fabric().endpoint();
+        if cached {
+            bench::enable_series(std::slice::from_ref(&lep));
+        }
         for i in 0..lookups {
             let k = keys[(i * 7 % n) as usize];
             assert!(t.search(&lep, k).unwrap().is_some());
+        }
+        if cached {
+            flagship = Some((
+                bench::merged_series(std::slice::from_ref(&lep)),
+                lep.clock().now_ns(),
+            ));
         }
         rows.push(Row {
             name,
@@ -133,6 +144,9 @@ fn main() {
     );
     rep.meta("keys", Json::U(n));
     rep.meta("lookups", Json::U(lookups));
+    if let Some((s, makespan)) = &flagship {
+        rep.timeseries(report::series_json(s, *makespan));
+    }
     table::header(&[
         "index",
         "load us/op",

@@ -79,6 +79,8 @@ fn main() {
             rep.headline("dsm_speedup_8n", Json::F(dsm.tps() / base_dsm));
             rep.headline("dsm_tps_8n", Json::F(dsm.tps()));
             rep.headline("dss_tps_8n", Json::F(dss));
+            // The 8-node DSM run is the flagship: keep its series.
+            report::attach_timeseries(&mut rep, &dsm);
         }
         let _ = base_dss;
     }

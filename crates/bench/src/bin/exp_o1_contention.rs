@@ -13,14 +13,15 @@
 //! advances the virtual clock, so the overhead must come out at 0% —
 //! well under the <2% budget.
 //!
-//! The most-skewed 2PL run's timeline is exported to
-//! `results/exp_o1_contention_trace.json`; open it at
+//! With `BENCH_TRACE=1` the most-skewed 2PL run's timeline is exported
+//! to `results/exp_o1_contention_trace.json`; open it at
 //! <https://ui.perfetto.dev> (or `chrome://tracing`) to see per-session
-//! verb-level tracks with txn ids, phases, and fault marks.
+//! verb-level tracks with txn ids, phases, and fault marks. (CI uploads
+//! the trace as an artifact; it is too large to commit.)
 
 use bench::observatory::{run_observatory, ObsConfig, ObsOutcome};
-use bench::report::{self, abort_causes_json, Json, Report};
-use bench::{scale_down, table};
+use bench::report::{self, abort_causes_json, series_json, Json, Report};
+use bench::{scale_down, sparkline, table, Metric};
 use dsmdb::CcProtocol;
 
 const THETAS: [f64; 4] = [0.0, 0.6, 0.9, 1.2];
@@ -103,12 +104,13 @@ fn main() {
     }
     let flagship = flagship.expect("flagship theta ran");
 
-    // Recorder overhead: same flagship config, recorder off. Virtual
-    // time must be unaffected by observation.
+    // Recorder overhead: same flagship config, recorder and series
+    // sampler off. Virtual time must be unaffected by observation.
     let off = run_observatory(&ObsConfig {
         cc: CcProtocol::TplExclusive,
         theta: 1.2,
         trace_ring: 0,
+        window_ns: 0,
         ..base
     });
     let overhead_pct = if off.tps() > 0.0 {
@@ -137,6 +139,14 @@ fn main() {
         &flagship.hot_keys[..flagship.hot_keys.len().min(5)],
     );
 
+    println!(
+        "flagship commit rate  {}  ({} windows of {} ns)",
+        sparkline(&flagship.series.rate_per_sec(Metric::Commits), 48),
+        flagship.series.len(),
+        flagship.series.window_ns
+    );
+
+    rep.timeseries(series_json(&flagship.series, flagship.makespan_ns));
     rep.headline("tps", Json::F(flagship.tps()));
     rep.headline("recorder_overhead_pct", Json::F(overhead_pct));
     rep.headline("wait_ns_total", Json::U(flagship.contention.wait_ns_total));
@@ -144,14 +154,18 @@ fn main() {
     rep.headline("wait_for_max_depth", Json::U(wf.max_depth));
     report::emit(&rep);
 
-    let trace_path = report::results_dir().join("exp_o1_contention_trace.json");
-    match flagship.trace.write(&trace_path) {
-        Ok(()) => println!(
-            "wrote {} ({} events; open in Perfetto)",
-            trace_path.display(),
-            flagship.trace.len()
-        ),
-        Err(e) => eprintln!("warning: could not write chrome trace: {e}"),
+    if std::env::var_os("BENCH_TRACE").is_some() {
+        let trace_path = report::results_dir().join("exp_o1_contention_trace.json");
+        match flagship.trace.write(&trace_path) {
+            Ok(()) => println!(
+                "wrote {} ({} events; open in Perfetto)",
+                trace_path.display(),
+                flagship.trace.len()
+            ),
+            Err(e) => eprintln!("warning: could not write chrome trace: {e}"),
+        }
+    } else {
+        println!("chrome trace skipped (set BENCH_TRACE=1 to write it)");
     }
 
     println!(

@@ -30,11 +30,16 @@
 use dsmdb::{
     Architecture, CcProtocol, Cluster, ClusterConfig, NodeStatus, Op, Session, TxnError,
 };
-use rdma_sim::{ChromeTrace, ContentionSnapshot, FaultPlan, NetworkProfile, PhaseSnapshot};
+use rdma_sim::{
+    ChromeTrace, ContentionSnapshot, FaultPlan, NetworkProfile, PhaseSnapshot, SeriesSnapshot,
+    DEFAULT_WINDOW_NS,
+};
+use telemetry::analysis;
+use telemetry::RecoveryFacts;
 use txn::locks::LeaseLock;
 
-use crate::report::{abort_causes_json, phases_json, Json, Report};
-use crate::AbortCauses;
+use crate::report::{abort_causes_json, phases_json, series_json, Json, Report};
+use crate::{sparkline, AbortCauses, Metric};
 
 /// Flight-recorder ring capacity per session: deep enough to keep the
 /// interesting tail (fault window + recovery) of a smoke-scale run.
@@ -56,6 +61,9 @@ pub struct ChaosConfig {
     pub payload: usize,
     /// Lease horizon for the leased 2PL protocol, virtual ns.
     pub lease_ns: u64,
+    /// Time-series window width, virtual ns (0 disables sampling; the
+    /// recovery facts then stay at their zero defaults).
+    pub window_ns: u64,
 }
 
 impl Default for ChaosConfig {
@@ -67,6 +75,7 @@ impl Default for ChaosConfig {
             records: 256,
             payload: 64,
             lease_ns: 300_000,
+            window_ns: DEFAULT_WINDOW_NS,
         }
     }
 }
@@ -126,9 +135,13 @@ pub struct ChaosOutcome {
     pub recovery_bytes: u64,
     /// Node 0's membership epoch after the crash-recover cycle.
     pub final_epoch: u64,
-    /// Virtual ns from the crash instant until windowed throughput was
-    /// back at >= 90% of the pre-fault rate (u64::MAX if never).
-    pub time_to_steady_ns: u64,
+    /// Virtual instant of the crash (max session clock at the fault
+    /// round), ns.
+    pub t_crash_ns: u64,
+    /// Recovery facts computed from the merged series around
+    /// [`ChaosOutcome::t_crash_ns`] at the 90%-of-baseline threshold
+    /// (all zeros/None when sampling was off).
+    pub recovery: RecoveryFacts,
     /// post tps / pre tps.
     pub recovered_tps_ratio: f64,
     /// Merged per-phase attribution across all sessions.
@@ -138,6 +151,9 @@ pub struct ChaosOutcome {
     /// Chrome `trace_event` timeline of the run (one thread track per
     /// session), built from each endpoint's flight-recorder ring.
     pub trace: ChromeTrace,
+    /// Windowed time-series merged across all sessions (empty when
+    /// [`ChaosConfig::window_ns`] is 0).
+    pub series: SeriesSnapshot,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -200,10 +216,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     );
 
     let mut sessions: Vec<Session> = (0..cfg.sessions).map(|t| cluster.session(0, t)).collect();
-    // Flight recording is free in virtual time, so enabling it cannot
-    // perturb the measured timeline.
+    // Flight recording and series sampling are free in virtual time, so
+    // enabling them cannot perturb the measured timeline.
     for s in &sessions {
         s.endpoint().enable_flight_recorder(TRACE_RING);
+        if cfg.window_ns > 0 {
+            s.endpoint().enable_timeseries(cfg.window_ns);
+        }
     }
     let mut model: Vec<i64> = vec![0; cfg.records as usize];
     let mut out = ChaosOutcome {
@@ -220,21 +239,25 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         degraded_reads: 0,
         recovery_bytes: 0,
         final_epoch: 0,
-        time_to_steady_ns: u64::MAX,
+        t_crash_ns: 0,
+        recovery: RecoveryFacts {
+            baseline_tps: 0.0,
+            dip_tps: 0.0,
+            dip_depth: 0.0,
+            time_to_detection_ns: None,
+            time_to_recovery_ns: None,
+        },
         recovered_tps_ratio: 0.0,
         phases: PhaseSnapshot::default(),
         contention: ContentionSnapshot::default(),
         trace: ChromeTrace::new(),
+        series: SeriesSnapshot::empty(),
     };
 
     let r_crash = cfg.rounds / 3;
     let r_recover = 2 * cfg.rounds / 3;
     let mut zombie: Option<(rdma_sim::Endpoint, Vec<(dsm::GlobalAddr, txn::LeaseToken)>)> = None;
     let mut t_crash = 0u64;
-    // Post-recovery sub-windows for time-to-steady-state.
-    let chunk = ((cfg.rounds - r_recover) / 8).max(1);
-    let mut chunk_commits = 0u64;
-    let mut chunk_start = 0u64;
 
     for round in 0..cfg.rounds {
         if round == r_crash {
@@ -287,7 +310,6 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
             let t = max_clock(&sessions);
             out.fault.end_ns = t;
             out.post.start_ns = t;
-            chunk_start = t;
 
             fabric.clear_fault_plan();
             let rec_ep = fabric.endpoint();
@@ -349,9 +371,6 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
                     model[a as usize] -= delta;
                     model[b as usize] += delta;
                     seg.commits += 1;
-                    if round >= r_recover {
-                        chunk_commits += 1;
-                    }
                 }
                 Err(e) => {
                     seg.aborts += 1;
@@ -361,22 +380,6 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
                     out.aborts.classify(&e);
                 }
             }
-        }
-
-        // Time-to-steady-state: first post-recovery chunk back at >= 90%
-        // of the pre-fault rate.
-        if round >= r_recover
-            && (round - r_recover + 1).is_multiple_of(chunk)
-            && out.time_to_steady_ns == u64::MAX
-        {
-            let now = max_clock(&sessions);
-            let span = now.saturating_sub(chunk_start);
-            let pre_tps = out.pre.tps();
-            if span > 0 && (chunk_commits as f64 * 1e9 / span as f64) >= 0.9 * pre_tps {
-                out.time_to_steady_ns = now.saturating_sub(t_crash);
-            }
-            chunk_commits = 0;
-            chunk_start = now;
         }
     }
     let t_end = max_clock(&sessions);
@@ -392,10 +395,17 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     for (t, s) in sessions.iter().enumerate() {
         out.phases.merge(&s.phases());
         out.contention.merge(&s.endpoint().contention_snapshot());
+        out.series.merge(&s.endpoint().series_snapshot());
         out.trace.name_thread(0, t as u64 + 1, &format!("session{t}"));
         s.endpoint().export_chrome_trace(&mut out.trace, 0, t as u64 + 1);
     }
     drop(sessions);
+    out.t_crash_ns = t_crash;
+    // The recovery story is *computed* from the windowed series — the
+    // printed dip/recovery numbers can no longer drift from the data.
+    if !out.series.is_empty() {
+        out.recovery = analysis::recovery_facts(&out.series, t_crash, 0.9);
+    }
 
     // --- Audit 1: no committed write lost. Every record's final DSM
     // value must equal the committed-transfer model exactly.
@@ -455,6 +465,7 @@ pub fn report_for(cfg: &ChaosConfig, out: &ChaosOutcome) -> Report {
     rep.meta("rounds", Json::U(cfg.rounds as u64));
     rep.meta("records", Json::U(cfg.records));
     rep.meta("lease_ns", Json::U(cfg.lease_ns));
+    rep.meta("window_ns", Json::U(cfg.window_ns));
     for (name, w) in [("pre", &out.pre), ("fault", &out.fault), ("post", &out.post)] {
         rep.row(
             &format!("window={name}"),
@@ -487,23 +498,40 @@ pub fn report_for(cfg: &ChaosConfig, out: &ChaosOutcome) -> Report {
             ("degraded_reads", Json::U(out.degraded_reads)),
             ("recovery_bytes", Json::U(out.recovery_bytes)),
             ("final_epoch", Json::U(out.final_epoch)),
+            ("t_crash_ns", Json::U(out.t_crash_ns)),
+            ("baseline_tps", Json::F(out.recovery.baseline_tps)),
+            ("dip_tps", Json::F(out.recovery.dip_tps)),
+            ("dip_depth", Json::F(out.recovery.dip_depth)),
             (
-                "time_to_steady_ns",
-                if out.time_to_steady_ns == u64::MAX {
-                    Json::Null
-                } else {
-                    Json::U(out.time_to_steady_ns)
-                },
+                "time_to_detection_ns",
+                out.recovery.time_to_detection_ns.map_or(Json::Null, Json::U),
+            ),
+            (
+                "time_to_recovery_ns",
+                out.recovery.time_to_recovery_ns.map_or(Json::Null, Json::U),
             ),
             ("phases", phases_json(&out.phases)),
         ],
     );
+    if !out.series.is_empty() {
+        rep.timeseries(series_json(&out.series, out.post.end_ns));
+    }
     rep.headline("pre_tps", Json::F(out.pre.tps()));
     rep.headline("fault_tps", Json::F(out.fault.tps()));
     rep.headline("post_tps", Json::F(out.post.tps()));
     rep.headline("recovered_tps_ratio", Json::F(out.recovered_tps_ratio));
+    rep.headline("dip_depth", Json::F(out.recovery.dip_depth));
+    rep.headline(
+        "time_to_recovery_ns",
+        out.recovery.time_to_recovery_ns.map_or(Json::Null, Json::U),
+    );
     rep.headline("steals", Json::U(out.steals));
     rep.headline("lost_writes", Json::U(out.lost_writes));
     rep.headline("stuck_locks", Json::U(out.stuck_locks));
     rep
+}
+
+/// Compact commit-rate sparkline over the run's merged series.
+pub fn tps_sparkline(out: &ChaosOutcome, max_chars: usize) -> String {
+    sparkline(&out.series.rate_per_sec(Metric::Commits), max_chars)
 }

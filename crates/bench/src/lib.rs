@@ -23,8 +23,12 @@ pub mod regression;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use dsmdb::{Cluster, Op, Session, TxnError};
-use rdma_sim::{ContentionSnapshot, Endpoint, HistSnapshot, PhaseSnapshot};
+use dsmdb::{AbortCause, Cluster, Op, Session, TxnError};
+use rdma_sim::{
+    ContentionSnapshot, Endpoint, HistSnapshot, PhaseSnapshot, SeriesSnapshot, DEFAULT_WINDOW_NS,
+};
+
+pub use telemetry::{sparkline, Metric};
 
 /// Drive `clients` virtual clients in lockstep for `rounds` rounds. The
 /// closure runs one operation for one client; returns the makespan (max
@@ -69,24 +73,17 @@ pub struct AbortCauses {
 }
 
 impl AbortCauses {
-    /// Tally one failed attempt under its typed cause.
+    /// Tally one failed attempt under its typed cause (the mapping
+    /// lives in [`TxnError::cause`], shared with the per-window series).
     pub fn classify(&mut self, e: &TxnError) {
-        match e {
-            TxnError::NodeUnavailable { .. } => self.node_unavailable += 1,
-            TxnError::Aborted(why) => match *why {
-                "lock-busy" | "local-lock-busy" => self.lock_busy += 1,
-                "lock-timeout" => self.lock_timeout += 1,
-                "lease-stolen" => self.lease_stolen += 1,
-                "transient-fault" => self.transient += 1,
-                w if w.starts_with("validate-")
-                    || w.starts_with("tso-")
-                    || w.starts_with("mvcc-") =>
-                {
-                    self.validation_fail += 1
-                }
-                _ => self.other += 1,
-            },
-            TxnError::Dsm(_) => self.other += 1,
+        match e.cause() {
+            AbortCause::LockBusy => self.lock_busy += 1,
+            AbortCause::LockTimeout => self.lock_timeout += 1,
+            AbortCause::ValidationFail => self.validation_fail += 1,
+            AbortCause::LeaseStolen => self.lease_stolen += 1,
+            AbortCause::NodeUnavailable => self.node_unavailable += 1,
+            AbortCause::Transient => self.transient += 1,
+            AbortCause::Other => self.other += 1,
         }
     }
 
@@ -135,6 +132,9 @@ pub struct WorkloadResult {
     /// Hot-key/wait-for/coherence contention profile, merged across
     /// every session endpoint.
     pub contention: ContentionSnapshot,
+    /// Windowed time-series (commits, aborts by cause, verbs, cache,
+    /// locks) merged across every session endpoint.
+    pub series: SeriesSnapshot,
 }
 
 impl WorkloadResult {
@@ -182,6 +182,12 @@ impl WorkloadResult {
     pub fn latency_percentiles(&self) -> (u64, u64, u64, u64) {
         self.latency.percentiles()
     }
+
+    /// Compact sparkline of the windowed commit rate (empty when the
+    /// series was not recorded).
+    pub fn tps_sparkline(&self, max_chars: usize) -> String {
+        sparkline(&self.series.rate_per_sec(Metric::Commits), max_chars)
+    }
 }
 
 /// Run `txns_per_session` transactions on every session of `cluster`
@@ -209,6 +215,7 @@ where
     let wire_rts = std::sync::atomic::AtomicU64::new(0);
     let latency = Mutex::new(HistSnapshot::empty());
     let phases = Mutex::new(PhaseSnapshot::default());
+    let series = Mutex::new(SeriesSnapshot::empty());
     std::thread::scope(|sc| {
         for n in 0..nodes {
             for t in 0..threads {
@@ -223,8 +230,10 @@ where
                 let wire_rts = &wire_rts;
                 let latency = &latency;
                 let phases = &phases;
+                let series = &series;
                 sc.spawn(move || {
                     let mut s: Session = cluster.session(n, t);
+                    s.endpoint().enable_timeseries(DEFAULT_WINDOW_NS);
                     let mut my_aborts = AbortCauses::default();
                     for i in 0..txns_per_session {
                         let ops = gen(n, t, i);
@@ -264,6 +273,7 @@ where
                         .lock()
                         .unwrap()
                         .merge(&s.endpoint().contention_snapshot());
+                    series.lock().unwrap().merge(&s.endpoint().series_snapshot());
                 });
             }
         }
@@ -277,7 +287,28 @@ where
         latency: latency.into_inner().unwrap(),
         phases: phases.into_inner().unwrap(),
         contention: contention.into_inner().unwrap(),
+        series: series.into_inner().unwrap(),
     }
+}
+
+/// Turn on windowed time-series sampling (default width) on every
+/// endpoint of an endpoint-level run. Sampling reads the virtual clock
+/// but never advances it, so enabling this cannot perturb the run.
+pub fn enable_series(eps: &[Endpoint]) {
+    for ep in eps {
+        ep.enable_timeseries(DEFAULT_WINDOW_NS);
+    }
+}
+
+/// Merge the windowed series recorded by `eps` (for runs that drive
+/// endpoints directly instead of going through
+/// [`run_cluster_workload`]).
+pub fn merged_series(eps: &[Endpoint]) -> SeriesSnapshot {
+    let mut s = SeriesSnapshot::empty();
+    for ep in eps {
+        s.merge(&ep.series_snapshot());
+    }
+    s
 }
 
 /// Machine-readable experiment output: every `exp_*` binary builds a
@@ -287,7 +318,7 @@ where
 pub mod report {
     use std::path::PathBuf;
 
-    pub use telemetry::report::{hist_json, phases_json};
+    pub use telemetry::report::{hist_json, phases_json, series_from_json, series_json};
     pub use telemetry::{Json, Report};
 
     use crate::{AbortCauses, WorkloadResult};
@@ -344,7 +375,8 @@ pub mod report {
 
     /// Install the standard headline block for the run the experiment
     /// considers its flagship configuration: tps, p50/p99 latency, wire
-    /// round trips per txn, and phase shares.
+    /// round trips per txn, and phase shares — and attach the flagship
+    /// run's windowed time-series as the report's `timeseries` section.
     pub fn standard_headline(rep: &mut Report, r: &WorkloadResult) {
         let (p50, _p95, p99, _p999) = r.latency.percentiles();
         rep.headline("tps", Json::F(r.tps()));
@@ -352,6 +384,23 @@ pub mod report {
         rep.headline("p99_ns", Json::U(p99));
         rep.headline("wire_rts_per_txn", Json::F(r.wire_rts_per_txn()));
         rep.headline("phases", phases_json(&r.phases));
+        attach_timeseries(rep, r);
+    }
+
+    /// Attach `r`'s windowed series as the report's `timeseries`
+    /// section (the flagship run only — per-row series would multiply
+    /// report size without adding a claim).
+    pub fn attach_timeseries(rep: &mut Report, r: &WorkloadResult) {
+        rep.timeseries(series_json(&r.series, r.makespan_ns));
+    }
+
+    /// Attach the merged series of an endpoint-level flagship run.
+    pub fn attach_endpoint_series(
+        rep: &mut Report,
+        eps: &[rdma_sim::Endpoint],
+        makespan_ns: u64,
+    ) {
+        rep.timeseries(series_json(&crate::merged_series(eps), makespan_ns));
     }
 }
 
@@ -448,6 +497,10 @@ mod tests {
         assert_eq!(r.commits, 100);
         assert!(r.makespan_ns > 0);
         assert!(r.tps() > 0.0);
+        // The merged series must agree with the aggregate counters.
+        assert_eq!(r.series.total(Metric::Commits), r.commits);
+        assert_eq!(r.series.total(Metric::Aborts), r.aborts.total());
+        assert!(!r.tps_sparkline(24).is_empty());
     }
 
     #[test]

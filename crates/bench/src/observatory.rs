@@ -27,7 +27,9 @@
 use dsmdb::{Architecture, CcProtocol, Cluster, ClusterConfig, Op, Session, TxnError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rdma_sim::{ChromeTrace, ContentionSnapshot, NetworkProfile};
+use rdma_sim::{
+    ChromeTrace, ContentionSnapshot, NetworkProfile, SeriesSnapshot, DEFAULT_WINDOW_NS,
+};
 use txn::locks::ExclusiveLock;
 use workload::ZipfGenerator;
 
@@ -58,6 +60,8 @@ pub struct ObsConfig {
     pub cc: CcProtocol,
     /// Capacity of each session's flight-recorder ring (0 = off).
     pub trace_ring: usize,
+    /// Time-series window width, virtual ns (0 = off).
+    pub window_ns: u64,
 }
 
 impl Default for ObsConfig {
@@ -72,6 +76,7 @@ impl Default for ObsConfig {
             read_pct: 20,
             cc: CcProtocol::TplExclusive,
             trace_ring: 4096,
+            window_ns: DEFAULT_WINDOW_NS,
         }
     }
 }
@@ -92,6 +97,9 @@ pub struct ObsOutcome {
     pub hot_keys: Vec<(u64, u64)>,
     /// Chrome trace of the run (empty when `trace_ring` is 0).
     pub trace: ChromeTrace,
+    /// Windowed time-series merged across sessions (empty when
+    /// `window_ns` is 0).
+    pub series: SeriesSnapshot,
 }
 
 impl ObsOutcome {
@@ -128,9 +136,12 @@ pub fn run_observatory(cfg: &ObsConfig) -> ObsOutcome {
 
     let mut sessions: Vec<Session> =
         (0..cfg.sessions).map(|t| cluster.session(0, t)).collect();
-    if cfg.trace_ring > 0 {
-        for s in &sessions {
+    for s in &sessions {
+        if cfg.trace_ring > 0 {
             s.endpoint().enable_flight_recorder(cfg.trace_ring);
+        }
+        if cfg.window_ns > 0 {
+            s.endpoint().enable_timeseries(cfg.window_ns);
         }
     }
 
@@ -141,6 +152,7 @@ pub fn run_observatory(cfg: &ObsConfig) -> ObsOutcome {
         contention: ContentionSnapshot::default(),
         hot_keys: Vec::new(),
         trace: ChromeTrace::new(),
+        series: SeriesSnapshot::empty(),
     };
 
     for round in 0..cfg.rounds {
@@ -183,6 +195,7 @@ pub fn run_observatory(cfg: &ObsConfig) -> ObsOutcome {
     out.trace.name_process(0, "compute0");
     for (t, s) in sessions.iter().enumerate() {
         out.contention.merge(&s.endpoint().contention_snapshot());
+        out.series.merge(&s.endpoint().series_snapshot());
         if cfg.trace_ring > 0 {
             out.trace.name_thread(0, t as u64 + 1, &format!("session{t}"));
             s.endpoint().export_chrome_trace(&mut out.trace, 0, t as u64 + 1);
@@ -232,12 +245,15 @@ mod tests {
     #[test]
     fn recorder_costs_zero_virtual_time() {
         let on = ObsConfig { sessions: 4, rounds: 40, records: 64, ..ObsConfig::default() };
-        let off = ObsConfig { trace_ring: 0, ..on };
+        let off = ObsConfig { trace_ring: 0, window_ns: 0, ..on };
         let a = run_observatory(&on);
         let b = run_observatory(&off);
         assert_eq!(a.makespan_ns, b.makespan_ns);
         assert_eq!(a.commits, b.commits);
         assert!(b.trace.is_empty() && !a.trace.is_empty());
+        // Same zero-cost contract for the time-series sampler.
+        assert!(b.series.is_empty() && !a.series.is_empty());
+        assert_eq!(a.series.total(crate::Metric::Commits), a.commits);
     }
 
     #[test]

@@ -7,11 +7,16 @@
 //!
 //! Gated metrics (only regressions trip; improvements pass silently):
 //!
-//! | metric             | direction     | band  |
-//! |--------------------|---------------|-------|
-//! | `tps`, `*_tps`     | higher better | −5%   |
-//! | `wire_rts_per_txn` | lower better  | +2%   |
-//! | `p99_ns`           | lower better  | +10%  |
+//! | metric                | direction     | band  |
+//! |-----------------------|---------------|-------|
+//! | `tps`, `*_tps`        | higher better | −5%   |
+//! | `wire_rts_per_txn`    | lower better  | +2%   |
+//! | `p99_ns`              | lower better  | +10%  |
+//! | `time_to_recovery_ns` | lower better  | +25%  |
+//!
+//! `time_to_recovery_ns` comes out of the windowed time-series (one
+//! window of quantization either way), so its band is wider than the
+//! scalar metrics'.
 //!
 //! Experiments present in the baseline but absent from the fresh
 //! summary also fail the gate: a silently vanished experiment is the
@@ -38,6 +43,8 @@ pub fn band_for(metric: &str) -> Option<(Direction, f64)> {
         Some((Direction::LowerBetter, 0.02))
     } else if metric == "p99_ns" {
         Some((Direction::LowerBetter, 0.10))
+    } else if metric == "time_to_recovery_ns" {
+        Some((Direction::LowerBetter, 0.25))
     } else {
         None
     }
@@ -208,6 +215,17 @@ mod tests {
         let base = summary(&[("e1", &[("p99_ns", 5000.0), ("wire_rts_per_txn", 2.0)])]);
         let fresh = summary(&[("e1", &[("p99_ns", 5600.0), ("wire_rts_per_txn", 2.1)])]);
         assert_eq!(compare(&base, &fresh).unwrap().breaches.len(), 2);
+    }
+
+    #[test]
+    fn time_to_recovery_gates_chaos_runs() {
+        let base = summary(&[("c13", &[("time_to_recovery_ns", 4_000_000.0)])]);
+        let inside = summary(&[("c13", &[("time_to_recovery_ns", 4_900_000.0)])]);
+        assert!(compare(&base, &inside).unwrap().ok());
+        let outside = summary(&[("c13", &[("time_to_recovery_ns", 5_100_000.0)])]);
+        let out = compare(&base, &outside).unwrap();
+        assert_eq!(out.breaches.len(), 1);
+        assert_eq!(out.breaches[0].metric, "time_to_recovery_ns");
     }
 
     #[test]

@@ -14,6 +14,7 @@ fn cfg() -> ChaosConfig {
         records: 128,
         payload: 64,
         lease_ns: 200_000,
+        ..ChaosConfig::default()
     }
 }
 
@@ -48,8 +49,18 @@ fn assert_invariants(out: &ChaosOutcome) {
         out.recovered_tps_ratio * 100.0
     );
     assert!(
-        out.time_to_steady_ns != u64::MAX,
+        out.recovery.time_to_recovery_ns.is_some(),
         "never returned to steady state"
+    );
+    // The recovery story comes from the windowed series: the crash must
+    // have been detected there, and the dip the analysis found must be
+    // consistent with the segment tallies.
+    assert!(!out.series.is_empty(), "series sampling was off");
+    assert!(out.recovery.time_to_detection_ns.is_some(), "dip never detected");
+    assert!(out.recovery.dip_depth > 0.0, "analysis saw no dip");
+    assert!(
+        out.recovery.baseline_tps > out.recovery.dip_tps,
+        "baseline must exceed the dip"
     );
 }
 

@@ -1,0 +1,101 @@
+//! The committed experiment reports are data, not prose: re-running
+//! the analysis over the JSON they carry must reproduce the recovery
+//! numbers they claim. This is the regression tripwire for the
+//! series → analysis → report pipeline — if someone edits a committed
+//! report by hand, or the analysis definition drifts, this fails.
+
+use bench::report::series_from_json;
+use telemetry::{analysis, Json};
+
+fn committed(name: &str) -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/");
+    let text = std::fs::read_to_string(format!("{path}{name}"))
+        .unwrap_or_else(|e| panic!("committed report {name} must exist: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("{name} must parse: {e}"))
+}
+
+fn row<'a>(report: &'a Json, label: &str) -> &'a Json {
+    match report.get("rows") {
+        Some(Json::A(rows)) => rows
+            .iter()
+            .find(|r| matches!(r.get("label"), Some(Json::S(s)) if s == label))
+            .unwrap_or_else(|| panic!("report has no `{label}` row")),
+        _ => panic!("report has no rows array"),
+    }
+}
+
+fn u(j: &Json, key: &str) -> u64 {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric field {key}")) as u64
+}
+
+/// The documented C13 recovery numbers must fall out of the committed
+/// series — `time_to_recovery_ns` in the headline is the value
+/// `analysis::recovery_facts` computes from the `timeseries` section,
+/// not a hand-stated constant.
+#[test]
+fn c13_recovery_numbers_come_from_its_committed_series() {
+    let rep = committed("exp_c13_chaos.json");
+    let series = series_from_json(
+        rep.get("timeseries").expect("c13 must carry a timeseries section"),
+    )
+    .expect("timeseries section must round-trip");
+
+    let recovery = row(&rep, "recovery");
+    let t_crash = u(recovery, "t_crash_ns");
+    let facts = analysis::recovery_facts(&series, t_crash, 0.9);
+
+    assert_eq!(
+        facts.time_to_recovery_ns,
+        Some(u(recovery, "time_to_recovery_ns")),
+        "recomputed time_to_recovery disagrees with the committed report"
+    );
+    assert_eq!(
+        facts.time_to_detection_ns,
+        Some(u(recovery, "time_to_detection_ns")),
+        "recomputed time_to_detection disagrees with the committed report"
+    );
+    let committed_depth = recovery
+        .get("dip_depth")
+        .and_then(Json::as_f64)
+        .expect("dip_depth");
+    assert!(
+        (facts.dip_depth - committed_depth).abs() < 1e-9,
+        "recomputed dip_depth {} vs committed {committed_depth}",
+        facts.dip_depth
+    );
+    // And the headline the regression gate reads is that same value.
+    let headline_ttr = rep
+        .get("headline")
+        .and_then(|h| h.get("time_to_recovery_ns"))
+        .and_then(Json::as_f64)
+        .expect("headline time_to_recovery_ns") as u64;
+    assert_eq!(facts.time_to_recovery_ns, Some(headline_ttr));
+}
+
+/// Every committed `exp_*` report must carry a non-degenerate
+/// timeseries section whose totals match a re-summation of the
+/// windows (the same invariant `check_telemetry` enforces in CI —
+/// asserted here so `cargo test` catches it without the binary).
+#[test]
+fn every_committed_report_has_a_consistent_timeseries() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(dir).expect("results dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if !name.starts_with("exp_") || !name.ends_with(".json") || name.ends_with("_trace.json") {
+            continue;
+        }
+        let rep = committed(&name);
+        let ts = rep
+            .get("timeseries")
+            .unwrap_or_else(|| panic!("{name} is missing its timeseries section"));
+        let series = series_from_json(ts)
+            .unwrap_or_else(|| panic!("{name} timeseries does not round-trip"));
+        assert!(!series.is_empty(), "{name} committed an empty series");
+        checked += 1;
+    }
+    assert!(checked >= 19, "only {checked} committed reports found");
+}

@@ -34,7 +34,7 @@ use std::sync::Arc;
 
 use dsm::{DsmLayer, DsmResult, GlobalAddr};
 use parking_lot::{Condvar, Mutex};
-use rdma_sim::{Endpoint, HistSnapshot, Phase};
+use rdma_sim::{Endpoint, HistSnapshot, Metric, Phase};
 use telemetry::Histogram;
 
 use crate::cost::{copy_cost_ns, LOCK_NS, MAP_OP_NS};
@@ -428,6 +428,7 @@ impl BufferPool {
                 ep.charge_local(copy_cost_ns(self.page_size));
                 dst.copy_from_slice(&s.frames[f].data);
                 s.stats.hits += 1;
+                ep.series_note(Metric::CacheHits, 1);
                 s.tele
                     .hit_ns
                     .record(MAP_OP_NS + latch + pol + copy_cost_ns(self.page_size));
@@ -479,6 +480,7 @@ impl BufferPool {
             overhead += MAP_OP_NS;
             Self::charge(ep, s, overhead);
             s.stats.misses += 1;
+            ep.series_note(Metric::CacheMisses, 1);
             return Ok(Step::Reserved(PendingFetch {
                 req_idx: i,
                 shard: shard_idx,
@@ -550,6 +552,7 @@ impl BufferPool {
                 if let Some(raw) = p.writeback {
                     s.writing_back.remove(&raw);
                     s.stats.writebacks += 1;
+                    ep.series_note(Metric::Writebacks, 1);
                     s.tele.writeback_ns.record(wb_ns);
                 }
                 let pol = s.policy.on_insert(p.frame, p.key);
@@ -642,6 +645,7 @@ impl BufferPool {
                 let pol = s.policy.on_hit(f, key);
                 Self::charge(ep, s, MAP_OP_NS + LOCK_NS + pol);
                 s.stats.hits += 1;
+                ep.series_note(Metric::CacheHits, 1);
                 ep.charge_local(copy_cost_ns(self.page_size));
                 s.tele
                     .hit_ns
@@ -693,6 +697,7 @@ impl BufferPool {
                         });
                         old.dirty = false;
                         s.stats.writebacks += 1;
+                        ep.series_note(Metric::Writebacks, 1);
                     }
                     victim
                 }
@@ -709,6 +714,7 @@ impl BufferPool {
             overhead += s.policy.on_insert(f, key) + MAP_OP_NS;
             Self::charge(ep, s, overhead);
             s.stats.misses += 1;
+            ep.series_note(Metric::CacheMisses, 1);
             return Ok(Step::Done);
         }
     }
@@ -873,6 +879,7 @@ impl BufferPool {
             for &f in &dirty {
                 s.frames[f].dirty = false;
                 s.stats.writebacks += 1;
+                ep.series_note(Metric::Writebacks, 1);
                 s.tele.writeback_ns.record(wb_ns);
             }
         }

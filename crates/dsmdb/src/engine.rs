@@ -19,12 +19,12 @@ use std::sync::Arc;
 use buffer::{BufferPool, ClockPolicy, WriteMode};
 use dsm::{DsmConfig, DsmLayer, GlobalAddr};
 use parking_lot::Mutex;
-use rdma_sim::{Endpoint, Fabric, HistSnapshot, Mailbox, MailboxId, Phase, PhaseSnapshot};
+use rdma_sim::{Endpoint, Fabric, HistSnapshot, Mailbox, MailboxId, Metric, Phase, PhaseSnapshot};
 use telemetry::Histogram;
 use txn::table::RecordTable;
 use txn::twopc::{decode as decode_2pc, encode as encode_2pc, MsgKind};
 use txn::{
-    ConcurrencyControl, DirectIo, FaaOracle, LeasedTpl, Mvcc, Occ, Op, PayloadIo,
+    AbortCause, ConcurrencyControl, DirectIo, FaaOracle, LeasedTpl, Mvcc, Occ, Op, PayloadIo,
     TwoPhaseLocking, Tso, TxnError, TxnOutput,
 };
 
@@ -310,6 +310,19 @@ impl Cluster {
 /// recovered node's new sessions never collide with pre-crash lock words;
 /// the other protocols use the plain owner id, whose uniqueness is all
 /// they need.
+/// Per-window series metric for one typed abort cause.
+fn abort_metric(cause: AbortCause) -> Metric {
+    match cause {
+        AbortCause::LockBusy => Metric::AbortsLockBusy,
+        AbortCause::LockTimeout => Metric::AbortsLockTimeout,
+        AbortCause::ValidationFail => Metric::AbortsValidation,
+        AbortCause::LeaseStolen => Metric::AbortsLeaseStolen,
+        AbortCause::NodeUnavailable => Metric::AbortsNodeUnavailable,
+        AbortCause::Transient => Metric::AbortsTransient,
+        AbortCause::Other => Metric::AbortsOther,
+    }
+}
+
 fn compose_worker_tag(cc: CcProtocol, owner: u64, epoch: u64) -> u64 {
     match cc {
         CcProtocol::TplLeased => ((epoch & 0xFFFF) << 16) | (owner & 0xFFFF),
@@ -452,8 +465,15 @@ impl Session {
         self.ep.clear_trace_id();
         self.txn_lat.record(self.ep.clock().now_ns().saturating_sub(t0));
         match &result {
-            Ok(_) => self.stats.commits += 1,
-            Err(_) => self.stats.aborts += 1,
+            Ok(_) => {
+                self.stats.commits += 1;
+                self.ep.series_note(Metric::Commits, 1);
+            }
+            Err(e) => {
+                self.stats.aborts += 1;
+                self.ep.series_note(Metric::Aborts, 1);
+                self.ep.series_note(abort_metric(e.cause()), 1);
+            }
         }
         result
     }

@@ -32,4 +32,4 @@ pub use engine::{Cluster, EngineError, Session, SessionStats};
 pub use membership::{Membership, NodeStatus};
 pub use shard::ShardMap;
 
-pub use txn::{Op, TxnError, TxnOutput};
+pub use txn::{AbortCause, Op, TxnError, TxnOutput};

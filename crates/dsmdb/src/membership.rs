@@ -13,7 +13,7 @@
 //! Epochs start at 1 so an epoch of 0 always means "never initialized".
 
 use dsm::{DsmLayer, DsmResult, GlobalAddr};
-use rdma_sim::Endpoint;
+use rdma_sim::{Endpoint, Metric};
 
 /// Per-node liveness as recorded in the table (informational; the epoch
 /// is what fences).
@@ -79,7 +79,9 @@ impl Membership {
     /// Advance `node`'s epoch (one FAA), invalidating everything signed
     /// with the old one. Returns the **new** epoch.
     pub fn bump_epoch(&self, layer: &DsmLayer, ep: &Endpoint, node: usize) -> DsmResult<u64> {
-        Ok(layer.faa(ep, Self::slot(self.base, node, EPOCH_OFF), 1)? + 1)
+        let new = layer.faa(ep, Self::slot(self.base, node, EPOCH_OFF), 1)? + 1;
+        ep.series_note(Metric::EpochBumps, 1);
+        Ok(new)
     }
 
     /// Record `node`'s liveness.

@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use telemetry::{
-    ChromeTrace, ContentionSnapshot, HistSnapshot, Histogram, Phase, PhaseSnapshot, PhaseTracker,
-    Sample,
+    ChromeTrace, ContentionSnapshot, HistSnapshot, Histogram, Metric, Phase, PhaseSnapshot,
+    PhaseTracker, Sample, SeriesRecorder, SeriesSnapshot,
 };
 
 use crate::clock::{Clock, SharedTimeline};
@@ -201,6 +201,8 @@ impl Fabric {
             recorder: FlightRecorder::default(),
             contention: ContentionProbe::new(),
             trace_id: Cell::new(0),
+            series: SeriesRecorder::new(),
+            series_wire_mark: Cell::new(0),
         }
     }
 }
@@ -247,6 +249,13 @@ pub struct Endpoint {
     /// The transaction trace id recorded into every event (0 = none),
     /// threaded in by the session layer around each transaction.
     trace_id: Cell<u64>,
+    /// Windowed time-series sampler (disabled by default; see
+    /// [`Endpoint::enable_timeseries`]). Reads the clock, never
+    /// advances it.
+    series: SeriesRecorder,
+    /// Last wire-RT total folded into the series: each verb adds the
+    /// delta, so doorbell riders net out to one wire RT per group.
+    series_wire_mark: Cell<u64>,
 }
 
 /// Position of a verb class in [`Endpoint`]'s latency histogram array.
@@ -345,9 +354,11 @@ impl Endpoint {
     }
 
     /// Record one verb's virtual latency into the class histogram and,
-    /// for node-addressed verbs, the peer histogram.
+    /// for node-addressed verbs, the peer histogram; when time-series
+    /// sampling is on, the verb, its bytes, and the wire-RT delta land
+    /// in the current virtual-time window too.
     #[inline]
-    fn note_verb(&self, kind: OpKind, peer: Option<NodeId>, cost_ns: u64) {
+    fn note_verb(&self, kind: OpKind, peer: Option<NodeId>, cost_ns: u64, bytes: usize) {
         self.verb_lat[kind_index(kind)].record(cost_ns);
         if let Some(node) = peer {
             let mut peers = self.peer_lat.borrow_mut();
@@ -357,6 +368,32 @@ impl Endpoint {
                 let h = Histogram::new();
                 h.record(cost_ns);
                 peers.push((node, h));
+            }
+        }
+        if self.series.enabled() {
+            let now = self.clock.now_ns();
+            let metric = match kind {
+                OpKind::Read => Metric::Reads,
+                OpKind::Write => Metric::Writes,
+                OpKind::Cas => Metric::Cas,
+                OpKind::Faa => Metric::Faa,
+                OpKind::Send => Metric::Sends,
+                OpKind::Recv => Metric::Recvs,
+            };
+            self.series.note(now, metric, 1);
+            if kind != OpKind::Recv {
+                // RECVs observe bytes the sender already put on the wire.
+                self.series.note(now, Metric::BytesWire, bytes as u64);
+            }
+            // Doorbell accounting runs ahead of its member verbs, so the
+            // wire-RT total can transiently sit below the mark; taking
+            // only positive deltas nets each group out to exactly its
+            // paid wire RTs, attributed to the window of the last verb.
+            let wire = self.stats.wire_rts_now();
+            let mark = self.series_wire_mark.get();
+            if wire > mark {
+                self.series.note(now, Metric::WireRts, wire - mark);
+                self.series_wire_mark.set(wire);
             }
         }
     }
@@ -376,6 +413,8 @@ impl Endpoint {
         self.faults.borrow_mut().rebind(gen, self.fabric.fault_plan_arc());
         self.recorder.clear();
         self.contention.reset();
+        self.series.clear();
+        self.series_wire_mark.set(0);
         self.trace_id.set(0);
     }
 
@@ -384,6 +423,35 @@ impl Endpoint {
     /// virtual-time throughput is identical with the recorder on or off.
     pub fn enable_flight_recorder(&self, cap: usize) {
         self.recorder.set_capacity(cap);
+    }
+
+    /// Turn on windowed time-series sampling with `width_ns`-wide
+    /// virtual-time windows (0 turns it back off). Like the flight
+    /// recorder, sampling reads the clock but never advances it, so
+    /// virtual-time throughput is identical with the series on or off.
+    pub fn enable_timeseries(&self, width_ns: u64) {
+        self.series.enable(width_ns);
+        self.series_wire_mark.set(self.stats.wire_rts_now());
+    }
+
+    /// Whether windowed time-series sampling is on.
+    pub fn timeseries_enabled(&self) -> bool {
+        self.series.enabled()
+    }
+
+    /// Copy out the windowed series recorded so far (empty when
+    /// sampling is off).
+    pub fn series_snapshot(&self) -> SeriesSnapshot {
+        self.series.snapshot()
+    }
+
+    /// Bump `metric` by `delta` in the window covering *now*. Upper
+    /// layers (buffer pool, lock table, engine) use this to land their
+    /// own counters in the same series as the verb stream. No-op while
+    /// sampling is off.
+    #[inline]
+    pub fn series_note(&self, metric: Metric, delta: u64) {
+        self.series.note(self.clock.now_ns(), metric, delta);
     }
 
     /// Recorded flight events, oldest first.
@@ -427,6 +495,11 @@ impl Endpoint {
     #[inline]
     pub fn note_lock_wait(&self, addr: u64, ns: u64) {
         self.contention.note_wait(addr, ns);
+        if self.series.enabled() {
+            let now = self.clock.now_ns();
+            self.series.note(now, Metric::LockWaits, 1);
+            self.series.note(now, Metric::LockWaitNs, ns);
+        }
     }
 
     /// Record a lock wait-for edge: `waiter` wanted `addr`, which
@@ -537,7 +610,7 @@ impl Endpoint {
         let cost = self.profile.rw_cost_ns(dst.len()) + extra;
         self.clock.advance(cost);
         self.stats.record(OpKind::Read, dst.len());
-        self.note_verb(OpKind::Read, Some(node), cost);
+        self.note_verb(OpKind::Read, Some(node), cost, dst.len());
         self.record_event(
             EventKind::Verb(OpKind::Read),
             Some(node),
@@ -557,7 +630,7 @@ impl Endpoint {
         let cost = self.profile.rw_cost_ns(src.len()) + extra;
         self.clock.advance(cost);
         self.stats.record(OpKind::Write, src.len());
-        self.note_verb(OpKind::Write, Some(node), cost);
+        self.note_verb(OpKind::Write, Some(node), cost, src.len());
         self.record_event(
             EventKind::Verb(OpKind::Write),
             Some(node),
@@ -603,7 +676,7 @@ impl Endpoint {
             };
             self.clock.advance(cost);
             self.stats.record(OpKind::Read, dst.len());
-            self.note_verb(OpKind::Read, Some(*node), cost);
+            self.note_verb(OpKind::Read, Some(*node), cost, dst.len());
             self.record_event(
                 EventKind::Verb(OpKind::Read),
                 Some(*node),
@@ -630,7 +703,7 @@ impl Endpoint {
             };
             self.clock.advance(cost);
             self.stats.record(OpKind::Write, src.len());
-            self.note_verb(OpKind::Write, Some(*node), cost);
+            self.note_verb(OpKind::Write, Some(*node), cost, src.len());
             self.record_event(
                 EventKind::Verb(OpKind::Write),
                 Some(*node),
@@ -662,7 +735,7 @@ impl Endpoint {
         // Latency includes atomic-unit queueing: that contention delay is
         // exactly what the per-verb tail should expose.
         let dur = self.clock.now_ns() - start;
-        self.note_verb(OpKind::Cas, Some(node), dur);
+        self.note_verb(OpKind::Cas, Some(node), dur, 8);
         let code = if prev != expected {
             self.stats.record_cas_failure();
             // A lost CAS is the contention signal: feed the hot-word
@@ -699,7 +772,7 @@ impl Endpoint {
         }
         self.stats.record(OpKind::Faa, 8);
         let dur = self.clock.now_ns() - start;
-        self.note_verb(OpKind::Faa, Some(node), dur);
+        self.note_verb(OpKind::Faa, Some(node), dur, 8);
         self.record_event(
             EventKind::Verb(OpKind::Faa),
             Some(node),
@@ -719,7 +792,7 @@ impl Endpoint {
         let cost = self.profile.rw_cost_ns(8) + extra;
         self.clock.advance(cost);
         self.stats.record(OpKind::Read, 8);
-        self.note_verb(OpKind::Read, Some(node), cost);
+        self.note_verb(OpKind::Read, Some(node), cost, 8);
         self.record_event(
             EventKind::Verb(OpKind::Read),
             Some(node),
@@ -741,7 +814,7 @@ impl Endpoint {
         let cost = self.profile.rw_cost_ns(8) + extra;
         self.clock.advance(cost);
         self.stats.record(OpKind::Write, 8);
-        self.note_verb(OpKind::Write, Some(node), cost);
+        self.note_verb(OpKind::Write, Some(node), cost, 8);
         self.record_event(
             EventKind::Verb(OpKind::Write),
             Some(node),
@@ -768,7 +841,7 @@ impl Endpoint {
             },
         )?;
         self.stats.record(OpKind::Send, len);
-        self.note_verb(OpKind::Send, None, cost);
+        self.note_verb(OpKind::Send, None, cost, len);
         self.record_event(EventKind::Verb(OpKind::Send), None, to, len, outcome::OK, cost);
         Ok(())
     }
@@ -801,7 +874,7 @@ impl Endpoint {
             ) {
                 Ok(()) => {
                     self.stats.record(OpKind::Send, len);
-                    self.note_verb(OpKind::Send, None, cost);
+                    self.note_verb(OpKind::Send, None, cost, len);
                     self.record_event(
                         EventKind::Verb(OpKind::Send),
                         None,
@@ -846,7 +919,7 @@ impl Endpoint {
         let wait = msg.deliver_at_ns.saturating_sub(self.clock.now_ns());
         self.clock.advance_to(msg.deliver_at_ns);
         self.stats.record(OpKind::Recv, msg.payload.len());
-        self.note_verb(OpKind::Recv, None, wait);
+        self.note_verb(OpKind::Recv, None, wait, msg.payload.len());
         self.record_event(
             EventKind::Verb(OpKind::Recv),
             None,
@@ -1163,6 +1236,55 @@ mod tests {
             assert_eq!(snap.cas_top[0].key, pack_addr(node, 16));
             snap.cas_top[0].count
         }
+    }
+
+    #[test]
+    fn timeseries_is_free_in_virtual_time_and_buckets_verbs() {
+        use telemetry::Metric;
+        let run = |sample: bool| {
+            let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+            let node = fabric.register_node(1024);
+            let ep = fabric.endpoint();
+            if sample {
+                ep.enable_timeseries(10_000);
+            }
+            ep.write(node, 0, &[7u8; 64]).unwrap();
+            let mut buf = [0u8; 64];
+            ep.read(node, 0, &mut buf).unwrap();
+            // Doorbell batch: 3 member verbs must net out to 1 wire RT.
+            let mut a = [0u8; 16];
+            let mut b = [0u8; 16];
+            let mut c = [0u8; 16];
+            ep.read_batch(&mut [(node, 0, &mut a), (node, 16, &mut b), (node, 32, &mut c)])
+                .unwrap();
+            ep.note_lock_wait(42, 500);
+            (ep.clock().now_ns(), ep.series_snapshot())
+        };
+        let (t_off, s_off) = run(false);
+        let (t_on, s_on) = run(true);
+        assert_eq!(t_off, t_on, "sampling must not advance virtual time");
+        assert!(s_off.is_empty());
+        assert_eq!(s_on.window_ns, 10_000);
+        assert_eq!(s_on.total(Metric::Writes), 1);
+        assert_eq!(s_on.total(Metric::Reads), 4);
+        // 2 standalone verbs + 1 doorbell group = 3 paid wire RTs.
+        assert_eq!(s_on.total(Metric::WireRts), 3);
+        // Bytes: 64 write + 64 read + 3×16 batched reads.
+        assert_eq!(s_on.total(Metric::BytesWire), 64 + 64 + 48);
+        assert_eq!(s_on.total(Metric::LockWaits), 1);
+        assert_eq!(s_on.total(Metric::LockWaitNs), 500);
+        // Everything above lands in windows covering the run's makespan.
+        assert!(s_on.len() as u64 * s_on.window_ns >= t_on);
+        // reset() drops the windows but keeps sampling on, like the
+        // flight recorder keeps its capacity across phases.
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(64);
+        let ep = fabric.endpoint();
+        ep.enable_timeseries(10_000);
+        ep.read_u64(node, 0).unwrap();
+        ep.reset();
+        assert!(ep.series_snapshot().is_empty());
+        assert!(ep.timeseries_enabled());
     }
 
     #[test]

@@ -60,5 +60,6 @@ pub use stats::{OpKind, OpStats, StatsSnapshot};
 // Telemetry vocabulary, re-exported so downstream crates that already
 // depend on rdma-sim can open spans without a direct telemetry dep.
 pub use telemetry::{
-    ChromeTrace, ContentionSnapshot, HistSnapshot, Phase, PhaseSnapshot, Sample, TopEntry, WaitEdge,
+    sparkline, ChromeTrace, ContentionSnapshot, HistSnapshot, Metric, Phase, PhaseSnapshot, Sample,
+    SeriesSnapshot, TopEntry, WaitEdge, DEFAULT_WINDOW_NS,
 };

@@ -1,0 +1,261 @@
+//! SLO/recovery analysis over a windowed series.
+//!
+//! The point of time-resolved metrics is that recovery claims stop
+//! being hand-derived from ad-hoc timestamps: given a
+//! [`SeriesSnapshot`] and the virtual instant a fault fired, this
+//! module *computes* the facts the paper's availability argument needs
+//! — steady-state baseline, dip depth, time-to-detection,
+//! time-to-recovery (first window back within a fraction of baseline),
+//! and burn rate against a configurable objective. Everything runs on
+//! per-window commit rates, so the answers are byte-reproducible
+//! whenever the series is.
+//!
+//! Timing convention: a window's behaviour is only known once the
+//! window closes, so both detection and recovery are reported as that
+//! window's *end* minus the fault instant — the moment a monitor
+//! watching the series could have raised (or cleared) the alarm.
+
+use crate::timeseries::{Metric, SeriesSnapshot};
+
+/// Recovery facts computed from a series around one fault instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryFacts {
+    /// Mean commit rate over the complete windows before the fault,
+    /// commits per virtual second.
+    pub baseline_tps: f64,
+    /// Worst windowed commit rate at/after the fault.
+    pub dip_tps: f64,
+    /// Fraction of baseline throughput lost at the worst window
+    /// (`1 - dip/baseline`, clamped to `[0, 1]`).
+    pub dip_depth: f64,
+    /// Virtual ns from the fault until the first window whose rate fell
+    /// below the threshold closed (`None`: throughput never dipped).
+    pub time_to_detection_ns: Option<u64>,
+    /// Virtual ns from the fault until the first post-detection window
+    /// back within the threshold closed. `Some(0)` when throughput
+    /// never dipped; `None` when it dipped and never came back.
+    pub time_to_recovery_ns: Option<u64>,
+}
+
+/// A service-level objective for [`burn_rate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloObjective {
+    /// Windows below this commit rate consume error budget.
+    pub target_tps: f64,
+    /// Tolerated fraction of bad windows (e.g. 0.1 = 10% of the run
+    /// may be below target before the budget is spent).
+    pub error_budget: f64,
+}
+
+/// Mean commit rate over the complete windows that closed at or before
+/// `until_ns` — the steady-state baseline for recovery comparisons.
+pub fn steady_baseline(s: &SeriesSnapshot, until_ns: u64) -> f64 {
+    if s.window_ns == 0 {
+        return 0.0;
+    }
+    let full = ((until_ns / s.window_ns) as usize).min(s.len());
+    if full == 0 {
+        return 0.0;
+    }
+    let commits: u64 = (0..full).map(|i| s.get(i, Metric::Commits)).sum();
+    commits as f64 * 1e9 / (full as u64 * s.window_ns) as f64
+}
+
+/// Index of the first window touching `[fault_ns, ..)` whose commit
+/// rate is below `frac * baseline`.
+fn detection_window(s: &SeriesSnapshot, fault_ns: u64, baseline: f64, frac: f64) -> Option<usize> {
+    if s.window_ns == 0 || baseline <= 0.0 {
+        return None;
+    }
+    let rates = s.rate_per_sec(Metric::Commits);
+    let first = (fault_ns / s.window_ns) as usize;
+    (first..s.len()).find(|&i| rates[i] < frac * baseline)
+}
+
+/// Virtual ns from `fault_ns` until the first sub-threshold window
+/// closed (`None`: the series never dipped below `frac * baseline`).
+pub fn time_to_detection(
+    s: &SeriesSnapshot,
+    fault_ns: u64,
+    baseline: f64,
+    frac: f64,
+) -> Option<u64> {
+    detection_window(s, fault_ns, baseline, frac)
+        .map(|i| s.window_start_ns(i + 1).saturating_sub(fault_ns))
+}
+
+/// Virtual ns from `fault_ns` until the first window after detection
+/// whose commit rate is back at `>= frac * baseline` closed. `Some(0)`
+/// when throughput never dipped; `None` when it never recovered.
+pub fn time_to_recovery(
+    s: &SeriesSnapshot,
+    fault_ns: u64,
+    baseline: f64,
+    frac: f64,
+) -> Option<u64> {
+    let Some(detect) = detection_window(s, fault_ns, baseline, frac) else {
+        return Some(0);
+    };
+    let rates = s.rate_per_sec(Metric::Commits);
+    ((detect + 1)..s.len())
+        .find(|&i| rates[i] >= frac * baseline)
+        .map(|i| s.window_start_ns(i + 1).saturating_sub(fault_ns))
+}
+
+/// Compute the full recovery story around one fault instant.
+/// `frac` is the SLO fraction of baseline (0.9 = "within 10%").
+///
+/// The final window is excluded from the dip search: it is usually
+/// partial (the run rarely ends on a window boundary), and a truncated
+/// window would fake a terminal dip.
+pub fn recovery_facts(s: &SeriesSnapshot, fault_ns: u64, frac: f64) -> RecoveryFacts {
+    let baseline = steady_baseline(s, fault_ns);
+    let rates = s.rate_per_sec(Metric::Commits);
+    let first = fault_ns.checked_div(s.window_ns).unwrap_or(0) as usize;
+    let scan_end = rates.len().saturating_sub(1);
+    let dip_tps = if first < scan_end {
+        rates[first..scan_end].iter().copied().fold(f64::INFINITY, f64::min)
+    } else {
+        baseline
+    };
+    let dip_depth = if baseline > 0.0 {
+        (1.0 - dip_tps / baseline).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    RecoveryFacts {
+        baseline_tps: baseline,
+        dip_tps,
+        dip_depth,
+        time_to_detection_ns: time_to_detection(s, fault_ns, baseline, frac),
+        time_to_recovery_ns: time_to_recovery(s, fault_ns, baseline, frac),
+    }
+}
+
+/// Error-budget burn rate: the fraction of windows below
+/// `obj.target_tps` divided by `obj.error_budget`. 1.0 means the run
+/// consumed exactly its budget; above 1.0 the objective was missed.
+/// The final (usually partial) window is excluded.
+pub fn burn_rate(s: &SeriesSnapshot, obj: &SloObjective) -> f64 {
+    let rates = s.rate_per_sec(Metric::Commits);
+    let n = rates.len().saturating_sub(1);
+    if n == 0 || obj.error_budget <= 0.0 {
+        return 0.0;
+    }
+    let bad = rates[..n].iter().filter(|&&r| r < obj.target_tps).count();
+    (bad as f64 / n as f64) / obj.error_budget
+}
+
+/// Render `vals` as a compact sparkline of at most `max_chars` block
+/// characters, scaled from 0 to the series maximum. Longer series are
+/// bucket-averaged down, so the curve's shape survives compression.
+pub fn sparkline(vals: &[f64], max_chars: usize) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if vals.is_empty() || max_chars == 0 {
+        return String::new();
+    }
+    let buckets = max_chars.min(vals.len());
+    let compact: Vec<f64> = (0..buckets)
+        .map(|b| {
+            let lo = b * vals.len() / buckets;
+            let hi = ((b + 1) * vals.len() / buckets).max(lo + 1);
+            vals[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    let max = compact.iter().copied().fold(0.0f64, f64::max);
+    compact
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                LEVELS[0]
+            } else {
+                let lvl = ((v / max) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[lvl.min(LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::SeriesRecorder;
+
+    /// 100ns windows: 10 commits/window for 10 windows, a 3-window dip
+    /// at 2/window, then back to 10/window, ending with a partial tail.
+    fn dipped() -> SeriesSnapshot {
+        let r = SeriesRecorder::new();
+        r.enable(100);
+        for w in 0..20u64 {
+            let commits = if (10..13).contains(&w) { 2 } else { 10 };
+            r.note(w * 100 + 50, Metric::Commits, commits);
+        }
+        r.note(2_000, Metric::Commits, 1); // partial final window
+        r.snapshot()
+    }
+
+    #[test]
+    fn baseline_ignores_the_dip_and_partial_windows() {
+        let s = dipped();
+        let base = steady_baseline(&s, 1_000);
+        // 10 commits per 100ns window = 1e8 commits/s.
+        assert!((base - 1e8).abs() < 1.0, "baseline {base}");
+        assert_eq!(steady_baseline(&s, 0), 0.0);
+    }
+
+    #[test]
+    fn detection_and_recovery_find_the_documented_windows() {
+        let s = dipped();
+        let base = steady_baseline(&s, 1_000);
+        // Fault at 1000ns; window 10 (1000..1100) is the first bad one,
+        // known at its close: detection = 1100 - 1000.
+        assert_eq!(time_to_detection(&s, 1_000, base, 0.9), Some(100));
+        // Window 13 (1300..1400) is the first good one again.
+        assert_eq!(time_to_recovery(&s, 1_000, base, 0.9), Some(400));
+        let f = recovery_facts(&s, 1_000, 0.9);
+        assert!((f.baseline_tps - 1e8).abs() < 1.0);
+        assert!((f.dip_tps - 2e7).abs() < 1.0);
+        assert!((f.dip_depth - 0.8).abs() < 1e-9);
+        assert_eq!(f.time_to_recovery_ns, Some(400));
+    }
+
+    #[test]
+    fn no_dip_means_zero_recovery_time() {
+        let r = SeriesRecorder::new();
+        r.enable(100);
+        for w in 0..10u64 {
+            r.note(w * 100, Metric::Commits, 5);
+        }
+        let s = r.snapshot();
+        let base = steady_baseline(&s, 500);
+        assert_eq!(time_to_detection(&s, 500, base, 0.9), None);
+        assert_eq!(time_to_recovery(&s, 500, base, 0.9), Some(0));
+        let f = recovery_facts(&s, 500, 0.9);
+        assert_eq!(f.dip_depth, 0.0);
+    }
+
+    #[test]
+    fn burn_rate_counts_bad_windows_against_the_budget() {
+        let s = dipped();
+        // 20 full windows scanned (partial 21st excluded), 3 below
+        // 90% of baseline → bad share 0.15; budget 0.15 → burn 1.0.
+        let obj = SloObjective { target_tps: 0.9e8, error_budget: 0.15 };
+        let burn = burn_rate(&s, &obj);
+        assert!((burn - 1.0).abs() < 1e-9, "burn {burn}");
+        // Half the budget → twice the burn.
+        let tight = SloObjective { target_tps: 0.9e8, error_budget: 0.075 };
+        assert!((burn_rate(&s, &tight) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparkline_compresses_and_scales() {
+        assert_eq!(sparkline(&[], 8), "");
+        assert_eq!(sparkline(&[0.0, 0.0], 8), "▁▁");
+        let line = sparkline(&[1.0, 8.0, 4.0], 8);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.ends_with('▄') || line.ends_with('▅'));
+        // Longer than max_chars: bucket-averaged down to max_chars.
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(sparkline(&vals, 16).chars().count(), 16);
+    }
+}

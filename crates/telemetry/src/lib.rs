@@ -18,6 +18,12 @@
 //!   nanoseconds *and* verbs/wire-RTs to the innermost open phase — a
 //!   per-transaction flamegraph as a table. No atomics, no heap per
 //!   record.
+//! * [`timeseries::SeriesRecorder`] — named counters sampled into
+//!   fixed-width virtual-time windows (commits, aborts by cause, verbs,
+//!   wire RTs, cache hits, lock waits/steals, epoch bumps) with an
+//!   associative/commutative cross-session merge, and [`analysis`] —
+//!   SLO/recovery facts computed *from* the series: steady-state
+//!   baseline, dip depth, time-to-detection/recovery, burn rate.
 //! * [`json`] + [`report`] — a small no-dependency JSON
 //!   serializer/parser and the [`report::Report`] type every `exp_*`
 //!   binary serializes next to its `.txt`, plus the cross-PR
@@ -27,13 +33,16 @@
 //! the tracker and histograms inside `Endpoint`, and everything above it
 //! reuses the same types.
 
+pub mod analysis;
 pub mod contention;
 pub mod hist;
 pub mod json;
 pub mod report;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
+pub use analysis::{sparkline, RecoveryFacts, SloObjective};
 pub use contention::{
     merge_top, wait_for_analysis, ContentionSnapshot, TopEntry, TopK, WaitEdge, WaitForSummary,
 };
@@ -41,4 +50,5 @@ pub use hist::{HistSnapshot, Histogram};
 pub use json::Json;
 pub use report::Report;
 pub use span::{bucket_name, Phase, PhaseSnapshot, PhaseTracker, Sample, OTHER_BUCKET, PHASE_BUCKETS};
+pub use timeseries::{Metric, SeriesRecorder, SeriesSnapshot, DEFAULT_WINDOW_NS, MAX_WINDOWS};
 pub use trace::ChromeTrace;

@@ -14,9 +14,12 @@ use std::path::Path;
 use crate::hist::HistSnapshot;
 use crate::json::Json;
 use crate::span::{bucket_name, PhaseSnapshot, OTHER_BUCKET};
+use crate::timeseries::{Metric, SeriesSnapshot};
 
 /// Schema version stamped into every report, bumped on breaking changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: every report carries a top-level `timeseries` section
+/// ([`series_json`]) with per-window metric counts on the virtual clock.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One experiment's machine-readable output.
 #[derive(Debug, Clone)]
@@ -25,6 +28,7 @@ pub struct Report {
     title: String,
     meta: Vec<(String, Json)>,
     rows: Vec<Json>,
+    timeseries: Option<Json>,
     headline: Vec<(String, Json)>,
 }
 
@@ -37,6 +41,7 @@ impl Report {
             title: title.to_string(),
             meta: Vec::new(),
             rows: Vec::new(),
+            timeseries: None,
             headline: Vec::new(),
         }
     }
@@ -62,16 +67,28 @@ impl Report {
         self
     }
 
+    /// Install the report's `timeseries` section (the flagship run's
+    /// windowed series, rendered by [`series_json`]). Idempotent: the
+    /// last call wins.
+    pub fn timeseries(&mut self, section: Json) -> &mut Self {
+        self.timeseries = Some(section);
+        self
+    }
+
     /// The full report document.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
-            ("schema_version", Json::U(SCHEMA_VERSION)),
-            ("experiment", Json::S(self.experiment.clone())),
-            ("title", Json::S(self.title.clone())),
-            ("meta", Json::O(self.meta.clone())),
-            ("rows", Json::A(self.rows.clone())),
-            ("headline", Json::O(self.headline.clone())),
-        ])
+        let mut members = vec![
+            ("schema_version".to_string(), Json::U(SCHEMA_VERSION)),
+            ("experiment".to_string(), Json::S(self.experiment.clone())),
+            ("title".to_string(), Json::S(self.title.clone())),
+            ("meta".to_string(), Json::O(self.meta.clone())),
+            ("rows".to_string(), Json::A(self.rows.clone())),
+        ];
+        if let Some(ts) = &self.timeseries {
+            members.push(("timeseries".to_string(), ts.clone()));
+        }
+        members.push(("headline".to_string(), Json::O(self.headline.clone())));
+        Json::O(members)
     }
 
     /// Write `results_dir/<experiment>.json` and merge the headline into
@@ -131,6 +148,58 @@ pub fn hist_json(h: &HistSnapshot) -> Json {
         ("p999_ns", Json::U(p999)),
         ("max_ns", Json::U(h.max())),
     ])
+}
+
+/// Windowed series → the report `timeseries` section. Emits the window
+/// geometry, explicit window starts (so validators can check
+/// monotonicity and coverage against `makespan_ns`), per-window counts
+/// for every metric that fired, and per-metric totals (so per-window
+/// counts can be checked against the run's aggregates).
+pub fn series_json(s: &SeriesSnapshot, makespan_ns: u64) -> Json {
+    let starts = Json::A((0..s.len()).map(|i| Json::U(s.window_start_ns(i))).collect());
+    let mut metrics = Vec::new();
+    let mut totals = Vec::new();
+    for m in Metric::ALL {
+        let total = s.total(m);
+        if total == 0 {
+            continue;
+        }
+        metrics.push((
+            m.name().to_string(),
+            Json::A(s.series(m).into_iter().map(Json::U).collect()),
+        ));
+        totals.push((m.name().to_string(), Json::U(total)));
+    }
+    Json::obj(vec![
+        ("window_ns", Json::U(s.window_ns)),
+        ("windows", Json::U(s.len() as u64)),
+        ("makespan_ns", Json::U(makespan_ns)),
+        ("window_starts_ns", starts),
+        ("metrics", Json::O(metrics)),
+        ("totals", Json::O(totals)),
+    ])
+}
+
+/// Rebuild a [`SeriesSnapshot`] from a parsed `timeseries` section —
+/// the read side of [`series_json`], used by tests and validators that
+/// re-run the analysis over committed reports.
+pub fn series_from_json(section: &Json) -> Option<SeriesSnapshot> {
+    let window_ns = section.get("window_ns")?.as_u64()?;
+    let n = section.get("windows")?.as_u64()? as usize;
+    let mut windows = vec![[0u64; crate::timeseries::METRICS]; n];
+    if let Some(Json::O(members)) = section.get("metrics") {
+        for (name, arr) in members {
+            let m = Metric::from_name(name)?;
+            let counts = arr.as_array()?;
+            if counts.len() != n {
+                return None;
+            }
+            for (i, c) in counts.iter().enumerate() {
+                windows[i][m as usize] = c.as_u64()?;
+            }
+        }
+    }
+    Some(SeriesSnapshot { window_ns, windows })
 }
 
 /// Phase snapshot → JSON: per-phase `{ns, share, verbs, wire_rts}` for
@@ -223,6 +292,33 @@ mod tests {
         let j = hist_json(&h.snapshot());
         assert_eq!(j.get("count").unwrap().as_u64(), Some(1000));
         assert!(j.get("p99_ns").unwrap().as_u64().unwrap() >= 970);
+    }
+
+    #[test]
+    fn series_json_round_trips_and_skips_silent_metrics() {
+        use crate::timeseries::{Metric, SeriesRecorder};
+        let r = SeriesRecorder::new();
+        r.enable(100);
+        r.note(50, Metric::Commits, 3);
+        r.note(250, Metric::Commits, 1);
+        r.note(250, Metric::WireRts, 7);
+        let snap = r.snapshot();
+        let j = series_json(&snap, 260);
+        assert_eq!(j.get("window_ns").unwrap().as_u64(), Some(100));
+        assert_eq!(j.get("windows").unwrap().as_u64(), Some(3));
+        assert_eq!(j.get("makespan_ns").unwrap().as_u64(), Some(260));
+        let starts = j.get("window_starts_ns").unwrap().as_array().unwrap();
+        assert_eq!(starts.len(), 3);
+        assert_eq!(starts[2].as_u64(), Some(200));
+        // Metrics that never fired are omitted.
+        assert!(j.get("metrics").unwrap().get("cache_hits").is_none());
+        assert_eq!(
+            j.get("totals").unwrap().get("commits").unwrap().as_u64(),
+            Some(4)
+        );
+        // Parse side reconstructs the identical snapshot.
+        let parsed = Json::parse(&j.render_pretty(2)).unwrap();
+        assert_eq!(series_from_json(&parsed), Some(snap));
     }
 
     #[test]

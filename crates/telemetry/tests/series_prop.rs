@@ -1,0 +1,95 @@
+//! Property tests for the windowed time-series: merging per-session
+//! snapshots is associative, commutative, and lossless against a
+//! single-threaded reference recorder — including when sessions double
+//! their window width at different points (long-running clocks).
+
+use proptest::prelude::*;
+use telemetry::{Metric, SeriesRecorder, SeriesSnapshot};
+
+const SESSIONS: usize = 4;
+/// Small base width so events up to 2^22 ns force several rounds of
+/// width-doubling (MAX_WINDOWS * 16 ns only covers 2^13 ns).
+const BASE_WIDTH_NS: u64 = 16;
+
+fn record(events: &[(u64, usize, u64)]) -> SeriesSnapshot {
+    let r = SeriesRecorder::new();
+    r.enable(BASE_WIDTH_NS);
+    for &(t, m, d) in events {
+        r.note(t, Metric::ALL[m], d);
+    }
+    r.snapshot()
+}
+
+/// The body lives outside the `proptest!` macro: large bodies blow the
+/// macro recursion limit.
+fn check(mut events: Vec<(u64, usize, u64, usize)>) -> Result<(), String> {
+    // Virtual clocks are monotone per producer; sorting mirrors that.
+    events.sort_by_key(|&(t, ..)| t);
+
+    // Reference: ONE recorder sees every event in clock order.
+    let all: Vec<(u64, usize, u64)> = events.iter().map(|&(t, m, d, _)| (t, m, d)).collect();
+    let reference = record(&all);
+
+    // Per-session recorders: each session only sees its own events, so
+    // sessions whose clocks stop early keep a finer width than the
+    // longest-running one.
+    let per: Vec<SeriesSnapshot> = (0..SESSIONS)
+        .map(|sess| {
+            let mine: Vec<(u64, usize, u64)> = events
+                .iter()
+                .filter(|&&(.., s)| s == sess)
+                .map(|&(t, m, d, _)| (t, m, d))
+                .collect();
+            record(&mine)
+        })
+        .collect();
+
+    // Commutative: forward fold == reverse fold.
+    let mut left = SeriesSnapshot::empty();
+    for s in &per {
+        left.merge(s);
+    }
+    let mut rev = SeriesSnapshot::empty();
+    for s in per.iter().rev() {
+        rev.merge(s);
+    }
+    prop_assert_eq!(&left, &rev);
+
+    // Associative: (a+b)+(c+d) == (((empty+a)+b)+c)+d.
+    let mut ab = per[0].clone();
+    ab.merge(&per[1]);
+    let mut cd = per[2].clone();
+    cd.merge(&per[3]);
+    let mut grouped = ab;
+    grouped.merge(&cd);
+    prop_assert_eq!(&left, &grouped);
+
+    // Lossless: the merged view IS the single-threaded view, window
+    // for window — not just equal totals.
+    prop_assert_eq!(&left, &reference);
+
+    // And totals survive exactly (the report `totals` invariant).
+    for m in Metric::ALL {
+        let expect: u64 = all
+            .iter()
+            .filter(|&&(_, mi, _)| mi == m as usize)
+            .map(|&(_, _, d)| d)
+            .sum();
+        prop_assert_eq!(left.total(m), expect);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn per_session_merge_is_lossless_and_order_free(
+        events in proptest::collection::vec(
+            (0u64..1 << 22, 0usize..Metric::ALL.len(), 1u64..100, 0usize..SESSIONS),
+            1..200,
+        ),
+    ) {
+        check(events)?;
+    }
+}

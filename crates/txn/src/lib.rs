@@ -35,7 +35,7 @@ pub mod twopc;
 pub use locks::{ExclusiveLock, LeaseLock, LeaseToken, LockError, SharedExclusiveLock};
 pub use oracle::{FaaOracle, HybridClockOracle, RpcOracle, TimestampOracle};
 pub use protocols::{
-    ConcurrencyControl, DirectIo, LeasedTpl, Mvcc, Occ, Op, PayloadIo, TwoPhaseLocking, Tso,
-    TxnCtx, TxnError, TxnOutput,
+    AbortCause, ConcurrencyControl, DirectIo, LeasedTpl, Mvcc, Occ, Op, PayloadIo,
+    TwoPhaseLocking, Tso, TxnCtx, TxnError, TxnOutput,
 };
 pub use table::RecordTable;

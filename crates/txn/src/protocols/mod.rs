@@ -94,6 +94,54 @@ pub enum TxnError {
     Dsm(DsmError),
 }
 
+/// Typed abort-cause taxonomy. One place owns the mapping from CC
+/// abort labels to causes, so the bench tally and the per-window
+/// abort metrics can never drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// A no-wait lock was held by someone else for the whole retry
+    /// budget (`lock-busy`, and the sharded engine's local lock table).
+    LockBusy,
+    /// The lock holder never released within the bounded-retry budget
+    /// (likely crashed or stalled).
+    LockTimeout,
+    /// Commit-time validation failed: OCC read-set drift, TSO/MVCC
+    /// version conflicts.
+    ValidationFail,
+    /// A lease expired mid-transaction and another worker stole the
+    /// lock; the ex-owner must not commit.
+    LeaseStolen,
+    /// A node the transaction must reach is down.
+    NodeUnavailable,
+    /// A transient fabric fault leaked past the DSM retry budget.
+    Transient,
+    /// Anything else (unclassified CC labels, infrastructure errors).
+    Other,
+}
+
+impl TxnError {
+    /// Classify this abort under the typed taxonomy.
+    pub fn cause(&self) -> AbortCause {
+        match self {
+            TxnError::NodeUnavailable { .. } => AbortCause::NodeUnavailable,
+            TxnError::Aborted(why) => match *why {
+                "lock-busy" | "local-lock-busy" => AbortCause::LockBusy,
+                "lock-timeout" => AbortCause::LockTimeout,
+                "lease-stolen" => AbortCause::LeaseStolen,
+                "transient-fault" => AbortCause::Transient,
+                w if w.starts_with("validate-")
+                    || w.starts_with("tso-")
+                    || w.starts_with("mvcc-") =>
+                {
+                    AbortCause::ValidationFail
+                }
+                _ => AbortCause::Other,
+            },
+            TxnError::Dsm(_) => AbortCause::Other,
+        }
+    }
+}
+
 impl std::fmt::Display for TxnError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

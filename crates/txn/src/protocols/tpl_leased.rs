@@ -32,7 +32,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use dsm::{DsmError, GlobalAddr};
-use rdma_sim::{Phase, RdmaError};
+use rdma_sim::{Metric, Phase, RdmaError};
 
 use super::{apply_delta, key_sets, ConcurrencyControl, Op, TxnCtx, TxnError, TxnOutput};
 use crate::locks::{LeaseLock, LeaseToken, LockError};
@@ -125,6 +125,7 @@ impl ConcurrencyControl for LeasedTpl {
                     Ok(token) => {
                         if token.stole {
                             self.steals.fetch_add(1, Ordering::Relaxed);
+                            ctx.ep.series_note(Metric::LockSteals, 1);
                         }
                         held.push((key, token));
                     }
