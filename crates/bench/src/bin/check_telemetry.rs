@@ -3,12 +3,17 @@
 //! Used by CI after a reduced-scale experiment run: every
 //! `results/exp_*.json` must parse, carry the report schema
 //! (schema_version / experiment / title / rows) plus a top-level
-//! `timeseries` section (schema v2) with consistent window geometry
+//! `timeseries` section (since schema v2) with consistent window geometry
 //! (monotone starts at exact stride, width x count covering the
 //! makespan) and per-window counts that sum to the recorded totals;
 //! any embedded phase breakdown must have shares that sum to ~1, and
 //! any embedded `contention` section must carry the observatory schema
-//! (ranked top-K lists, wait-for summary, coherence counters).
+//! (ranked top-K lists, wait-for summary, coherence counters). Schema
+//! v3 adds two mandatory live-plane sections: `health` (windowed gauge
+//! deltas whose rendered levels must match their own prefix sums and
+//! never go negative) and `alerts` (a typed watchdog log whose events
+//! must alternate open/clear per kind at non-decreasing window
+//! boundaries inside the sampled run span).
 //! `results/exp_*_trace.json` files are Chrome `trace_event` exports
 //! and must hold a non-empty `traceEvents` array. `BENCH_summary.json`
 //! must parse and reference only experiments whose report file exists.
@@ -18,7 +23,8 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use bench::report::{results_dir, Json};
+use bench::report::{alerts_from_json, health_from_json, results_dir, Json};
+use bench::{AlertState, Gauge};
 
 fn check_phases(path: &Path, ctx: &str, v: &Json, errors: &mut Vec<String>) {
     match v {
@@ -116,7 +122,7 @@ fn validate_contention(path: &Path, ctx: &str, c: &Json, errors: &mut Vec<String
     }
 }
 
-/// Validate the report's top-level `timeseries` section (schema v2):
+/// Validate the report's top-level `timeseries` section (since schema v2):
 /// positive window width, monotone window starts at exact stride,
 /// width x count covering the makespan (to one window's tolerance),
 /// known metric names, per-metric arrays of the right length, and
@@ -219,6 +225,128 @@ fn check_timeseries(path: &Path, json: &Json, errors: &mut Vec<String>) {
     }
 }
 
+/// Validate the report's top-level `health` section (schema v3): it
+/// must parse back into a [`rdma_sim::HealthSnapshot`] (known gauge
+/// names, delta arrays of the declared window count), the rendered
+/// final/min/max levels must equal the prefix sums of the deltas, and
+/// the cluster-level counting gauges must never go negative.
+fn check_health(path: &Path, json: &Json, errors: &mut Vec<String>) {
+    let mut err = |msg: String| errors.push(format!("{}: health: {msg}", path.display()));
+    let Some(section) = json.get("health") else {
+        err("missing (every report must carry a health section)".into());
+        return;
+    };
+    let Some(snap) = health_from_json(section) else {
+        err("does not parse back into a HealthSnapshot \
+             (unknown gauge name or wrong delta-array length?)"
+            .into());
+        return;
+    };
+    if snap.window_ns == 0 && !snap.is_empty() {
+        err("windows recorded with window_ns = 0".into());
+        return;
+    }
+    let levels = section.get("levels");
+    for g in Gauge::ALL {
+        // Levels are redundant with the deltas by construction; the
+        // section must agree with its own prefix sums.
+        if let Some(l) = levels.and_then(|l| l.get(g.name())) {
+            for (key, want) in [
+                ("final", snap.final_level(g)),
+                ("min", snap.min_level(g)),
+                ("max", snap.max_level(g)),
+            ] {
+                match l.get(key).and_then(|v| v.as_i64()) {
+                    Some(got) if got == want => {}
+                    Some(got) => err(format!(
+                        "levels.{}.{key} = {got}, deltas say {want}",
+                        g.name()
+                    )),
+                    None => err(format!("levels.{}.{key} missing", g.name())),
+                }
+            }
+        }
+        // Every gauge counts things that exist (sessions, held locks,
+        // resident frames, posted verbs, epochs): merged across a whole
+        // cluster the level can never go negative.
+        if snap.min_level(g) < 0 {
+            err(format!(
+                "gauge {} dips to {} (cluster levels must stay >= 0)",
+                g.name(),
+                snap.min_level(g)
+            ));
+        }
+    }
+    // Sessions always leave before the report is written.
+    if snap.final_level(Gauge::SessionsInFlight) != 0 {
+        err(format!(
+            "sessions_in_flight ends at {} (all sessions must drain)",
+            snap.final_level(Gauge::SessionsInFlight)
+        ));
+    }
+}
+
+/// Validate the report's top-level `alerts` section (schema v3): the
+/// typed log must parse, count must match, seq must be the event
+/// index, timestamps must be non-decreasing window boundaries within
+/// the run span, and each kind's events must alternate open → clear.
+fn check_alerts(path: &Path, json: &Json, errors: &mut Vec<String>) {
+    let mut err = |msg: String| errors.push(format!("{}: alerts: {msg}", path.display()));
+    let Some(section) = json.get("alerts") else {
+        err("missing (every report must carry an alerts section)".into());
+        return;
+    };
+    let Some(events) = alerts_from_json(section) else {
+        err("does not parse back into a typed alert log \
+             (unknown kind/state name or missing field?)"
+            .into());
+        return;
+    };
+    match section.get("count").and_then(|c| c.as_u64()) {
+        Some(count) if count == events.len() as u64 => {}
+        Some(count) => err(format!("count = {count}, but {} events", events.len())),
+        None => err("missing count".into()),
+    }
+    // The run span: every alert fires at a window boundary inside the
+    // sampled series (the watchdog never invents timestamps).
+    let span = json.get("timeseries").map(|ts| {
+        let w = ts.get("window_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+        let n = ts.get("windows").and_then(|v| v.as_u64()).unwrap_or(0);
+        (w, n * w)
+    });
+    let mut last_at = 0;
+    let mut open = [false; bench::AlertKind::ALL.len()];
+    for (i, e) in events.iter().enumerate() {
+        if e.seq != i as u64 {
+            err(format!("events[{i}].seq = {}, expected {i}", e.seq));
+        }
+        if e.at_ns < last_at {
+            err(format!("events[{i}].at_ns = {} goes backwards", e.at_ns));
+        }
+        last_at = e.at_ns;
+        if let Some((window_ns, span_ns)) = span {
+            if window_ns > 0 && (e.at_ns % window_ns != 0 || e.at_ns > span_ns) {
+                err(format!(
+                    "events[{i}].at_ns = {} is not a window boundary within \
+                     the {span_ns} ns run span",
+                    e.at_ns
+                ));
+            }
+        }
+        // open/clear must alternate per kind, starting with open.
+        let k = e.kind as usize;
+        match e.state {
+            AlertState::Open if open[k] => {
+                err(format!("events[{i}]: {} opened twice", e.kind.name()))
+            }
+            AlertState::Clear if !open[k] => {
+                err(format!("events[{i}]: {} cleared while not open", e.kind.name()))
+            }
+            _ => open[k] = e.state == AlertState::Open,
+        }
+    }
+}
+
 /// Validate a Chrome `trace_event` export: parses and carries a
 /// non-empty `traceEvents` array whose entries have a `ph` tag.
 fn check_trace(path: &Path, errors: &mut Vec<String>) {
@@ -282,6 +410,8 @@ fn check_report(path: &Path, errors: &mut Vec<String>) -> Option<String> {
     check_phases(path, "$", &json, errors);
     check_contention(path, "$", &json, errors);
     check_timeseries(path, &json, errors);
+    check_health(path, &json, errors);
+    check_alerts(path, &json, errors);
     experiment
 }
 
@@ -311,6 +441,11 @@ fn main() -> ExitCode {
             .and_then(|n| n.to_str())
             .is_some_and(|n| n.ends_with("_trace.json"))
     });
+    let (alert_logs, entries): (Vec<_>, Vec<_>) = entries.into_iter().partition(|p| {
+        p.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with("_alerts.json"))
+    });
     if entries.is_empty() {
         eprintln!("no exp_*.json reports in {}", dir.display());
         return ExitCode::FAILURE;
@@ -322,6 +457,17 @@ fn main() -> ExitCode {
     }
     for path in &traces {
         check_trace(path, &mut errors);
+    }
+    // Standalone alert-log artifacts hold exactly an `alerts` section.
+    for path in &alert_logs {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(json) if alerts_from_json(&json).is_some() => {}
+                Ok(_) => errors.push(format!("{}: not a typed alert log", path.display())),
+                Err(e) => errors.push(format!("{}: invalid JSON: {e}", path.display())),
+            },
+            Err(e) => errors.push(format!("{}: unreadable: {e}", path.display())),
+        }
     }
 
     let summary_path = dir.join("BENCH_summary.json");
@@ -349,9 +495,10 @@ fn main() -> ExitCode {
 
     if errors.is_empty() {
         println!(
-            "ok: {} report(s) + {} trace(s) + BENCH_summary.json valid in {}",
+            "ok: {} report(s) + {} trace(s) + {} alert log(s) + BENCH_summary.json valid in {}",
             reports.len(),
             traces.len(),
+            alert_logs.len(),
             dir.display()
         );
         ExitCode::SUCCESS

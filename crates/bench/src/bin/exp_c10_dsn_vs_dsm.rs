@@ -137,6 +137,7 @@ fn main() {
         if w == windows - 1 {
             // Last DSM window doubles as the report's time-series sample.
             report::attach_timeseries(&mut rep, &r);
+            report::attach_live_plane(&mut rep, &r);
         }
     }
     let moved = dsn.stats().reshard_bytes;

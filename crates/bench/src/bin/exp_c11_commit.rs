@@ -97,6 +97,7 @@ fn main() {
             rep.headline("onesided_tps_50cross", Json::F(direct.tps()));
             // Flagship point of the sweep carries the windowed series.
             report::attach_timeseries(&mut rep, &sharded);
+            report::attach_live_plane(&mut rep, &sharded);
         }
     }
     report::emit(&rep);

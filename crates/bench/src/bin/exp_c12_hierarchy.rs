@@ -26,7 +26,7 @@ fn run(
     sections: usize,
     hierarchical: bool,
     capture: bool,
-) -> (f64, u64, Option<(rdma_sim::SeriesSnapshot, u64)>) {
+) -> (f64, u64, Option<(rdma_sim::SeriesSnapshot, rdma_sim::HealthSnapshot, u64)>) {
     let fabric = Fabric::new(NetworkProfile::rdma_cx6());
     let layer = DsmLayer::build(
         &fabric,
@@ -42,6 +42,7 @@ fn run(
     let total_cas = std::sync::atomic::AtomicU64::new(0);
     let makespan = std::sync::atomic::AtomicU64::new(0);
     let series = std::sync::Mutex::new(rdma_sim::SeriesSnapshot::empty());
+    let health = std::sync::Mutex::new(rdma_sim::HealthSnapshot::empty());
     let barrier = std::sync::Barrier::new(threads);
     std::thread::scope(|s| {
         for t in 0..threads {
@@ -50,6 +51,7 @@ fn run(
             let total_cas = &total_cas;
             let makespan = &makespan;
             let series = &series;
+            let health = &health;
             let barrier = &barrier;
             s.spawn(move || {
                 let ep = fabric.endpoint();
@@ -94,6 +96,7 @@ fn run(
                 makespan.fetch_max(ep.clock().now_ns(), std::sync::atomic::Ordering::Relaxed);
                 if capture {
                     series.lock().unwrap().merge(&ep.series_snapshot());
+                    health.lock().unwrap().merge(&ep.health_snapshot());
                 }
             });
         }
@@ -103,7 +106,7 @@ fn run(
     (
         total * 1e9 / ns.max(1) as f64,
         total_cas.load(std::sync::atomic::Ordering::Relaxed),
-        capture.then(|| (series.into_inner().unwrap(), ns)),
+        capture.then(|| (series.into_inner().unwrap(), health.into_inner().unwrap(), ns)),
     )
 }
 
@@ -149,8 +152,10 @@ fn main() {
             rep.headline("flat_cas_8t", Json::U(flat_cas));
             rep.headline("hier_cas_8t", Json::U(hier_cas));
         }
-        if let Some((s, makespan)) = flagship {
+        if let Some((s, h, makespan)) = flagship {
             rep.timeseries(report::series_json(&s, makespan));
+            rep.health(report::health_json(&h));
+            rep.alerts(report::alerts_json(&report::watchdog_replay(&s, &h, threads as u32)));
         }
     }
     report::emit(&rep);

@@ -13,11 +13,12 @@
 //! invariants are also asserted by `crates/bench/tests/chaos.rs`.
 
 use bench::chaos::{report_for, run_chaos, tps_sparkline, ChaosConfig};
-use bench::{report, scale_down, table};
+use bench::{config, report, scale_down, table};
 
 fn main() {
     println!("\nC13 — chaos: memory-node crash + zombie lock holder mid-workload\n");
     let cfg = ChaosConfig {
+        seed: config::seed(0xC13),
         rounds: scale_down(900).max(9),
         ..ChaosConfig::default()
     };
@@ -81,7 +82,7 @@ fn main() {
         tps_sparkline(&out, 48), out.series.len(), out.series.window_ns);
 
     report::emit(&report_for(&cfg, &out));
-    if std::env::var_os("BENCH_TRACE").is_some() {
+    if config::trace_enabled() {
         let trace_path = report::results_dir().join("exp_c13_chaos_trace.json");
         match out.trace.write(&trace_path) {
             Ok(()) => println!("wrote {} ({} events; open in Perfetto)", trace_path.display(), out.trace.len()),

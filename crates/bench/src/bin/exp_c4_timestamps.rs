@@ -83,6 +83,7 @@ fn main() {
                 faa.next_ts(ep).unwrap();
             });
             report::attach_endpoint_series(&mut rep, &eps, makespan);
+            report::attach_endpoint_live_plane(&mut rep, &eps);
         }
     }
     report::emit(&rep);

@@ -72,6 +72,7 @@ fn run_gap(
                     std::slice::from_ref(&ep),
                     ep.clock().now_ns(),
                 );
+                report::attach_endpoint_live_plane(rep, std::slice::from_ref(&ep));
             }
         }
         let s = pool.stats();

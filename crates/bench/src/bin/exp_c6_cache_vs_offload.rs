@@ -192,6 +192,7 @@ fn main() {
             }
         }
         report::attach_endpoint_series(&mut rep, std::slice::from_ref(&ep), ep.clock().now_ns());
+        report::attach_endpoint_live_plane(&mut rep, std::slice::from_ref(&ep));
     }
     report::emit(&rep);
     println!(

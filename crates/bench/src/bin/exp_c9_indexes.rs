@@ -45,8 +45,9 @@ fn main() {
     let lookups: u64 = scale_down(10_000) as u64;
     let keys: Vec<u64> = (0..n).map(|i| (i * 2_654_435_761) % (n * 8) + 1).collect();
     let mut rows = Vec::new();
-    // Flagship series (btree+cache lookups), attached once the report exists.
-    let mut flagship: Option<(rdma_sim::SeriesSnapshot, u64)> = None;
+    // Flagship series + live plane (btree+cache lookups), attached once
+    // the report exists.
+    let mut flagship: Option<(rdma_sim::SeriesSnapshot, rdma_sim::HealthSnapshot, u64)> = None;
 
     // --- B+tree, cached internals (Sherman) ----------------------------
     for (name, cached) in [("btree+cache", true), ("btree naive", false)] {
@@ -68,6 +69,7 @@ fn main() {
         if cached {
             flagship = Some((
                 bench::merged_series(std::slice::from_ref(&lep)),
+                bench::merged_health(std::slice::from_ref(&lep)),
                 lep.clock().now_ns(),
             ));
         }
@@ -144,8 +146,10 @@ fn main() {
     );
     rep.meta("keys", Json::U(n));
     rep.meta("lookups", Json::U(lookups));
-    if let Some((s, makespan)) = &flagship {
+    if let Some((s, h, makespan)) = &flagship {
         rep.timeseries(report::series_json(s, *makespan));
+        rep.health(report::health_json(h));
+        rep.alerts(report::alerts_json(&report::watchdog_replay(s, h, 1)));
     }
     table::header(&[
         "index",

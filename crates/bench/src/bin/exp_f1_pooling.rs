@@ -171,6 +171,7 @@ fn main() {
                 std::slice::from_ref(&ep),
                 ep.clock().now_ns(),
             );
+            report::attach_endpoint_live_plane(&mut rep, std::slice::from_ref(&ep));
         }
     }
     report::emit(&rep);

@@ -81,6 +81,7 @@ fn main() {
             rep.headline("dss_tps_8n", Json::F(dss));
             // The 8-node DSM run is the flagship: keep its series.
             report::attach_timeseries(&mut rep, &dsm);
+            report::attach_live_plane(&mut rep, &dsm);
         }
         let _ = base_dss;
     }

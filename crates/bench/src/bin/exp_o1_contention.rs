@@ -37,7 +37,7 @@ fn cc_name(cc: CcProtocol) -> &'static str {
 fn main() {
     println!("\nO1 — contention observatory: hot keys, wait-for, abort mix vs zipf skew\n");
     let rounds = scale_down(600).max(20);
-    let base = ObsConfig { rounds, ..ObsConfig::default() };
+    let base = ObsConfig { seed: bench::config::seed(0x01), rounds, ..ObsConfig::default() };
 
     let mut rep = Report::new(
         "exp_o1_contention",
@@ -147,6 +147,12 @@ fn main() {
     );
 
     rep.timeseries(series_json(&flagship.series, flagship.makespan_ns));
+    rep.health(report::health_json(&flagship.health));
+    rep.alerts(report::alerts_json(&report::watchdog_replay(
+        &flagship.series,
+        &flagship.health,
+        base.sessions as u32,
+    )));
     rep.headline("tps", Json::F(flagship.tps()));
     rep.headline("recorder_overhead_pct", Json::F(overhead_pct));
     rep.headline("wait_ns_total", Json::U(flagship.contention.wait_ns_total));
@@ -154,7 +160,7 @@ fn main() {
     rep.headline("wait_for_max_depth", Json::U(wf.max_depth));
     report::emit(&rep);
 
-    if std::env::var_os("BENCH_TRACE").is_some() {
+    if bench::config::trace_enabled() {
         let trace_path = report::results_dir().join("exp_o1_contention_trace.json");
         match flagship.trace.write(&trace_path) {
             Ok(()) => println!(

@@ -32,6 +32,7 @@ use telemetry::analysis;
 fn main() {
     println!("\nO2 — virtual-time metrics pipeline: recovery timeline + warm-up ramp\n");
     let cfg = ChaosConfig {
+        seed: bench::config::seed(0xC13),
         rounds: scale_down(900).max(9),
         ..ChaosConfig::default()
     };
@@ -242,6 +243,8 @@ fn main() {
         ],
     );
     rep.timeseries(section);
+    rep.health(report::health_json(&on.health));
+    rep.alerts(report::alerts_json(&bench::chaos::watchdog_log(&cfg, &on, None)));
     rep.headline("dip_depth", Json::F(on.recovery.dip_depth));
     rep.headline(
         "time_to_recovery_ns",

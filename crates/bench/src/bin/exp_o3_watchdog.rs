@@ -1,0 +1,280 @@
+//! Experiment O3: the online watchdog detects every injected fault —
+//! and nothing else.
+//!
+//! Four claims, each asserted (the binary fails loudly if the live
+//! plane regresses):
+//!
+//! 1. **Zero false alerts.** The C13 workload with `inject: false` (no
+//!    crash, no zombie, no fault plan) produces an EMPTY alert log,
+//!    with the p99 SLO armed from the baseline's own worst window.
+//! 2. **Every injected fault is detected online.** Replaying the
+//!    faulted C13 run window-by-window, the watchdog opens
+//!    `throughput_dip` (memory-node crash), `lease_steal_storm` (the
+//!    zombie's expired leases), and `p99_slo_breach` (the latency
+//!    spike + lock timeouts) — all at or after the ground-truth crash
+//!    instant, never before. The detection latency per rule is the
+//!    report's headline table.
+//! 3. **Onset localization.** An O1 observatory run whose lock
+//!    antagonist only starts squatting at the midpoint opens
+//!    `lock_wait_concentration` after the onset instant, not before.
+//! 4. **Free and deterministic.** Sampling off vs on changes no
+//!    virtual timestamp (0% overhead), and two same-seed runs render
+//!    byte-identical alert logs.
+//!
+//! `BENCH_SCALE=10` shrinks the runs for CI smoke; `BENCH_ALERT_LOG=1`
+//! writes the faulted run's alert log as a standalone JSON artifact.
+
+use bench::chaos::{run_chaos, watchdog_log, ChaosConfig, PARTITION_START_NS};
+use bench::observatory::{run_observatory, ObsConfig};
+use bench::report::{self, alerts_json, health_json, Json, Report};
+use bench::{config, table, AlertEvent, AlertKind, AlertState, Gauge, WatchdogConfig};
+use telemetry::watchdog::{run_over, windowed_p99};
+
+/// First `Open` of `kind` in the log.
+fn first_open(log: &[AlertEvent], kind: AlertKind) -> Option<&AlertEvent> {
+    log.iter().find(|e| e.kind == kind && e.state == AlertState::Open)
+}
+
+fn main() {
+    println!("\nO3 — watchdog: online fault detection over the live plane\n");
+    let rounds = config::scale_down(900).max(9);
+    let base_cfg = ChaosConfig {
+        seed: config::seed(0xC13),
+        rounds,
+        inject: false,
+        ..ChaosConfig::default()
+    };
+    let fault_cfg = ChaosConfig { inject: true, ..base_cfg };
+
+    // --- Claim 1: fault-free baseline stays silent -------------------
+    let base = run_chaos(&base_cfg);
+    // Arm the p99 objective from the baseline's own behaviour: twice
+    // the worst windowed p99 a healthy run exhibits.
+    let base_p99s = windowed_p99(&base.latency_samples, base.series.window_ns, base.series.len());
+    let worst_ok_p99 = base_p99s.iter().flatten().copied().max().unwrap_or(0);
+    let slo = (worst_ok_p99 > 0).then_some(worst_ok_p99 * 2);
+    let base_log = watchdog_log(&base_cfg, &base, slo);
+    println!(
+        "baseline: {} commits, worst windowed p99 {} ns, SLO armed at {} ns, {} alert(s)",
+        base.pre.commits + base.fault.commits + base.post.commits,
+        worst_ok_p99,
+        slo.unwrap_or(0),
+        base_log.len(),
+    );
+    assert!(
+        base_log.is_empty(),
+        "false alerts on the fault-free baseline: {base_log:?}"
+    );
+
+    // --- Claim 2: every injected fault is detected, never before it --
+    // The ground-truth fault plan has three instants: the background
+    // partition of group 1's primary from round 0, the memory-node
+    // crash + zombie at the 1/3 mark, and recovery at the 2/3 mark.
+    let out = run_chaos(&fault_cfg);
+    let log = watchdog_log(&fault_cfg, &out, slo);
+    println!(
+        "\nfaulted run: partition at {} ns, crash at {} ns, recovery at {} ns — {} alert event(s)",
+        PARTITION_START_NS,
+        out.t_crash_ns,
+        out.t_recover_ns,
+        log.len()
+    );
+    table::header(&["alert", "state", "at_ns", "value", "threshold"]);
+    for e in &log {
+        table::row(&[
+            e.kind.name().into(),
+            e.state.name().into(),
+            table::n(e.at_ns),
+            table::f1(e.value),
+            table::f1(e.threshold),
+        ]);
+    }
+    for e in &log {
+        assert!(
+            e.at_ns >= PARTITION_START_NS,
+            "alert before any fault was injected: {e:?}"
+        );
+    }
+    // Each injected fault maps to the rule that must catch it; the
+    // detection latency is first-Open minus the ground-truth instant.
+    let partition_open = first_open(&log, AlertKind::P99SloBreach)
+        .expect("the p99 rule never fired despite a partition AND a crash");
+    let mut detection: Vec<(&str, AlertKind, u64, u64)> = Vec::new();
+    if partition_open.at_ns < out.t_crash_ns {
+        detection.push((
+            "partition",
+            AlertKind::P99SloBreach,
+            PARTITION_START_NS,
+            partition_open.at_ns - PARTITION_START_NS,
+        ));
+    } else {
+        // The ~30 µs partition spans too few latency windows at small
+        // scales to pass the p99 debounce; only the crash era remains.
+        assert!(
+            config::scale() > 1,
+            "full scale must catch the partition before the crash era"
+        );
+        println!(
+            "(scaled-down run: the partition spike is shorter than the p99 \
+             debounce — crash-era detections below)"
+        );
+    }
+    for kind in [AlertKind::ThroughputDip, AlertKind::LeaseStealStorm, AlertKind::P99SloBreach] {
+        let open = log
+            .iter()
+            .find(|e| {
+                e.kind == kind && e.state == AlertState::Open && e.at_ns >= out.t_crash_ns
+            })
+            .unwrap_or_else(|| panic!("crash never detected by {}", kind.name()));
+        detection.push(("crash", kind, out.t_crash_ns, open.at_ns - out.t_crash_ns));
+    }
+    println!();
+    table::header(&["fault", "detected_by", "t_fault_ns", "detection_latency_ns"]);
+    for (fault, kind, t, lat) in &detection {
+        table::row(&[
+            (*fault).into(),
+            kind.name().into(),
+            table::n(*t),
+            table::n(*lat),
+        ]);
+    }
+
+    // The health plane agrees with the run's ground truth: the cluster
+    // gauges never go negative, every session leaves, and the epoch
+    // bump is on record at the recovery instant.
+    assert!(out.health.min_level(Gauge::SessionsInFlight) >= 0);
+    assert!(out.health.min_level(Gauge::LocksHeld) >= 0);
+    assert_eq!(out.health.final_level(Gauge::SessionsInFlight), 0);
+    assert_eq!(out.health.final_level(Gauge::MembershipEpoch), 1);
+
+    // --- Claim 3: antagonist onset is localized ----------------------
+    let obs_rounds = config::scale_down(600).max(8);
+    let obs_cfg = ObsConfig {
+        seed: config::seed(0x01),
+        rounds: obs_rounds,
+        theta: 1.2,
+        read_pct: 0,
+        antagonist_from_round: obs_rounds / 2,
+        ..ObsConfig::default()
+    };
+    let obs = run_observatory(&obs_cfg);
+    let mut wcfg = WatchdogConfig::new(obs.series.window_ns, obs_cfg.sessions as u32);
+    // Round-robin sessions never block each other — every lock wait in
+    // this harness is the antagonist's doing, and the share is exactly
+    // zero before its onset. Arm the rule at 0.1% of the session-time
+    // budget so even short retry-then-abort waits trip it.
+    wcfg.wait_frac = 0.001;
+    let obs_log = run_over(wcfg, &obs.series, Some(&obs.health), None);
+    let wait_open = first_open(&obs_log, AlertKind::LockWaitConcentration)
+        .expect("antagonist squatting was never detected");
+    println!(
+        "\nO1 antagonist: onset at {} ns, lock_wait_concentration opened at {} ns (+{} ns)",
+        obs.t_antagonist_ns,
+        wait_open.at_ns,
+        wait_open.at_ns - obs.t_antagonist_ns,
+    );
+    assert!(obs.t_antagonist_ns > 0, "onset must be mid-run");
+    assert!(
+        wait_open.at_ns >= obs.t_antagonist_ns,
+        "lock-wait alert before the antagonist existed"
+    );
+    for e in &obs_log {
+        if e.kind == AlertKind::LockWaitConcentration {
+            assert!(e.at_ns >= obs.t_antagonist_ns, "pre-onset false alert: {e:?}");
+        }
+    }
+
+    // --- Claim 4a: sampling costs zero virtual time ------------------
+    let off_cfg = ChaosConfig { window_ns: 0, ..fault_cfg };
+    let off = run_chaos(&off_cfg);
+    assert_eq!(
+        off.post.end_ns, out.post.end_ns,
+        "live-plane sampling changed the makespan"
+    );
+    assert_eq!(off.pre.commits, out.pre.commits);
+    assert!(off.series.is_empty() && off.health.is_empty());
+    println!("\nsampling off vs on: identical makespan ({} ns) — 0% overhead", out.post.end_ns);
+
+    // --- Claim 4b: same-seed alert logs are byte-identical -----------
+    let out2 = run_chaos(&fault_cfg);
+    let log2 = watchdog_log(&fault_cfg, &out2, slo);
+    let rendered = alerts_json(&log).render();
+    assert_eq!(
+        rendered,
+        alerts_json(&log2).render(),
+        "same-seed alert logs diverged"
+    );
+    println!("same-seed rerun: alert log byte-identical ({} bytes)", rendered.len());
+
+    // --- Report ------------------------------------------------------
+    let mut rep = Report::new(
+        "exp_o3_watchdog",
+        "O3: online watchdog — detection latency, zero false alerts, 0% cost",
+    );
+    rep.meta("seed", Json::U(fault_cfg.seed));
+    rep.meta("rounds", Json::U(fault_cfg.rounds as u64));
+    rep.meta("sessions", Json::U(fault_cfg.sessions as u64));
+    rep.meta("window_ns", Json::U(fault_cfg.window_ns));
+    rep.meta("slo_p99_ns", slo.map_or(Json::Null, Json::U));
+    for (fault, kind, t, latency) in &detection {
+        rep.row(
+            &format!("detect={fault}/{}", kind.name()),
+            vec![
+                ("fault", Json::S((*fault).into())),
+                ("alert", Json::S(kind.name().into())),
+                ("t_fault_ns", Json::U(*t)),
+                ("detection_latency_ns", Json::U(*latency)),
+            ],
+        );
+    }
+    rep.row(
+        "onset=lock_wait_concentration",
+        vec![
+            ("alert", Json::S(AlertKind::LockWaitConcentration.name().into())),
+            ("t_onset_ns", Json::U(obs.t_antagonist_ns)),
+            (
+                "detection_latency_ns",
+                Json::U(wait_open.at_ns - obs.t_antagonist_ns),
+            ),
+        ],
+    );
+    rep.row(
+        "claims",
+        vec![
+            ("baseline_alerts", Json::U(base_log.len() as u64)),
+            ("fault_alerts", Json::U(log.len() as u64)),
+            ("sampling_overhead_pct", Json::F(0.0)),
+            ("deterministic", Json::Bool(true)),
+        ],
+    );
+    rep.timeseries(report::series_json(&out.series, out.post.end_ns));
+    rep.health(health_json(&out.health));
+    rep.alerts(alerts_json(&log));
+    let latency_of = |kind: AlertKind| {
+        detection.iter().find(|(f, k, ..)| *f == "crash" && *k == kind).unwrap().3
+    };
+    rep.headline("baseline_false_alerts", Json::U(base_log.len() as u64));
+    rep.headline("dip_detection_latency_ns", Json::U(latency_of(AlertKind::ThroughputDip)));
+    rep.headline(
+        "steal_detection_latency_ns",
+        Json::U(latency_of(AlertKind::LeaseStealStorm)),
+    );
+    rep.headline("alert_events", Json::U(log.len() as u64));
+    report::emit(&rep);
+
+    if config::alert_log_enabled() {
+        let path = report::results_dir().join("exp_o3_watchdog_alerts.json");
+        match std::fs::write(&path, alerts_json(&log).render_pretty(2)) {
+            Ok(()) => println!("wrote {} ({} events)", path.display(), log.len()),
+            Err(e) => eprintln!("warning: could not write alert log: {e}"),
+        }
+    } else {
+        println!("alert log artifact skipped (set BENCH_ALERT_LOG=1 to write it)");
+    }
+
+    println!(
+        "\nShape check: the baseline is silent; every injected fault opens its \
+         rule within milliseconds of the ground-truth instant; monitoring \
+         costs zero virtual time and replays byte-identically."
+    );
+}

@@ -31,19 +31,29 @@ use dsmdb::{
     Architecture, CcProtocol, Cluster, ClusterConfig, NodeStatus, Op, Session, TxnError,
 };
 use rdma_sim::{
-    ChromeTrace, ContentionSnapshot, FaultPlan, NetworkProfile, PhaseSnapshot, SeriesSnapshot,
-    DEFAULT_WINDOW_NS,
+    ChromeTrace, ContentionSnapshot, FaultPlan, HealthSnapshot, NetworkProfile, PhaseSnapshot,
+    SeriesSnapshot, DEFAULT_WINDOW_NS,
 };
 use telemetry::analysis;
+use telemetry::watchdog::{run_over, windowed_p99};
 use telemetry::RecoveryFacts;
 use txn::locks::LeaseLock;
 
-use crate::report::{abort_causes_json, phases_json, series_json, Json, Report};
-use crate::{sparkline, AbortCauses, Metric};
+use crate::report::{
+    abort_causes_json, alerts_json, health_json, phases_json, series_json, Json, Report,
+};
+use crate::{sparkline, AbortCauses, AlertEvent, Metric, WatchdogConfig};
 
 /// Flight-recorder ring capacity per session: deep enough to keep the
 /// interesting tail (fault window + recovery) of a smoke-scale run.
 const TRACE_RING: usize = 4096;
+
+/// Ground-truth instant the background partition of group 1's primary
+/// begins (virtual ns) — the earliest injected fault of the run.
+pub const PARTITION_START_NS: u64 = 40_000;
+
+/// Ground-truth instant the background partition heals (virtual ns).
+pub const PARTITION_END_NS: u64 = 70_000;
 
 /// Knobs for one chaos run. All sizes are full-scale; callers shrink via
 /// [`crate::scale_down`].
@@ -64,6 +74,10 @@ pub struct ChaosConfig {
     /// Time-series window width, virtual ns (0 disables sampling; the
     /// recovery facts then stay at their zero defaults).
     pub window_ns: u64,
+    /// Whether to inject the faults at all. `false` runs the identical
+    /// workload with no crash, no zombie, and no fault plan — the
+    /// fault-free baseline the watchdog must stay silent on.
+    pub inject: bool,
 }
 
 impl Default for ChaosConfig {
@@ -76,6 +90,7 @@ impl Default for ChaosConfig {
             payload: 64,
             lease_ns: 300_000,
             window_ns: DEFAULT_WINDOW_NS,
+            inject: true,
         }
     }
 }
@@ -154,6 +169,15 @@ pub struct ChaosOutcome {
     /// Windowed time-series merged across all sessions (empty when
     /// [`ChaosConfig::window_ns`] is 0).
     pub series: SeriesSnapshot,
+    /// Gauge health plane merged across all sessions, the zombie, and
+    /// the recovery endpoint (empty when sampling is off).
+    pub health: HealthSnapshot,
+    /// Per-transaction `(virtual completion ns, latency ns)` samples in
+    /// round-robin order — the raw feed for windowed p99s.
+    pub latency_samples: Vec<(u64, u64)>,
+    /// Virtual instant the recovery actions ran (mirror rebuild + epoch
+    /// bump + zombie fencing), ns; 0 when faults were not injected.
+    pub t_recover_ns: u64,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -209,19 +233,23 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     // Background noise from round 0: first-N transient completions and a
     // short partition of group 1's primary. Both are absorbed by the DSM
     // retry policy (reads degrade to the mirror mid-partition).
-    fabric.install_fault_plan(
-        FaultPlan::new(cfg.seed)
-            .transient_first_n(g1_primary, 2)
-            .partition(g1_primary, 40_000, 70_000),
-    );
+    if cfg.inject {
+        fabric.install_fault_plan(
+            FaultPlan::new(cfg.seed)
+                .transient_first_n(g1_primary, 2)
+                .partition(g1_primary, PARTITION_START_NS, PARTITION_END_NS),
+        );
+    }
 
     let mut sessions: Vec<Session> = (0..cfg.sessions).map(|t| cluster.session(0, t)).collect();
-    // Flight recording and series sampling are free in virtual time, so
-    // enabling them cannot perturb the measured timeline.
+    // Flight recording, series sampling, and gauge health sampling are
+    // free in virtual time, so enabling them cannot perturb the
+    // measured timeline.
     for s in &sessions {
         s.endpoint().enable_flight_recorder(TRACE_RING);
         if cfg.window_ns > 0 {
             s.endpoint().enable_timeseries(cfg.window_ns);
+            s.endpoint().enable_health(cfg.window_ns);
         }
     }
     let mut model: Vec<i64> = vec![0; cfg.records as usize];
@@ -252,6 +280,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         contention: ContentionSnapshot::default(),
         trace: ChromeTrace::new(),
         series: SeriesSnapshot::empty(),
+        health: HealthSnapshot::empty(),
+        latency_samples: Vec::with_capacity(cfg.sessions * cfg.rounds),
+        t_recover_ns: 0,
     };
 
     let r_crash = cfg.rounds / 3;
@@ -264,11 +295,18 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
             t_crash = max_clock(&sessions);
             out.pre.end_ns = t_crash;
             out.fault.start_ns = t_crash;
-
+        }
+        if round == r_crash && cfg.inject {
             // A compute session crashes while holding lease locks on the
             // hot keys: a fresh endpoint (clock aligned with the fleet)
-            // acquires them and then goes silent.
+            // acquires them and then goes silent. Its gauge movements
+            // join the cluster health plane: a steal *transfers* the
+            // zombie's hold, so only with the zombie on record does the
+            // cluster-level LocksHeld level stay exact.
             let zep = fabric.endpoint();
+            if cfg.window_ns > 0 {
+                zep.enable_health(cfg.window_ns);
+            }
             zep.charge_local(t_crash);
             let mut held = Vec::new();
             for &k in &[hot_g0, hot_g1] {
@@ -310,9 +348,17 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
             let t = max_clock(&sessions);
             out.fault.end_ns = t;
             out.post.start_ns = t;
+        }
+        if round == r_recover && cfg.inject {
+            let t = max_clock(&sessions);
+            out.t_recover_ns = t;
 
             fabric.clear_fault_plan();
             let rec_ep = fabric.endpoint();
+            if cfg.window_ns > 0 {
+                rec_ep.enable_health(cfg.window_ns);
+            }
+            rec_ep.charge_local(t);
             out.recovery_bytes = layer
                 .recover_member_from_mirror(&rec_ep, 0, 0)
                 .expect("mirror rebuild");
@@ -337,7 +383,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
                         Ok(()) => out.zombie_survived += 1,
                     }
                 }
+                out.health.merge(&zep.health_snapshot());
             }
+            out.health.merge(&rec_ep.health_snapshot());
         }
 
         let seg = if round < r_crash {
@@ -366,7 +414,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
                 Op::Rmw { key: a, delta: -delta },
                 Op::Rmw { key: b, delta },
             ];
-            match s.execute(&ops) {
+            let t0 = s.endpoint().clock().now_ns();
+            let result = s.execute(&ops);
+            let t1 = s.endpoint().clock().now_ns();
+            out.latency_samples.push((t1, t1.saturating_sub(t0)));
+            match result {
                 Ok(_) => {
                     model[a as usize] -= delta;
                     model[b as usize] += delta;
@@ -396,6 +448,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         out.phases.merge(&s.phases());
         out.contention.merge(&s.endpoint().contention_snapshot());
         out.series.merge(&s.endpoint().series_snapshot());
+        out.health.merge(&s.endpoint().health_snapshot());
         out.trace.name_thread(0, t as u64 + 1, &format!("session{t}"));
         s.endpoint().export_chrome_trace(&mut out.trace, 0, t as u64 + 1);
     }
@@ -453,6 +506,32 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     out
 }
 
+/// The watchdog thresholds a chaos run is monitored with: the
+/// harness's session count and (optionally) a p99 objective. Every
+/// other threshold keeps the [`WatchdogConfig::new`] defaults.
+pub fn watchdog_config(cfg: &ChaosConfig, slo_p99_ns: Option<u64>) -> WatchdogConfig {
+    let mut wd = WatchdogConfig::new(cfg.window_ns, cfg.sessions as u32);
+    wd.slo_p99_ns = slo_p99_ns;
+    wd
+}
+
+/// Replay a finished chaos run through the online watchdog — counter
+/// windows, gauge levels, and exact windowed p99s — and return the
+/// typed alert log. Deterministic bookkeeping over closed windows: two
+/// same-seed runs produce byte-identical logs.
+pub fn watchdog_log(
+    cfg: &ChaosConfig,
+    out: &ChaosOutcome,
+    slo_p99_ns: Option<u64>,
+) -> Vec<AlertEvent> {
+    if out.series.is_empty() {
+        return Vec::new();
+    }
+    let p99s = windowed_p99(&out.latency_samples, out.series.window_ns, out.series.len());
+    let health = (!out.health.is_empty()).then_some(&out.health);
+    run_over(watchdog_config(cfg, slo_p99_ns), &out.series, health, Some(&p99s))
+}
+
 /// Build the C13 report (shared by the binary and the determinism test
 /// so both render the exact same JSON).
 pub fn report_for(cfg: &ChaosConfig, out: &ChaosOutcome) -> Report {
@@ -466,6 +545,7 @@ pub fn report_for(cfg: &ChaosConfig, out: &ChaosOutcome) -> Report {
     rep.meta("records", Json::U(cfg.records));
     rep.meta("lease_ns", Json::U(cfg.lease_ns));
     rep.meta("window_ns", Json::U(cfg.window_ns));
+    rep.meta("inject", Json::Bool(cfg.inject));
     for (name, w) in [("pre", &out.pre), ("fault", &out.fault), ("post", &out.post)] {
         rep.row(
             &format!("window={name}"),
@@ -516,6 +596,8 @@ pub fn report_for(cfg: &ChaosConfig, out: &ChaosOutcome) -> Report {
     if !out.series.is_empty() {
         rep.timeseries(series_json(&out.series, out.post.end_ns));
     }
+    rep.health(health_json(&out.health));
+    rep.alerts(alerts_json(&watchdog_log(cfg, out, None)));
     rep.headline("pre_tps", Json::F(out.pre.tps()));
     rep.headline("fault_tps", Json::F(out.fault.tps()));
     rep.headline("post_tps", Json::F(out.post.tps()));

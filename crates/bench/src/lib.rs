@@ -17,6 +17,7 @@
 //!   like the paper's tables.
 
 pub mod chaos;
+pub mod config;
 pub mod observatory;
 pub mod regression;
 
@@ -25,10 +26,14 @@ use std::sync::Mutex;
 
 use dsmdb::{AbortCause, Cluster, Op, Session, TxnError};
 use rdma_sim::{
-    ContentionSnapshot, Endpoint, HistSnapshot, PhaseSnapshot, SeriesSnapshot, DEFAULT_WINDOW_NS,
+    ContentionSnapshot, Endpoint, HealthSnapshot, HistSnapshot, PhaseSnapshot, SeriesSnapshot,
+    DEFAULT_WINDOW_NS,
 };
 
-pub use telemetry::{sparkline, Metric};
+pub use config::scale_down;
+pub use telemetry::{
+    sparkline, AlertEvent, AlertKind, AlertState, Gauge, Metric, Watchdog, WatchdogConfig,
+};
 
 /// Drive `clients` virtual clients in lockstep for `rounds` rounds. The
 /// closure runs one operation for one client; returns the makespan (max
@@ -135,6 +140,13 @@ pub struct WorkloadResult {
     /// Windowed time-series (commits, aborts by cause, verbs, cache,
     /// locks) merged across every session endpoint.
     pub series: SeriesSnapshot,
+    /// Per-node health plane (gauge deltas: sessions in flight, locks
+    /// held, pool occupancy, outstanding verbs, membership epoch)
+    /// merged across every session endpoint.
+    pub health: HealthSnapshot,
+    /// Concurrent sessions that fed the run (nodes x threads) — the
+    /// watchdog's lock-wait budget denominator.
+    pub sessions: u32,
 }
 
 impl WorkloadResult {
@@ -216,6 +228,7 @@ where
     let latency = Mutex::new(HistSnapshot::empty());
     let phases = Mutex::new(PhaseSnapshot::default());
     let series = Mutex::new(SeriesSnapshot::empty());
+    let health = Mutex::new(HealthSnapshot::empty());
     std::thread::scope(|sc| {
         for n in 0..nodes {
             for t in 0..threads {
@@ -231,9 +244,11 @@ where
                 let latency = &latency;
                 let phases = &phases;
                 let series = &series;
+                let health = &health;
                 sc.spawn(move || {
                     let mut s: Session = cluster.session(n, t);
                     s.endpoint().enable_timeseries(DEFAULT_WINDOW_NS);
+                    s.endpoint().enable_health(DEFAULT_WINDOW_NS);
                     let mut my_aborts = AbortCauses::default();
                     for i in 0..txns_per_session {
                         let ops = gen(n, t, i);
@@ -274,6 +289,7 @@ where
                         .unwrap()
                         .merge(&s.endpoint().contention_snapshot());
                     series.lock().unwrap().merge(&s.endpoint().series_snapshot());
+                    health.lock().unwrap().merge(&s.endpoint().health_snapshot());
                 });
             }
         }
@@ -288,15 +304,19 @@ where
         phases: phases.into_inner().unwrap(),
         contention: contention.into_inner().unwrap(),
         series: series.into_inner().unwrap(),
+        health: health.into_inner().unwrap(),
+        sessions: total_workers as u32,
     }
 }
 
-/// Turn on windowed time-series sampling (default width) on every
-/// endpoint of an endpoint-level run. Sampling reads the virtual clock
-/// but never advances it, so enabling this cannot perturb the run.
+/// Turn on windowed time-series sampling and gauge health (default
+/// width) on every endpoint of an endpoint-level run. Sampling reads
+/// the virtual clock but never advances it, so enabling this cannot
+/// perturb the run.
 pub fn enable_series(eps: &[Endpoint]) {
     for ep in eps {
         ep.enable_timeseries(DEFAULT_WINDOW_NS);
+        ep.enable_health(DEFAULT_WINDOW_NS);
     }
 }
 
@@ -311,6 +331,16 @@ pub fn merged_series(eps: &[Endpoint]) -> SeriesSnapshot {
     s
 }
 
+/// Merge the gauge health planes recorded by `eps` (the companion of
+/// [`merged_series`] for endpoint-level runs).
+pub fn merged_health(eps: &[Endpoint]) -> HealthSnapshot {
+    let mut h = HealthSnapshot::empty();
+    for ep in eps {
+        h.merge(&ep.health_snapshot());
+    }
+    h
+}
+
 /// Machine-readable experiment output: every `exp_*` binary builds a
 /// [`telemetry::Report`] alongside its printed table and calls
 /// [`report::emit`], which writes `results/<experiment>.json` and folds
@@ -318,17 +348,18 @@ pub fn merged_series(eps: &[Endpoint]) -> SeriesSnapshot {
 pub mod report {
     use std::path::PathBuf;
 
-    pub use telemetry::report::{hist_json, phases_json, series_from_json, series_json};
+    pub use telemetry::report::{
+        alerts_from_json, alerts_json, health_from_json, health_json, hist_json, phases_json,
+        series_from_json, series_json,
+    };
     pub use telemetry::{Json, Report};
 
-    use crate::{AbortCauses, WorkloadResult};
+    use crate::{AbortCauses, AlertEvent, WatchdogConfig, WorkloadResult};
 
     /// Where reports land: `$BENCH_RESULTS_DIR`, defaulting to
     /// `results/` under the current directory.
     pub fn results_dir() -> PathBuf {
-        std::env::var_os("BENCH_RESULTS_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("results"))
+        crate::config::results_dir()
     }
 
     /// Write `report` and merge its headline into `BENCH_summary.json`.
@@ -376,7 +407,9 @@ pub mod report {
     /// Install the standard headline block for the run the experiment
     /// considers its flagship configuration: tps, p50/p99 latency, wire
     /// round trips per txn, and phase shares — and attach the flagship
-    /// run's windowed time-series as the report's `timeseries` section.
+    /// run's windowed time-series, health plane, and watchdog alert log
+    /// as the report's schema-v3 `timeseries`/`health`/`alerts`
+    /// sections.
     pub fn standard_headline(rep: &mut Report, r: &WorkloadResult) {
         let (p50, _p95, p99, _p999) = r.latency.percentiles();
         rep.headline("tps", Json::F(r.tps()));
@@ -385,6 +418,22 @@ pub mod report {
         rep.headline("wire_rts_per_txn", Json::F(r.wire_rts_per_txn()));
         rep.headline("phases", phases_json(&r.phases));
         attach_timeseries(rep, r);
+        attach_live_plane(rep, r);
+    }
+
+    /// Replay the flagship run through a default-threshold [`crate::Watchdog`]
+    /// and attach the health plane plus the resulting alert log. The
+    /// replay is deterministic bookkeeping over already-closed windows,
+    /// so this cannot change any measured number.
+    pub fn attach_live_plane(rep: &mut Report, r: &WorkloadResult) {
+        rep.health(health_json(&r.health));
+        rep.alerts(alerts_json(&standard_alerts(r)));
+    }
+
+    /// The default-threshold watchdog log for one workload run (empty
+    /// when the series was not recorded).
+    pub fn standard_alerts(r: &WorkloadResult) -> Vec<AlertEvent> {
+        watchdog_replay(&r.series, &r.health, r.sessions)
     }
 
     /// Attach `r`'s windowed series as the report's `timeseries`
@@ -402,16 +451,31 @@ pub mod report {
     ) {
         rep.timeseries(series_json(&crate::merged_series(eps), makespan_ns));
     }
-}
 
-/// Scale factor for quick runs: set `BENCH_SCALE` (default 1) to divide
-/// workload sizes, e.g. `BENCH_SCALE=10` for a smoke run.
-pub fn scale_down(n: usize) -> usize {
-    let s: usize = std::env::var("BENCH_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
-    (n / s).max(1)
+    /// Attach the live plane of an endpoint-level flagship run: the
+    /// merged gauge health across `eps` plus a default-threshold
+    /// watchdog replay over the merged series (one "session" per
+    /// endpoint for the wait-budget denominator).
+    pub fn attach_endpoint_live_plane(rep: &mut Report, eps: &[rdma_sim::Endpoint]) {
+        let series = crate::merged_series(eps);
+        let health = crate::merged_health(eps);
+        rep.health(health_json(&health));
+        rep.alerts(alerts_json(&watchdog_replay(&series, &health, eps.len() as u32)));
+    }
+
+    /// The default-threshold watchdog log over an already-recorded
+    /// series + health plane (empty when the series was not recorded).
+    pub fn watchdog_replay(
+        series: &rdma_sim::SeriesSnapshot,
+        health: &rdma_sim::HealthSnapshot,
+        sessions: u32,
+    ) -> Vec<AlertEvent> {
+        if series.is_empty() {
+            return Vec::new();
+        }
+        let cfg = WatchdogConfig::new(series.window_ns, sessions);
+        telemetry::watchdog::run_over(cfg, series, (!health.is_empty()).then_some(health), None)
+    }
 }
 
 /// Fixed-width table printing.
@@ -501,6 +565,14 @@ mod tests {
         assert_eq!(r.series.total(Metric::Commits), r.commits);
         assert_eq!(r.series.total(Metric::Aborts), r.aborts.total());
         assert!(!r.tps_sparkline(24).is_empty());
+        // The health plane rode along: sessions entered and left, and
+        // the cluster-level gauges return to zero at the end.
+        assert_eq!(r.sessions, 2);
+        assert!(!r.health.is_empty());
+        assert_eq!(r.health.final_level(Gauge::SessionsInFlight), 0);
+        assert_eq!(r.health.final_level(Gauge::LocksHeld), 0);
+        assert!(r.health.min_level(Gauge::SessionsInFlight) >= 0);
+        assert!(r.health.max_level(Gauge::SessionsInFlight) >= 1);
     }
 
     #[test]

@@ -28,7 +28,8 @@ use dsmdb::{Architecture, CcProtocol, Cluster, ClusterConfig, Op, Session, TxnEr
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rdma_sim::{
-    ChromeTrace, ContentionSnapshot, NetworkProfile, SeriesSnapshot, DEFAULT_WINDOW_NS,
+    ChromeTrace, ContentionSnapshot, HealthSnapshot, NetworkProfile, SeriesSnapshot,
+    DEFAULT_WINDOW_NS,
 };
 use txn::locks::ExclusiveLock;
 use workload::ZipfGenerator;
@@ -62,6 +63,10 @@ pub struct ObsConfig {
     pub trace_ring: usize,
     /// Time-series window width, virtual ns (0 = off).
     pub window_ns: u64,
+    /// First round the antagonist squats from (0 = from the start). A
+    /// late onset gives the watchdog a clean before/after edge: lock
+    /// waits are ~zero until this round, then concentrate.
+    pub antagonist_from_round: usize,
 }
 
 impl Default for ObsConfig {
@@ -77,6 +82,7 @@ impl Default for ObsConfig {
             cc: CcProtocol::TplExclusive,
             trace_ring: 4096,
             window_ns: DEFAULT_WINDOW_NS,
+            antagonist_from_round: 0,
         }
     }
 }
@@ -100,6 +106,12 @@ pub struct ObsOutcome {
     /// Windowed time-series merged across sessions (empty when
     /// `window_ns` is 0).
     pub series: SeriesSnapshot,
+    /// Gauge health plane merged across sessions (empty when
+    /// `window_ns` is 0).
+    pub health: HealthSnapshot,
+    /// Virtual instant of the antagonist's first squat (max session
+    /// clock at the onset round), ns; 0 when it squats from round 0.
+    pub t_antagonist_ns: u64,
 }
 
 impl ObsOutcome {
@@ -142,6 +154,7 @@ pub fn run_observatory(cfg: &ObsConfig) -> ObsOutcome {
         }
         if cfg.window_ns > 0 {
             s.endpoint().enable_timeseries(cfg.window_ns);
+            s.endpoint().enable_health(cfg.window_ns);
         }
     }
 
@@ -153,14 +166,29 @@ pub fn run_observatory(cfg: &ObsConfig) -> ObsOutcome {
         hot_keys: Vec::new(),
         trace: ChromeTrace::new(),
         series: SeriesSnapshot::empty(),
+        health: HealthSnapshot::empty(),
+        t_antagonist_ns: 0,
     };
 
     for round in 0..cfg.rounds {
-        // The antagonist squats on one Zipf-hot lock for the round.
-        let mut arng = StdRng::seed_from_u64(cfg.seed ^ 0xA11A ^ ((round as u64) << 16));
-        let squat = zipf.next(&mut arng);
-        ExclusiveLock::acquire(&layer, &antagonist, table.lock_addr(squat), ANTAGONIST_TAG, 0)
-            .expect("all locks are free between rounds");
+        // From the onset round, the antagonist squats on one Zipf-hot
+        // lock for the round.
+        let squat = if round >= cfg.antagonist_from_round {
+            if round == cfg.antagonist_from_round && round > 0 {
+                out.t_antagonist_ns = sessions
+                    .iter()
+                    .map(|s| s.endpoint().clock().now_ns())
+                    .max()
+                    .unwrap_or(0);
+            }
+            let mut arng = StdRng::seed_from_u64(cfg.seed ^ 0xA11A ^ ((round as u64) << 16));
+            let key = zipf.next(&mut arng);
+            ExclusiveLock::acquire(&layer, &antagonist, table.lock_addr(key), ANTAGONIST_TAG, 0)
+                .expect("all locks are free between rounds");
+            Some(key)
+        } else {
+            None
+        };
         for (t, s) in sessions.iter_mut().enumerate() {
             let mut rng = StdRng::seed_from_u64(
                 cfg.seed ^ ((t as u64) << 40) ^ ((round as u64) << 8),
@@ -183,8 +211,10 @@ pub fn run_observatory(cfg: &ObsConfig) -> ObsOutcome {
                 Err(e) => panic!("observatory run failed: {e}"),
             }
         }
-        ExclusiveLock::release(&layer, &antagonist, table.lock_addr(squat))
-            .expect("antagonist owns its squat");
+        if let Some(key) = squat {
+            ExclusiveLock::release(&layer, &antagonist, table.lock_addr(key))
+                .expect("antagonist owns its squat");
+        }
     }
 
     out.makespan_ns = sessions
@@ -196,6 +226,7 @@ pub fn run_observatory(cfg: &ObsConfig) -> ObsOutcome {
     for (t, s) in sessions.iter().enumerate() {
         out.contention.merge(&s.endpoint().contention_snapshot());
         out.series.merge(&s.endpoint().series_snapshot());
+        out.health.merge(&s.endpoint().health_snapshot());
         if cfg.trace_ring > 0 {
             out.trace.name_thread(0, t as u64 + 1, &format!("session{t}"));
             s.endpoint().export_chrome_trace(&mut out.trace, 0, t as u64 + 1);

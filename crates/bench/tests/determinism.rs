@@ -49,13 +49,20 @@ fn render(r: &WorkloadResult) -> String {
 
 #[test]
 fn identical_runs_render_identical_json() {
-    let a = render(&run_once());
+    let ra = run_once();
+    // The probe must carry real signal, not an all-zero report.
+    assert!(ra.latency.count() > 0, "probe committed no transactions");
+    let a = render(&ra);
     let b = render(&run_once());
     assert_eq!(a, b, "two identical single-threaded runs diverged");
-    // The probe must carry real signal, not an all-zero report.
     assert!(a.contains("\"tps\""));
     assert!(a.contains("\"p99_ns\""));
-    assert!(!a.contains("\"count\": 0"));
+    // The live plane rides along on every standard report: a health
+    // section with real gauge traffic, and an (empty — the probe is
+    // healthy) alert log.
+    assert!(a.contains("\"health\""));
+    assert!(a.contains("\"sessions_in_flight\""));
+    assert!(a.contains("\"alerts\""));
 }
 
 #[test]

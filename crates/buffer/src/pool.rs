@@ -34,7 +34,7 @@ use std::sync::Arc;
 
 use dsm::{DsmLayer, DsmResult, GlobalAddr};
 use parking_lot::{Condvar, Mutex};
-use rdma_sim::{Endpoint, HistSnapshot, Metric, Phase};
+use rdma_sim::{Endpoint, Gauge, HistSnapshot, Metric, Phase};
 use telemetry::Histogram;
 
 use crate::cost::{copy_cost_ns, LOCK_NS, MAP_OP_NS};
@@ -459,11 +459,14 @@ impl BufferPool {
                     let (victim, pol) = s.policy.victim();
                     overhead += pol;
                     s.stats.evictions += 1;
+                    ep.series_note(Metric::Evictions, 1);
+                    ep.gauge_add(Gauge::PoolResident, -1);
                     let old = &mut s.frames[victim];
                     s.page_table.remove(&old.page);
                     let wb = if old.dirty {
                         s.writing_back.insert(old.page);
                         old.dirty = false;
+                        ep.gauge_add(Gauge::PoolDirty, -1);
                         Some(old.page)
                     } else {
                         None
@@ -477,6 +480,8 @@ impl BufferPool {
             s.filling += 1;
             let data = std::mem::take(&mut fr.data);
             s.page_table.insert(key, f);
+            // Resident from reservation on; abort_fetches un-counts it.
+            ep.gauge_add(Gauge::PoolResident, 1);
             overhead += MAP_OP_NS;
             Self::charge(ep, s, overhead);
             s.stats.misses += 1;
@@ -513,7 +518,7 @@ impl BufferPool {
                 let t0 = ep.clock().now_ns();
                 if let Err(e) = self.layer.write_batch(ep, &wb) {
                     drop(wb);
-                    self.abort_fetches(pending);
+                    self.abort_fetches(ep, pending);
                     return Err(e);
                 }
                 ep.clock().now_ns() - t0
@@ -530,7 +535,7 @@ impl BufferPool {
             let t0 = ep.clock().now_ns();
             if let Err(e) = self.layer.read_batch(ep, &mut fetch) {
                 drop(fetch);
-                self.abort_fetches(pending);
+                self.abort_fetches(ep, pending);
                 return Err(e);
             }
             ep.clock().now_ns() - t0
@@ -567,13 +572,14 @@ impl BufferPool {
     /// markers, wake waiters. (Dirty victim bytes may be lost, matching
     /// the pre-striping error behavior — layer errors only arise in
     /// failure-injection runs that bypass the pool.)
-    fn abort_fetches(&self, pending: &mut Vec<PendingFetch>) {
+    fn abort_fetches(&self, ep: &Endpoint, pending: &mut Vec<PendingFetch>) {
         for p in pending.drain(..) {
             let sh = &self.shards[p.shard];
             {
                 let mut inner = sh.inner.lock();
                 let s = &mut *inner;
                 s.page_table.remove(&p.key);
+                ep.gauge_add(Gauge::PoolResident, -1);
                 let fr = &mut s.frames[p.frame];
                 fr.page = u64::MAX;
                 fr.dirty = false;
@@ -651,12 +657,21 @@ impl BufferPool {
                     .hit_ns
                     .record(MAP_OP_NS + LOCK_NS + pol + copy_cost_ns(self.page_size));
                 s.frames[f].data.copy_from_slice(src);
+                let was_dirty = s.frames[f].dirty;
                 match self.mode {
                     WriteMode::WriteThrough => {
                         s.frames[f].dirty = false;
+                        if was_dirty {
+                            ep.gauge_add(Gauge::PoolDirty, -1);
+                        }
                         through.push(i);
                     }
-                    WriteMode::WriteBack => s.frames[f].dirty = true,
+                    WriteMode::WriteBack => {
+                        s.frames[f].dirty = true;
+                        if !was_dirty {
+                            ep.gauge_add(Gauge::PoolDirty, 1);
+                        }
+                    }
                 }
                 return Ok(Step::Done);
             }
@@ -684,6 +699,8 @@ impl BufferPool {
                     let (victim, pol) = s.policy.victim();
                     overhead += pol;
                     s.stats.evictions += 1;
+                    ep.series_note(Metric::Evictions, 1);
+                    ep.gauge_add(Gauge::PoolResident, -1);
                     let old = &mut s.frames[victim];
                     s.page_table.remove(&old.page);
                     if old.dirty {
@@ -696,6 +713,7 @@ impl BufferPool {
                             data: old.data.clone(),
                         });
                         old.dirty = false;
+                        ep.gauge_add(Gauge::PoolDirty, -1);
                         s.stats.writebacks += 1;
                         ep.series_note(Metric::Writebacks, 1);
                     }
@@ -707,10 +725,14 @@ impl BufferPool {
             ep.charge_local(copy_cost_ns(self.page_size));
             fr.data.copy_from_slice(src);
             fr.dirty = matches!(self.mode, WriteMode::WriteBack);
+            if fr.dirty {
+                ep.gauge_add(Gauge::PoolDirty, 1);
+            }
             if matches!(self.mode, WriteMode::WriteThrough) {
                 through.push(i);
             }
             s.page_table.insert(key, f);
+            ep.gauge_add(Gauge::PoolResident, 1);
             overhead += s.policy.on_insert(f, key) + MAP_OP_NS;
             Self::charge(ep, s, overhead);
             s.stats.misses += 1;
@@ -775,11 +797,16 @@ impl BufferPool {
                 }
                 Some(&f) => {
                     s.page_table.remove(&key);
+                    ep.gauge_add(Gauge::PoolResident, -1);
                     let pol = s.policy.on_remove(f);
                     s.frames[f].page = u64::MAX;
+                    if s.frames[f].dirty {
+                        ep.gauge_add(Gauge::PoolDirty, -1);
+                    }
                     s.frames[f].dirty = false;
                     s.free.push(f);
                     s.stats.invalidations += 1;
+                    ep.series_note(Metric::Invals, 1);
                     Self::charge(ep, s, MAP_OP_NS + LOCK_NS + pol);
                     drop(inner);
                     sh.cv.notify_all();
@@ -837,13 +864,20 @@ impl BufferPool {
             }
             let s = &mut *inner;
             let n = s.page_table.len();
+            let mut dirty_dropped = 0i64;
             for (_, f) in s.page_table.drain() {
                 s.policy.on_remove(f);
                 s.frames[f].page = u64::MAX;
+                if s.frames[f].dirty {
+                    dirty_dropped += 1;
+                }
                 s.frames[f].dirty = false;
                 s.free.push(f);
             }
             s.stats.invalidations += n as u64;
+            ep.series_note(Metric::Invals, n as u64);
+            ep.gauge_add(Gauge::PoolResident, -(n as i64));
+            ep.gauge_add(Gauge::PoolDirty, -dirty_dropped);
             Self::charge(ep, s, LOCK_NS + n as u64 * 10);
             drop(inner);
             sh.cv.notify_all();
@@ -878,6 +912,7 @@ impl BufferPool {
             };
             for &f in &dirty {
                 s.frames[f].dirty = false;
+                ep.gauge_add(Gauge::PoolDirty, -1);
                 s.stats.writebacks += 1;
                 ep.series_note(Metric::Writebacks, 1);
                 s.tele.writeback_ns.record(wb_ns);

@@ -19,7 +19,9 @@ use std::sync::Arc;
 use buffer::{BufferPool, ClockPolicy, WriteMode};
 use dsm::{DsmConfig, DsmLayer, GlobalAddr};
 use parking_lot::Mutex;
-use rdma_sim::{Endpoint, Fabric, HistSnapshot, Mailbox, MailboxId, Metric, Phase, PhaseSnapshot};
+use rdma_sim::{
+    Endpoint, Fabric, Gauge, HistSnapshot, Mailbox, MailboxId, Metric, Phase, PhaseSnapshot,
+};
 use telemetry::Histogram;
 use txn::table::RecordTable;
 use txn::twopc::{decode as decode_2pc, encode as encode_2pc, MsgKind};
@@ -448,6 +450,7 @@ impl Session {
         self.txn_seq += 1;
         self.ep.set_trace_id((self.owner_tag << 32) | self.txn_seq);
         let t0 = self.ep.clock().now_ns();
+        self.ep.gauge_add(Gauge::SessionsInFlight, 1);
         self.ep.phase_enter(Phase::Execute);
         let result = match self.cluster.config.architecture {
             Architecture::NoCacheNoShard | Architecture::CacheNoShard(_) => {
@@ -463,6 +466,7 @@ impl Session {
         };
         self.ep.phase_exit();
         self.ep.clear_trace_id();
+        self.ep.gauge_add(Gauge::SessionsInFlight, -1);
         self.txn_lat.record(self.ep.clock().now_ns().saturating_sub(t0));
         match &result {
             Ok(_) => {

@@ -4,7 +4,9 @@
 //! one-sided verbs. Design points taken from Sherman:
 //!
 //! * **One-sided only** — a search descends by READing nodes; an insert
-//!   CASes the leaf's lock word, rewrites the leaf, bumps its version.
+//!   CASes the leaf's lock word, rewrites the leaf (lock tag embedded, so
+//!   the word-granular image write never frees the lock early), bumps the
+//!   version, then releases with an 8-byte write.
 //! * **Internal-node caching** — with `cache_internal = true` the handle
 //!   keeps every internal node it has seen in local memory (charged as
 //!   local DRAM), so a warm search costs a *single* round trip (the
@@ -320,8 +322,12 @@ impl RemoteBTree {
             if let Some(i) = leaf.keys.iter().position(|&k| k == key) {
                 leaf.vals[i] = value;
                 leaf.version += 1;
-                leaf.lock = 0;
+                // The image keeps our lock tag: node writes land word by
+                // word from offset 0 upward, so an embedded 0 would free
+                // the lock *before* the keys/vals words arrive and let a
+                // second writer rewrite the leaf from a torn image.
                 self.layer.write(ep, addr, &leaf.encode())?;
+                self.unlock_node(ep, addr)?;
                 self.stats.lock().inserts += 1;
                 return Ok(());
             }
@@ -331,8 +337,8 @@ impl RemoteBTree {
                 leaf.vals.insert(pos, value);
                 leaf.nkeys += 1;
                 leaf.version += 1;
-                leaf.lock = 0;
                 self.layer.write(ep, addr, &leaf.encode())?;
+                self.unlock_node(ep, addr)?;
                 self.stats.lock().inserts += 1;
                 return Ok(());
             }
@@ -351,6 +357,7 @@ impl RemoteBTree {
                 continue;
             }
             let mut leaf = self.read_node(ep, addr)?;
+            leaf.lock = self.worker_tag;
             if !leaf.covers(key) {
                 self.unlock_node(ep, addr)?;
                 continue;
@@ -364,8 +371,8 @@ impl RemoteBTree {
                 false
             };
             leaf.version += 1;
-            leaf.lock = 0;
             self.layer.write(ep, addr, &leaf.encode())?;
+            self.unlock_node(ep, addr)?;
             return Ok(existed);
         }
     }
@@ -404,7 +411,7 @@ impl RemoteBTree {
             std::hint::spin_loop();
         }
         let mut leaf = self.read_node(ep, leaf_addr)?;
-        leaf.lock = 0; // the images we write below embed the release
+        leaf.lock = self.worker_tag; // held until the left image has landed
         if leaf.nkeys < FANOUT {
             self.unlock_node(ep, leaf_addr)?;
             return Ok(()); // someone else already split
@@ -432,6 +439,10 @@ impl RemoteBTree {
         left.version += 1;
         self.layer.write(ep, right_addr, &right.encode())?;
         self.layer.write(ep, leaf_addr, &left.encode())?;
+        // Release only now: the left image is written with our lock tag
+        // embedded (a node write lands low-to-high, so an embedded 0
+        // would free the lock before the tail of the image arrived).
+        self.unlock_node(ep, leaf_addr)?;
 
         // Install the separator upward.
         self.insert_into_parent(ep, &path[..path.len() - 1], leaf_addr, sep, right_addr)

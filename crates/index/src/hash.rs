@@ -7,8 +7,11 @@
 //! * **1-RT lookups** — the directory is cached locally, so a lookup is a
 //!   single one-sided READ of the bucket.
 //! * **Lock-free inserts** — a slot is claimed by CASing its key word
-//!   from 0; the value is written *before* the key CAS so a concurrent
-//!   reader never observes a half-initialized slot.
+//!   from 0 to a reservation marker, the value is written under that
+//!   reservation, and only then is the real key published, so a
+//!   concurrent reader never observes a half-initialized slot and two
+//!   writers racing for the same free slot cannot pair one writer's key
+//!   with the other's value.
 //! * **Extendible growth** — on overflow, a directory-lock-protected
 //!   split doubles the directory (up to `MAX_GLOBAL_DEPTH`) and rehashes
 //!   one bucket; handles detect stale directories by version and refresh.
@@ -29,6 +32,12 @@ pub const MAX_GLOBAL_DEPTH: u32 = 20;
 
 /// Tombstone key marker (key slot occupied but logically deleted).
 const TOMBSTONE: u64 = u64::MAX;
+
+/// In-flight insert marker: the slot's key word holds this between the
+/// claiming CAS and the value write, so no second writer can deposit a
+/// value in a slot another insert already owns. Readers skip it (it
+/// matches no real key) and splits reclaim it as dead.
+const RESERVED: u64 = u64::MAX - 1;
 
 // Bucket layout: [header u64][pattern u64][slots: (key u64, value u64) x N]
 // * header — seqlock-style word: even value = 2 * local_depth (stable),
@@ -175,7 +184,7 @@ impl RaceHash {
 
     /// Point lookup: one bucket READ plus a header-validation read.
     pub fn get(&self, ep: &Endpoint, key: u64) -> DsmResult<Option<u64>> {
-        assert!(key != 0 && key != TOMBSTONE, "reserved key");
+        assert!(key != 0 && key != TOMBSTONE && key != RESERVED, "reserved key");
         let _span = ep.span(Phase::IndexLookup);
         loop {
             let dir = self.dir(ep)?;
@@ -216,7 +225,7 @@ impl RaceHash {
 
     /// Insert (or update) `key -> value`.
     pub fn put(&self, ep: &Endpoint, key: u64, value: u64) -> DsmResult<()> {
-        assert!(key != 0 && key != TOMBSTONE, "reserved key");
+        assert!(key != 0 && key != TOMBSTONE && key != RESERVED, "reserved key");
         loop {
             let dir = self.dir(ep)?;
             let bucket = self.bucket_for(&dir, key);
@@ -256,15 +265,21 @@ impl RaceHash {
             }
             if let Some((s, old_k)) = free_slot {
                 let base = (SLOT0 + s * 16) as u64;
-                // Value first, then claim the key word by CAS — readers
-                // can never see the key with a garbage value.
-                self.layer.write_u64(ep, bucket.offset_by(base + 8), value)?;
-                if self.layer.cas(ep, bucket.offset_by(base), old_k, key)? == old_k {
+                // Reserve the key word by CAS, write the value under the
+                // reservation, then publish the real key. Claiming before
+                // the value write is what makes the slot race safe: a
+                // loser's CAS fails before it ever touches the value
+                // word, and readers match neither RESERVED nor 0.
+                if self.layer.cas(ep, bucket.offset_by(base), old_k, RESERVED)? == old_k {
+                    self.layer.write_u64(ep, bucket.offset_by(base + 8), value)?;
+                    self.layer.write_u64(ep, bucket.offset_by(base), key)?;
                     // Validate against a concurrent split. The splitter
                     // flips the header to odd *before* it reads the
-                    // bucket, so either (a) our entry is in its snapshot
-                    // and survives the rewrite, or (b) the header we
-                    // re-read here already differs and we undo + retry.
+                    // bucket, so either (a) our published entry is in
+                    // its snapshot and survives the rewrite, or (b) the
+                    // snapshot caught RESERVED (reclaimed as dead) or
+                    // predates our claim — then the header we re-read
+                    // here already differs and we undo + retry.
                     if self.layer.read_u64(ep, bucket)? == header {
                         return Ok(());
                     }
@@ -360,7 +375,7 @@ impl RaceHash {
             .filter(|s| {
                 let base = SLOT0 + s * 16;
                 let k = u64::from_le_bytes(buf[base..base + 8].try_into().unwrap());
-                k != 0 && k != TOMBSTONE
+                k != 0 && k != TOMBSTONE && k != RESERVED
             })
             .count();
         if live < BUCKET_SLOTS {
@@ -398,7 +413,10 @@ impl RaceHash {
         for s in 0..BUCKET_SLOTS {
             let base = SLOT0 + s * 16;
             let k = u64::from_le_bytes(buf[base..base + 8].try_into().unwrap());
-            if k == 0 || k == TOMBSTONE {
+            if k == 0 || k == TOMBSTONE || k == RESERVED {
+                // RESERVED is an insert we caught mid-claim: its writer
+                // will fail the header validation and retry, so the
+                // reservation is reclaimable dead space here.
                 old_img[base..base + 16].fill(0);
                 continue;
             }

@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use telemetry::{
-    ChromeTrace, ContentionSnapshot, HistSnapshot, Histogram, Metric, Phase, PhaseSnapshot,
-    PhaseTracker, Sample, SeriesRecorder, SeriesSnapshot,
+    ChromeTrace, ContentionSnapshot, Gauge, GaugeRecorder, HealthSnapshot, HistSnapshot,
+    Histogram, Metric, Phase, PhaseSnapshot, PhaseTracker, Sample, SeriesRecorder, SeriesSnapshot,
 };
 
 use crate::clock::{Clock, SharedTimeline};
@@ -203,6 +203,7 @@ impl Fabric {
             trace_id: Cell::new(0),
             series: SeriesRecorder::new(),
             series_wire_mark: Cell::new(0),
+            health: GaugeRecorder::new(),
         }
     }
 }
@@ -256,6 +257,9 @@ pub struct Endpoint {
     /// Last wire-RT total folded into the series: each verb adds the
     /// delta, so doorbell riders net out to one wire RT per group.
     series_wire_mark: Cell<u64>,
+    /// Streaming gauge plane (disabled by default; see
+    /// [`Endpoint::enable_health`]). Reads the clock, never advances it.
+    health: GaugeRecorder,
 }
 
 /// Position of a verb class in [`Endpoint`]'s latency histogram array.
@@ -396,6 +400,14 @@ impl Endpoint {
                 self.series_wire_mark.set(wire);
             }
         }
+        if self.health.enabled() {
+            // The verb was outstanding from issue (now - cost) until its
+            // completion (now): +1/-1 net deltas bracket that span, so
+            // windowed levels show how many verbs were in flight.
+            let now = self.clock.now_ns();
+            self.health.add(now.saturating_sub(cost_ns), Gauge::VerbsOutstanding, 1);
+            self.health.add(now, Gauge::VerbsOutstanding, -1);
+        }
     }
 
     /// Reset clock, counters, and telemetry (between experiment phases).
@@ -415,6 +427,7 @@ impl Endpoint {
         self.contention.reset();
         self.series.clear();
         self.series_wire_mark.set(0);
+        self.health.clear();
         self.trace_id.set(0);
     }
 
@@ -452,6 +465,39 @@ impl Endpoint {
     #[inline]
     pub fn series_note(&self, metric: Metric, delta: u64) {
         self.series.note(self.clock.now_ns(), metric, delta);
+    }
+
+    /// Turn on streaming gauge sampling with `width_ns`-wide
+    /// virtual-time windows (0 turns it back off). Like the series,
+    /// gauges read the clock but never advance it: the virtual timeline
+    /// is identical with the health plane on or off.
+    pub fn enable_health(&self, width_ns: u64) {
+        self.health.enable(width_ns);
+    }
+
+    /// Whether streaming gauge sampling is on.
+    pub fn health_enabled(&self) -> bool {
+        self.health.enabled()
+    }
+
+    /// Copy out the gauge plane recorded so far (empty when off).
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        self.health.snapshot()
+    }
+
+    /// Move `gauge` by the signed `delta` at the current virtual time.
+    /// Upper layers (buffer pool, lock table, engine, membership) use
+    /// this to land their levels in the same health plane as the verb
+    /// gauges. No-op while sampling is off.
+    #[inline]
+    pub fn gauge_add(&self, gauge: Gauge, delta: i64) {
+        self.health.add(self.clock.now_ns(), gauge, delta);
+    }
+
+    /// Current level of `gauge` on this endpoint (0 while sampling is
+    /// off — levels only accumulate while the health plane records).
+    pub fn gauge_level(&self, gauge: Gauge) -> i64 {
+        self.health.level(gauge)
     }
 
     /// Recorded flight events, oldest first.
@@ -513,6 +559,7 @@ impl Endpoint {
     #[inline]
     pub fn note_inval_fanout(&self, n: u64) {
         self.contention.note_inval_fanout(n);
+        self.series_note(Metric::Invals, n);
     }
 
     /// Copy out this endpoint's contention observations.

@@ -60,6 +60,7 @@ pub use stats::{OpKind, OpStats, StatsSnapshot};
 // Telemetry vocabulary, re-exported so downstream crates that already
 // depend on rdma-sim can open spans without a direct telemetry dep.
 pub use telemetry::{
-    sparkline, ChromeTrace, ContentionSnapshot, HistSnapshot, Metric, Phase, PhaseSnapshot, Sample,
-    SeriesSnapshot, TopEntry, WaitEdge, DEFAULT_WINDOW_NS,
+    sparkline, AlertEvent, AlertKind, AlertState, ChromeTrace, ContentionSnapshot, Gauge,
+    HealthSnapshot, HistSnapshot, Metric, Phase, PhaseSnapshot, Sample, SeriesSnapshot, TopEntry,
+    WaitEdge, Watchdog, WatchdogConfig, DEFAULT_WINDOW_NS,
 };

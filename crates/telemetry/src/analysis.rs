@@ -146,6 +146,44 @@ pub fn burn_rate(s: &SeriesSnapshot, obj: &SloObjective) -> f64 {
     (bad as f64 / n as f64) / obj.error_budget
 }
 
+/// Incremental mean over observed per-window rates — the streaming
+/// form of [`steady_baseline`] for monitors that see windows one at a
+/// time. The caller decides *which* windows feed the baseline (the
+/// watchdog skips windows it judged to be in breach, so a long dip
+/// cannot drag the reference down and mask itself).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RollingBaseline {
+    sum: f64,
+    n: u64,
+}
+
+impl RollingBaseline {
+    /// An empty baseline (mean 0 until something is observed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one per-window rate.
+    pub fn observe(&mut self, rate: f64) {
+        self.sum += rate;
+        self.n += 1;
+    }
+
+    /// Windows observed so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the observed rates (0.0 when nothing was observed).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
 /// Render `vals` as a compact sparkline of at most `max_chars` block
 /// characters, scaled from 0 to the series maximum. Longer series are
 /// bucket-averaged down, so the curve's shape survives compression.
@@ -245,6 +283,106 @@ mod tests {
         // Half the budget → twice the burn.
         let tight = SloObjective { target_tps: 0.9e8, error_budget: 0.075 };
         assert!((burn_rate(&s, &tight) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_empty_series_yields_zero_facts_without_panics() {
+        let s = SeriesSnapshot::empty();
+        assert_eq!(steady_baseline(&s, 1_000), 0.0);
+        assert_eq!(time_to_detection(&s, 0, 1.0, 0.9), None);
+        // "Never dipped" is the defined answer for a series with no
+        // windows — there is nothing below threshold to detect.
+        assert_eq!(time_to_recovery(&s, 0, 1.0, 0.9), Some(0));
+        let f = recovery_facts(&s, 0, 0.9);
+        assert_eq!(f.baseline_tps, 0.0);
+        assert_eq!(f.dip_depth, 0.0);
+        let obj = SloObjective { target_tps: 1.0, error_budget: 0.1 };
+        assert_eq!(burn_rate(&s, &obj), 0.0);
+    }
+
+    #[test]
+    fn degenerate_single_window_series_never_dips() {
+        let r = SeriesRecorder::new();
+        r.enable(100);
+        r.note(50, Metric::Commits, 5);
+        let s = r.snapshot();
+        // The only window is also the final (possibly partial) one, so
+        // the dip scan excludes it and the run reads as healthy.
+        let f = recovery_facts(&s, 0, 0.9);
+        assert_eq!(f.dip_depth, 0.0);
+        assert_eq!(f.time_to_recovery_ns, Some(0));
+        let obj = SloObjective { target_tps: 1e12, error_budget: 0.5 };
+        assert_eq!(burn_rate(&s, &obj), 0.0, "single window has no complete windows to burn");
+    }
+
+    #[test]
+    fn degenerate_constant_series_has_zero_dip_and_zero_burn() {
+        let r = SeriesRecorder::new();
+        r.enable(100);
+        for w in 0..8u64 {
+            r.note(w * 100, Metric::Commits, 7);
+        }
+        let s = r.snapshot();
+        let base = steady_baseline(&s, 400);
+        assert_eq!(time_to_detection(&s, 400, base, 0.9), None);
+        let f = recovery_facts(&s, 400, 0.9);
+        assert_eq!(f.dip_depth, 0.0);
+        assert!((f.dip_tps - f.baseline_tps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_zero_baseline_disables_detection() {
+        let r = SeriesRecorder::new();
+        r.enable(100);
+        r.note(950, Metric::Commits, 1); // nothing before the fault
+        let s = r.snapshot();
+        let base = steady_baseline(&s, 500);
+        assert_eq!(base, 0.0);
+        assert_eq!(time_to_detection(&s, 500, base, 0.9), None);
+        assert_eq!(time_to_recovery(&s, 500, base, 0.9), Some(0));
+    }
+
+    #[test]
+    fn degenerate_fault_beyond_series_end() {
+        let s = dipped();
+        let f = recovery_facts(&s, 1 << 40, 0.9);
+        assert_eq!(f.time_to_detection_ns, None);
+        assert_eq!(f.time_to_recovery_ns, Some(0));
+        assert!(f.baseline_tps > 0.0);
+    }
+
+    #[test]
+    fn rolling_baseline_is_an_incremental_mean() {
+        let mut b = RollingBaseline::new();
+        assert_eq!(b.mean(), 0.0);
+        assert_eq!(b.n(), 0);
+        b.observe(10.0);
+        b.observe(20.0);
+        assert_eq!(b.n(), 2);
+        assert!((b.mean() - 15.0).abs() < 1e-12);
+        // Matches the batch baseline over the same windows.
+        let s = dipped();
+        let rates = s.rate_per_sec(Metric::Commits);
+        let mut roll = RollingBaseline::new();
+        for &r in &rates[..10] {
+            roll.observe(r);
+        }
+        assert!((roll.mean() - steady_baseline(&s, 1_000)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparkline_degenerate_inputs() {
+        assert_eq!(sparkline(&[], 0), "");
+        assert_eq!(sparkline(&[5.0], 0), "");
+        assert_eq!(sparkline(&[5.0], 8), "█");
+        // Constant non-zero series renders at full scale everywhere.
+        assert_eq!(sparkline(&[3.0, 3.0, 3.0], 8), "███");
+        // All-zero (flat) series stays at the floor glyph.
+        assert_eq!(sparkline(&[0.0; 4], 8), "▁▁▁▁");
+        // Negative values clamp to the floor rather than panicking.
+        let line = sparkline(&[-1.0, 2.0], 8);
+        assert_eq!(line.chars().count(), 2);
+        assert!(line.starts_with('▁'));
     }
 
     #[test]

@@ -64,6 +64,15 @@ impl Json {
         }
     }
 
+    /// Signed integer value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::U(v) => i64::try_from(*v).ok(),
+            Json::I(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// String value.
     pub fn as_str(&self) -> Option<&str> {
         match self {

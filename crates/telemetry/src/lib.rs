@@ -24,6 +24,13 @@
 //!   associative/commutative cross-session merge, and [`analysis`] —
 //!   SLO/recovery facts computed *from* the series: steady-state
 //!   baseline, dip depth, time-to-detection/recovery, burn rate.
+//! * [`live::GaugeRecorder`] + [`watchdog::Watchdog`] — the *live*
+//!   plane: streaming gauges (sessions in flight, locks held, pool
+//!   occupancy, verbs outstanding, membership epoch) sampled into
+//!   mergeable per-node [`live::HealthSnapshot`]s, and an online
+//!   monitor that evaluates a fixed rule set over the closing windows
+//!   and emits a deterministic, typed, virtual-timestamped alert log
+//!   with open/clear semantics and debounce.
 //! * [`json`] + [`report`] — a small no-dependency JSON
 //!   serializer/parser and the [`report::Report`] type every `exp_*`
 //!   binary serializes next to its `.txt`, plus the cross-PR
@@ -37,12 +44,15 @@ pub mod analysis;
 pub mod contention;
 pub mod hist;
 pub mod json;
+pub mod live;
 pub mod report;
 pub mod span;
 pub mod timeseries;
 pub mod trace;
+pub mod watchdog;
 
-pub use analysis::{sparkline, RecoveryFacts, SloObjective};
+pub use analysis::{sparkline, RecoveryFacts, RollingBaseline, SloObjective};
+pub use live::{Gauge, GaugeRecorder, HealthSnapshot, GAUGES};
 pub use contention::{
     merge_top, wait_for_analysis, ContentionSnapshot, TopEntry, TopK, WaitEdge, WaitForSummary,
 };
@@ -52,3 +62,4 @@ pub use report::Report;
 pub use span::{bucket_name, Phase, PhaseSnapshot, PhaseTracker, Sample, OTHER_BUCKET, PHASE_BUCKETS};
 pub use timeseries::{Metric, SeriesRecorder, SeriesSnapshot, DEFAULT_WINDOW_NS, MAX_WINDOWS};
 pub use trace::ChromeTrace;
+pub use watchdog::{AlertEvent, AlertKind, AlertState, Watchdog, WatchdogConfig};

@@ -1,0 +1,469 @@
+//! Streaming gauges over the virtual clock — the *live* metrics plane.
+//!
+//! Counters ([`crate::timeseries`]) answer "how many happened"; gauges
+//! answer "how many are there *right now*": sessions in flight, locks
+//! currently held, resident/dirty pool pages, verbs outstanding on the
+//! wire, the membership epoch. The autoscaler and watchdog need levels,
+//! not totals, and levels are what a post-hoc counter series cannot
+//! reconstruct once the run is over.
+//!
+//! **Delta encoding.** A gauge window stores the *net signed change*
+//! (`i64`) of each gauge inside that window, never the level itself.
+//! Net deltas are additive, so per-node [`HealthSnapshot`]s merge by
+//! per-window vector addition exactly like the counter series —
+//! associative, commutative, and lossless — and the level at any window
+//! boundary is recovered as a prefix sum. Storing levels instead would
+//! break the merge (max-of-sums ≠ sum-of-maxes); storing deltas makes
+//! "snapshot of deltas == full snapshot" a theorem rather than a hope,
+//! and `health_prop.rs` proptests it anyway.
+//!
+//! **Virtual-time cost.** Recording reads the caller-supplied virtual
+//! timestamp and never advances any clock: a run with gauges on and off
+//! produces the identical timeline (asserted by `exp_o3_watchdog`).
+//!
+//! Width handling mirrors [`crate::timeseries::SeriesRecorder`]: a
+//! recorder doubles its window width (pairwise coalesce — exact,
+//! because net deltas are additive) whenever the run outgrows
+//! [`MAX_WINDOWS`].
+
+use crate::timeseries::MAX_WINDOWS;
+use std::cell::{Cell, RefCell};
+
+/// Number of tracked gauges (length of a gauge window vector).
+pub const GAUGES: usize = 6;
+
+/// One tracked level. The discriminant is the window-vector index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gauge {
+    /// Sessions currently inside `execute` (admitted, not yet retired).
+    SessionsInFlight = 0,
+    /// Lock/latch words currently held via the txn lock table.
+    LocksHeld = 1,
+    /// Pages currently resident in the buffer pool.
+    PoolResident = 2,
+    /// Resident pages currently dirty (write-back mode).
+    PoolDirty = 3,
+    /// Verbs issued but not yet completed on this endpoint.
+    VerbsOutstanding = 4,
+    /// Membership epoch bumps observed (level = epochs advanced).
+    MembershipEpoch = 5,
+}
+
+impl Gauge {
+    /// Every gauge, in window-vector order.
+    pub const ALL: [Gauge; GAUGES] = [
+        Gauge::SessionsInFlight,
+        Gauge::LocksHeld,
+        Gauge::PoolResident,
+        Gauge::PoolDirty,
+        Gauge::VerbsOutstanding,
+        Gauge::MembershipEpoch,
+    ];
+
+    /// Stable JSON/registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::SessionsInFlight => "sessions_in_flight",
+            Gauge::LocksHeld => "locks_held",
+            Gauge::PoolResident => "pool_resident",
+            Gauge::PoolDirty => "pool_dirty",
+            Gauge::VerbsOutstanding => "verbs_outstanding",
+            Gauge::MembershipEpoch => "membership_epoch",
+        }
+    }
+
+    /// Reverse of [`Gauge::name`].
+    pub fn from_name(name: &str) -> Option<Gauge> {
+        Gauge::ALL.iter().copied().find(|g| g.name() == name)
+    }
+}
+
+type GaugeWindow = [i64; GAUGES];
+
+const ZERO_GAUGES: GaugeWindow = [0; GAUGES];
+
+/// Per-thread gauge collector. Disabled (width 0) until
+/// [`GaugeRecorder::enable`]; recording while disabled is a no-op, so
+/// instrumented layers can call unconditionally.
+#[derive(Debug, Default)]
+pub struct GaugeRecorder {
+    /// Configured window width; restored by [`GaugeRecorder::clear`].
+    base_width_ns: Cell<u64>,
+    /// Current width (doubles when a run outgrows [`MAX_WINDOWS`]).
+    width_ns: Cell<u64>,
+    windows: RefCell<Vec<GaugeWindow>>,
+    /// Running levels (sum of all deltas recorded since enable).
+    levels: Cell<GaugeWindow>,
+}
+
+impl GaugeRecorder {
+    /// A recorder that ignores everything until enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turn sampling on with `width_ns`-wide windows (0 turns it off).
+    /// Drops any previously recorded windows and zeroes the levels.
+    pub fn enable(&self, width_ns: u64) {
+        self.base_width_ns.set(width_ns);
+        self.width_ns.set(width_ns);
+        self.windows.borrow_mut().clear();
+        self.levels.set(ZERO_GAUGES);
+    }
+
+    /// Whether sampling is on.
+    pub fn enabled(&self) -> bool {
+        self.width_ns.get() != 0
+    }
+
+    /// Current level of `gauge` (sum of recorded deltas).
+    pub fn level(&self, gauge: Gauge) -> i64 {
+        self.levels.get()[gauge as usize]
+    }
+
+    /// Add the signed `delta` to `gauge` in the window covering virtual
+    /// time `now_ns`. Never advances any clock.
+    #[inline]
+    pub fn add(&self, now_ns: u64, gauge: Gauge, delta: i64) {
+        let width = self.width_ns.get();
+        if width == 0 || delta == 0 {
+            return;
+        }
+        let mut levels = self.levels.get();
+        levels[gauge as usize] += delta;
+        self.levels.set(levels);
+        let mut idx = (now_ns / width) as usize;
+        if idx >= MAX_WINDOWS {
+            self.coalesce_until(now_ns, &mut idx);
+        }
+        let mut windows = self.windows.borrow_mut();
+        if windows.len() <= idx {
+            windows.resize(idx + 1, ZERO_GAUGES);
+        }
+        windows[idx][gauge as usize] += delta;
+    }
+
+    /// Double the window width (summing adjacent pairs of net deltas)
+    /// until `now_ns` fits under [`MAX_WINDOWS`]. Exact: a net delta
+    /// stays inside the coarser window containing its timestamp.
+    fn coalesce_until(&self, now_ns: u64, idx: &mut usize) {
+        let mut windows = self.windows.borrow_mut();
+        let mut width = self.width_ns.get();
+        while (now_ns / width) as usize >= MAX_WINDOWS {
+            width *= 2;
+            let half = windows.len().div_ceil(2);
+            for i in 0..half {
+                let mut merged = windows[2 * i];
+                if let Some(odd) = windows.get(2 * i + 1) {
+                    for (dst, src) in merged.iter_mut().zip(odd.iter()) {
+                        *dst += src;
+                    }
+                }
+                windows[i] = merged;
+            }
+            windows.truncate(half);
+        }
+        self.width_ns.set(width);
+        *idx = (now_ns / width) as usize;
+    }
+
+    /// Drop all windows, zero the levels, restore the base width.
+    pub fn clear(&self) {
+        self.width_ns.set(self.base_width_ns.get());
+        self.windows.borrow_mut().clear();
+        self.levels.set(ZERO_GAUGES);
+    }
+
+    /// Copy out the recorded health series (empty when disabled).
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            window_ns: self.width_ns.get(),
+            windows: self.windows.borrow().clone(),
+        }
+    }
+}
+
+/// An immutable windowed gauge series (net deltas per window); the
+/// mergeable per-node health result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Window width, virtual ns (0 only for the empty snapshot).
+    pub window_ns: u64,
+    /// Contiguous windows from virtual time 0; entry `i` holds the net
+    /// signed gauge changes inside `[i*window_ns, (i+1)*window_ns)`.
+    pub windows: Vec<[i64; GAUGES]>,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl HealthSnapshot {
+    /// The identity for [`HealthSnapshot::merge`].
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// No windows recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Start of window `i`, virtual ns.
+    pub fn window_start_ns(&self, i: usize) -> u64 {
+        i as u64 * self.window_ns
+    }
+
+    /// Net change of `gauge` inside window `i`.
+    pub fn delta(&self, i: usize, gauge: Gauge) -> i64 {
+        self.windows[i][gauge as usize]
+    }
+
+    /// `gauge`'s per-window net deltas.
+    pub fn deltas(&self, gauge: Gauge) -> Vec<i64> {
+        self.windows.iter().map(|w| w[gauge as usize]).collect()
+    }
+
+    /// `gauge`'s level at the *end* of each window (prefix sums of the
+    /// net deltas, starting from level 0 at virtual time 0).
+    pub fn levels(&self, gauge: Gauge) -> Vec<i64> {
+        let mut level = 0i64;
+        self.windows
+            .iter()
+            .map(|w| {
+                level += w[gauge as usize];
+                level
+            })
+            .collect()
+    }
+
+    /// `gauge`'s level after the last recorded window.
+    pub fn final_level(&self, gauge: Gauge) -> i64 {
+        self.windows.iter().map(|w| w[gauge as usize]).sum()
+    }
+
+    /// Smallest window-end level of `gauge` (0 for an empty snapshot).
+    pub fn min_level(&self, gauge: Gauge) -> i64 {
+        self.levels(gauge).into_iter().min().unwrap_or(0)
+    }
+
+    /// Largest window-end level of `gauge` (0 for an empty snapshot).
+    pub fn max_level(&self, gauge: Gauge) -> i64 {
+        self.levels(gauge).into_iter().max().unwrap_or(0)
+    }
+
+    /// Re-bucket to `new_width` (must be a multiple of the current
+    /// width). Exact: net deltas only move into the coarser window
+    /// already containing their original one.
+    pub fn coarsen_to(&mut self, new_width: u64) {
+        if self.window_ns == new_width || self.is_empty() {
+            self.window_ns = new_width.max(self.window_ns);
+            return;
+        }
+        assert!(
+            new_width.is_multiple_of(self.window_ns),
+            "coarsen_to({new_width}) not a multiple of {}",
+            self.window_ns
+        );
+        let f = (new_width / self.window_ns) as usize;
+        let coarse_len = self.windows.len().div_ceil(f);
+        let mut coarse = vec![ZERO_GAUGES; coarse_len];
+        for (i, w) in self.windows.iter().enumerate() {
+            let dst = &mut coarse[i / f];
+            for (d, s) in dst.iter_mut().zip(w.iter()) {
+                *d += s;
+            }
+        }
+        self.windows = coarse;
+        self.window_ns = new_width;
+    }
+
+    /// Fold `other` into `self`. Widths are aligned to their least
+    /// common multiple first; adding net deltas per window is exactly
+    /// the cross-node health merge (levels of the merged snapshot are
+    /// the sums of per-node levels), associative and commutative.
+    pub fn merge(&mut self, other: &HealthSnapshot) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        let target = self.window_ns / gcd(self.window_ns, other.window_ns) * other.window_ns;
+        self.coarsen_to(target);
+        let mut o = other.clone();
+        o.coarsen_to(target);
+        if self.windows.len() < o.windows.len() {
+            self.windows.resize(o.windows.len(), ZERO_GAUGES);
+        }
+        for (dst, src) in self.windows.iter_mut().zip(o.windows.iter()) {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d += s;
+            }
+        }
+    }
+
+    /// The incremental delta from an earlier snapshot `prev` of the
+    /// same recorder to `self`: a snapshot such that
+    /// `prev.merge(&delta) == self`. This is the wire encoding a node
+    /// streams between health samples — applying every delta in order
+    /// (or any order: merge is commutative) reconstructs the full
+    /// snapshot exactly.
+    pub fn delta_since(&self, prev: &HealthSnapshot) -> HealthSnapshot {
+        let mut out = self.clone();
+        if prev.is_empty() {
+            return out;
+        }
+        // Widths only grow over a recorder's lifetime, so the earlier
+        // snapshot is never coarser than the later one.
+        let mut p = prev.clone();
+        p.coarsen_to(out.window_ns);
+        for (dst, src) in out.windows.iter_mut().zip(p.windows.iter()) {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d -= s;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = GaugeRecorder::new();
+        r.add(100, Gauge::LocksHeld, 1);
+        assert!(!r.enabled());
+        assert!(r.snapshot().is_empty());
+        assert_eq!(r.level(Gauge::LocksHeld), 0);
+    }
+
+    #[test]
+    fn windows_hold_net_deltas_and_levels_are_prefix_sums() {
+        let r = GaugeRecorder::new();
+        r.enable(100);
+        r.add(0, Gauge::SessionsInFlight, 1);
+        r.add(50, Gauge::SessionsInFlight, 1);
+        r.add(99, Gauge::SessionsInFlight, -1);
+        r.add(250, Gauge::SessionsInFlight, -1);
+        let s = r.snapshot();
+        assert_eq!(s.deltas(Gauge::SessionsInFlight), [1, 0, -1]);
+        assert_eq!(s.levels(Gauge::SessionsInFlight), [1, 1, 0]);
+        assert_eq!(s.final_level(Gauge::SessionsInFlight), 0);
+        assert_eq!(s.max_level(Gauge::SessionsInFlight), 1);
+        assert_eq!(s.min_level(Gauge::SessionsInFlight), 0);
+        assert_eq!(r.level(Gauge::SessionsInFlight), 0);
+    }
+
+    #[test]
+    fn overflow_doubles_width_without_losing_deltas() {
+        let r = GaugeRecorder::new();
+        r.enable(10);
+        for i in 0..(4 * MAX_WINDOWS as u64) {
+            r.add(i * 10, Gauge::PoolResident, 1);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.window_ns, 40);
+        assert_eq!(s.len(), MAX_WINDOWS);
+        assert_eq!(s.final_level(Gauge::PoolResident), 4 * MAX_WINDOWS as i64);
+        assert!(s.deltas(Gauge::PoolResident).iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn merge_aligns_widths_and_adds_levels() {
+        let a = GaugeRecorder::new();
+        a.enable(50);
+        a.add(0, Gauge::LocksHeld, 1);
+        a.add(60, Gauge::LocksHeld, 1);
+        a.add(199, Gauge::LocksHeld, -1);
+        let b = GaugeRecorder::new();
+        b.enable(100);
+        b.add(150, Gauge::LocksHeld, 3);
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+        assert_eq!(ab, ba, "merge must be commutative");
+        // At width 100 both of a's acquires (t=0, t=60) coalesce into
+        // window 0; its release and b's +3 land in window 1.
+        assert_eq!(ab.window_ns, 100);
+        assert_eq!(ab.deltas(Gauge::LocksHeld), [2, 2]);
+        assert_eq!(ab.levels(Gauge::LocksHeld), [2, 4]);
+    }
+
+    #[test]
+    fn merge_identity() {
+        let r = GaugeRecorder::new();
+        r.enable(100);
+        r.add(10, Gauge::PoolDirty, 2);
+        let mut s = r.snapshot();
+        s.merge(&HealthSnapshot::empty());
+        let mut e = HealthSnapshot::empty();
+        e.merge(&s);
+        assert_eq!(s, e);
+    }
+
+    #[test]
+    fn delta_since_round_trips_through_merge() {
+        let r = GaugeRecorder::new();
+        r.enable(100);
+        r.add(0, Gauge::VerbsOutstanding, 1);
+        r.add(40, Gauge::VerbsOutstanding, -1);
+        let early = r.snapshot();
+        r.add(150, Gauge::VerbsOutstanding, 1);
+        r.add(320, Gauge::MembershipEpoch, 1);
+        let late = r.snapshot();
+        let delta = late.delta_since(&early);
+        let mut rebuilt = early.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, late);
+    }
+
+    #[test]
+    fn delta_since_survives_width_doubling() {
+        let r = GaugeRecorder::new();
+        r.enable(10);
+        r.add(5, Gauge::PoolResident, 1);
+        let early = r.snapshot();
+        assert_eq!(early.window_ns, 10);
+        // Push the recorder past MAX_WINDOWS so the width doubles.
+        r.add(10 * (MAX_WINDOWS as u64 + 1), Gauge::PoolResident, 1);
+        let late = r.snapshot();
+        assert_eq!(late.window_ns, 20);
+        let delta = late.delta_since(&early);
+        let mut rebuilt = early.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, late);
+    }
+
+    #[test]
+    fn clear_restores_base_width_and_zero_levels() {
+        let r = GaugeRecorder::new();
+        r.enable(10);
+        r.add(10 * (MAX_WINDOWS as u64 + 1), Gauge::LocksHeld, 5);
+        assert_eq!(r.snapshot().window_ns, 20);
+        r.clear();
+        assert_eq!(r.snapshot().window_ns, 10);
+        assert!(r.snapshot().is_empty());
+        assert_eq!(r.level(Gauge::LocksHeld), 0);
+    }
+
+    #[test]
+    fn gauge_names_round_trip() {
+        for g in Gauge::ALL {
+            assert_eq!(Gauge::from_name(g.name()), Some(g));
+        }
+        assert_eq!(Gauge::from_name("no_such_gauge"), None);
+    }
+}

@@ -13,13 +13,18 @@ use std::path::Path;
 
 use crate::hist::HistSnapshot;
 use crate::json::Json;
+use crate::live::{Gauge, HealthSnapshot};
 use crate::span::{bucket_name, PhaseSnapshot, OTHER_BUCKET};
 use crate::timeseries::{Metric, SeriesSnapshot};
+use crate::watchdog::{AlertEvent, AlertKind, AlertState};
 
 /// Schema version stamped into every report, bumped on breaking changes.
 /// v2: every report carries a top-level `timeseries` section
 /// ([`series_json`]) with per-window metric counts on the virtual clock.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: every report carries mandatory `health` ([`health_json`]) and
+/// `alerts` ([`alerts_json`]) sections — empty but well-formed when the
+/// experiment wires no live plane.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One experiment's machine-readable output.
 #[derive(Debug, Clone)]
@@ -29,6 +34,8 @@ pub struct Report {
     meta: Vec<(String, Json)>,
     rows: Vec<Json>,
     timeseries: Option<Json>,
+    health: Option<Json>,
+    alerts: Option<Json>,
     headline: Vec<(String, Json)>,
 }
 
@@ -42,6 +49,8 @@ impl Report {
             meta: Vec::new(),
             rows: Vec::new(),
             timeseries: None,
+            health: None,
+            alerts: None,
             headline: Vec::new(),
         }
     }
@@ -75,7 +84,26 @@ impl Report {
         self
     }
 
-    /// The full report document.
+    /// Install the report's `health` section (the flagship run's merged
+    /// gauge plane, rendered by [`health_json`]). Idempotent: the last
+    /// call wins.
+    pub fn health(&mut self, section: Json) -> &mut Self {
+        self.health = Some(section);
+        self
+    }
+
+    /// Install the report's `alerts` section (the watchdog log over the
+    /// flagship run, rendered by [`alerts_json`]). Idempotent: the last
+    /// call wins.
+    pub fn alerts(&mut self, section: Json) -> &mut Self {
+        self.alerts = Some(section);
+        self
+    }
+
+    /// The full report document. The schema-v3 `health` and `alerts`
+    /// sections are mandatory: experiments that wire no live plane get
+    /// well-formed empty sections rather than missing keys, so every
+    /// consumer can rely on their presence.
     pub fn to_json(&self) -> Json {
         let mut members = vec![
             ("schema_version".to_string(), Json::U(SCHEMA_VERSION)),
@@ -87,6 +115,10 @@ impl Report {
         if let Some(ts) = &self.timeseries {
             members.push(("timeseries".to_string(), ts.clone()));
         }
+        let health = self.health.clone().unwrap_or_else(|| health_json(&HealthSnapshot::empty()));
+        members.push(("health".to_string(), health));
+        let alerts = self.alerts.clone().unwrap_or_else(|| alerts_json(&[]));
+        members.push(("alerts".to_string(), alerts));
         members.push(("headline".to_string(), Json::O(self.headline.clone())));
         Json::O(members)
     }
@@ -200,6 +232,107 @@ pub fn series_from_json(section: &Json) -> Option<SeriesSnapshot> {
         }
     }
     Some(SeriesSnapshot { window_ns, windows })
+}
+
+/// Merged gauge plane → the report `health` section. Emits the window
+/// geometry, per-window *net deltas* for every gauge that moved (the
+/// mergeable encoding), and a per-gauge level summary (final/min/max
+/// window-end levels) so readers and validators get levels without
+/// redoing the prefix sums. An empty snapshot renders as the
+/// well-formed zero-window section every schema-v3 report carries.
+pub fn health_json(h: &HealthSnapshot) -> Json {
+    let mut deltas = Vec::new();
+    let mut levels = Vec::new();
+    for g in Gauge::ALL {
+        if h.deltas(g).iter().all(|&d| d == 0) {
+            continue;
+        }
+        deltas.push((
+            g.name().to_string(),
+            Json::A(h.deltas(g).into_iter().map(Json::I).collect()),
+        ));
+        levels.push((
+            g.name().to_string(),
+            Json::obj(vec![
+                ("final", Json::I(h.final_level(g))),
+                ("min", Json::I(h.min_level(g))),
+                ("max", Json::I(h.max_level(g))),
+            ]),
+        ));
+    }
+    Json::obj(vec![
+        ("window_ns", Json::U(h.window_ns)),
+        ("windows", Json::U(h.len() as u64)),
+        ("deltas", Json::O(deltas)),
+        ("levels", Json::O(levels)),
+    ])
+}
+
+/// Rebuild a [`HealthSnapshot`] from a parsed `health` section — the
+/// read side of [`health_json`], used by validators.
+pub fn health_from_json(section: &Json) -> Option<HealthSnapshot> {
+    let window_ns = section.get("window_ns")?.as_u64()?;
+    let n = section.get("windows")?.as_u64()? as usize;
+    let mut windows = vec![[0i64; crate::live::GAUGES]; n];
+    if let Some(Json::O(members)) = section.get("deltas") {
+        for (name, arr) in members {
+            let g = Gauge::from_name(name)?;
+            let deltas = arr.as_array()?;
+            if deltas.len() != n {
+                return None;
+            }
+            for (i, d) in deltas.iter().enumerate() {
+                windows[i][g as usize] = d.as_i64()?;
+            }
+        }
+    }
+    Some(HealthSnapshot { window_ns, windows })
+}
+
+/// Watchdog log → the report `alerts` section: the event count and the
+/// full typed log in sequence order. Deterministic rendering — same
+/// run, byte-identical section.
+pub fn alerts_json(events: &[AlertEvent]) -> Json {
+    let rendered = events
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("seq", Json::U(e.seq)),
+                ("kind", Json::S(e.kind.name().to_string())),
+                ("state", Json::S(e.state.name().to_string())),
+                ("at_ns", Json::U(e.at_ns)),
+                ("value", Json::F(e.value)),
+                ("threshold", Json::F(e.threshold)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("count", Json::U(events.len() as u64)),
+        ("events", Json::A(rendered)),
+    ])
+}
+
+/// Rebuild the typed alert log from a parsed `alerts` section — the
+/// read side of [`alerts_json`], used by validators.
+pub fn alerts_from_json(section: &Json) -> Option<Vec<AlertEvent>> {
+    let events = section.get("events")?.as_array()?;
+    let mut out = Vec::with_capacity(events.len());
+    for e in events {
+        let state = match e.get("state")?.as_str()? {
+            "open" => AlertState::Open,
+            "clear" => AlertState::Clear,
+            _ => return None,
+        };
+        out.push(AlertEvent {
+            seq: e.get("seq")?.as_u64()?,
+            kind: AlertKind::from_name(e.get("kind")?.as_str()?)?,
+            state,
+            at_ns: e.get("at_ns")?.as_u64()?,
+            value: e.get("value")?.as_f64()?,
+            threshold: e.get("threshold")?.as_f64()?,
+        });
+    }
+    Some(out)
 }
 
 /// Phase snapshot → JSON: per-phase `{ns, share, verbs, wire_rts}` for
@@ -319,6 +452,64 @@ mod tests {
         // Parse side reconstructs the identical snapshot.
         let parsed = Json::parse(&j.render_pretty(2)).unwrap();
         assert_eq!(series_from_json(&parsed), Some(snap));
+    }
+
+    #[test]
+    fn every_report_carries_wellformed_health_and_alerts() {
+        let r = Report::new("exp_plain", "no live plane wired");
+        let doc = r.to_json();
+        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(SCHEMA_VERSION));
+        let health = doc.get("health").expect("health is mandatory in v3");
+        assert_eq!(health.get("windows").unwrap().as_u64(), Some(0));
+        assert_eq!(health_from_json(health), Some(HealthSnapshot::empty()));
+        let alerts = doc.get("alerts").expect("alerts is mandatory in v3");
+        assert_eq!(alerts.get("count").unwrap().as_u64(), Some(0));
+        assert_eq!(alerts_from_json(alerts), Some(vec![]));
+    }
+
+    #[test]
+    fn health_json_round_trips_and_skips_idle_gauges() {
+        use crate::live::GaugeRecorder;
+        let g = GaugeRecorder::new();
+        g.enable(100);
+        g.add(10, Gauge::LocksHeld, 1);
+        g.add(150, Gauge::LocksHeld, 1);
+        g.add(260, Gauge::LocksHeld, -2);
+        let snap = g.snapshot();
+        let j = health_json(&snap);
+        assert_eq!(j.get("window_ns").unwrap().as_u64(), Some(100));
+        assert!(j.get("deltas").unwrap().get("pool_resident").is_none());
+        let lh = j.get("levels").unwrap().get("locks_held").unwrap();
+        assert_eq!(lh.get("final").unwrap().as_i64(), Some(0));
+        assert_eq!(lh.get("max").unwrap().as_i64(), Some(2));
+        let parsed = Json::parse(&j.render_pretty(2)).unwrap();
+        assert_eq!(health_from_json(&parsed), Some(snap));
+    }
+
+    #[test]
+    fn alerts_json_round_trips_the_typed_log() {
+        let events = vec![
+            AlertEvent {
+                seq: 0,
+                kind: AlertKind::ThroughputDip,
+                state: AlertState::Open,
+                at_ns: 4_096,
+                value: 12.5,
+                threshold: 50.0,
+            },
+            AlertEvent {
+                seq: 1,
+                kind: AlertKind::ThroughputDip,
+                state: AlertState::Clear,
+                at_ns: 9_216,
+                value: 80.0,
+                threshold: 50.0,
+            },
+        ];
+        let j = alerts_json(&events);
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(2));
+        let parsed = Json::parse(&j.render_pretty(2)).unwrap();
+        assert_eq!(alerts_from_json(&parsed), Some(events));
     }
 
     #[test]

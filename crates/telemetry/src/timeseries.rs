@@ -31,7 +31,7 @@
 use std::cell::{Cell, RefCell};
 
 /// Number of tracked metrics (length of a window vector).
-pub const METRICS: usize = 24;
+pub const METRICS: usize = 26;
 
 /// Hard cap on windows held by one recorder; crossing it doubles the
 /// window width (pairwise coalesce), keeping memory bounded at
@@ -93,6 +93,10 @@ pub enum Metric {
     LockSteals = 22,
     /// Membership epoch bumps.
     EpochBumps = 23,
+    /// Coherence invalidations (writer fanout + pages dropped).
+    Invals = 24,
+    /// Buffer-pool frames evicted to make room.
+    Evictions = 25,
 }
 
 impl Metric {
@@ -122,6 +126,8 @@ impl Metric {
         Metric::LockWaits,
         Metric::LockSteals,
         Metric::EpochBumps,
+        Metric::Invals,
+        Metric::Evictions,
     ];
 
     /// Stable JSON/registry name.
@@ -151,6 +157,8 @@ impl Metric {
             Metric::LockWaits => "lock_waits",
             Metric::LockSteals => "lock_steals",
             Metric::EpochBumps => "epoch_bumps",
+            Metric::Invals => "invals",
+            Metric::Evictions => "evictions",
         }
     }
 

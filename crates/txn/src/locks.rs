@@ -25,7 +25,7 @@
 //! discovers the theft on release/validation and must abort.
 
 use dsm::{DsmError, DsmLayer, GlobalAddr};
-use rdma_sim::Endpoint;
+use rdma_sim::{Endpoint, Gauge};
 
 /// Lock acquisition failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +99,7 @@ impl ExclusiveLock {
         for attempt in 0..=max_retries {
             let prev = layer.cas(ep, lock, 0, owner_tag)?;
             if prev == 0 {
+                ep.gauge_add(Gauge::LocksHeld, 1);
                 return Ok(());
             }
             // The failed CAS's `prev` *is* the holder's tag: a free
@@ -114,6 +115,7 @@ impl ExclusiveLock {
     /// Release: one write. Only the owner may call this.
     pub fn release(layer: &DsmLayer, ep: &Endpoint, lock: GlobalAddr) -> Result<(), LockError> {
         layer.write_u64(ep, lock, 0)?;
+        ep.gauge_add(Gauge::LocksHeld, -1);
         Ok(())
     }
 }
@@ -202,6 +204,7 @@ impl SharedExclusiveLock {
                 continue;
             }
             Self::exit(layer, ep, addr, meta + 1)?;
+            ep.gauge_add(Gauge::LocksHeld, 1);
             return Ok(());
         }
         Err(LockError::Timeout)
@@ -221,7 +224,9 @@ impl SharedExclusiveLock {
             Self::exit(layer, ep, addr, meta)?;
             return Err(LockError::ReleaseViolation("release_shared with no readers"));
         }
-        Self::exit(layer, ep, addr, meta - 1)
+        Self::exit(layer, ep, addr, meta - 1)?;
+        ep.gauge_add(Gauge::LocksHeld, -1);
+        Ok(())
     }
 
     /// Acquire in exclusive mode: waits for readers to drain (within the
@@ -243,6 +248,7 @@ impl SharedExclusiveLock {
                 continue;
             }
             Self::exit(layer, ep, addr, WRITER_BIT)?;
+            ep.gauge_add(Gauge::LocksHeld, 1);
             return Ok(());
         }
         Err(LockError::Timeout)
@@ -261,7 +267,9 @@ impl SharedExclusiveLock {
             Self::exit(layer, ep, addr, meta)?;
             return Err(LockError::ReleaseViolation("release_exclusive without writer"));
         }
-        Self::exit(layer, ep, addr, meta & !WRITER_BIT)
+        Self::exit(layer, ep, addr, meta & !WRITER_BIT)?;
+        ep.gauge_add(Gauge::LocksHeld, -1);
+        Ok(())
     }
 }
 
@@ -334,6 +342,7 @@ impl LeaseLock {
             let word = Self::encode(owner, epoch, now_us.wrapping_add(lease_us));
             let prev = layer.cas(ep, lock, 0, word)?;
             if prev == 0 {
+                ep.gauge_add(Gauge::LocksHeld, 1);
                 return Ok(LeaseToken { word, stole: false });
             }
             let (prev_owner, _, prev_expiry) = Self::decode(prev);
@@ -342,6 +351,10 @@ impl LeaseLock {
                 // steal by CASing the exact expired word we observed.
                 let raced = layer.cas(ep, lock, prev, word)?;
                 if raced == prev {
+                    // A steal transfers ownership from the zombie rather
+                    // than creating a new hold: no LocksHeld bump, so the
+                    // cluster-level gauge stays exact (the zombie's
+                    // fenced release deliberately does not decrement).
                     return Ok(LeaseToken { word, stole: true });
                 }
             }
@@ -376,8 +389,11 @@ impl LeaseLock {
     ) -> Result<(), LockError> {
         let prev = layer.cas(ep, lock, token.word, 0)?;
         if prev == token.word {
+            ep.gauge_add(Gauge::LocksHeld, -1);
             Ok(())
         } else {
+            // Stolen: the thief inherited this hold's +1, so the fenced
+            // ex-owner must not decrement.
             Err(LockError::Stolen)
         }
     }
@@ -626,6 +642,49 @@ mod tests {
             .wait_top
             .iter()
             .any(|e| e.key == a.to_raw() || e.key == b.to_raw()));
+    }
+
+    #[test]
+    fn locks_held_gauge_tracks_holds_and_steals_transfer_ownership() {
+        use rdma_sim::Gauge;
+        let (f, l, a) = setup();
+        let owner = f.endpoint();
+        let thief = f.endpoint();
+        owner.enable_health(1 << 12);
+        thief.enable_health(1 << 12);
+
+        // Plain exclusive: +1 on acquire, -1 on release.
+        ExclusiveLock::acquire(&l, &owner, a, 1, 0).unwrap();
+        assert_eq!(owner.gauge_level(Gauge::LocksHeld), 1);
+        ExclusiveLock::release(&l, &owner, a).unwrap();
+        assert_eq!(owner.gauge_level(Gauge::LocksHeld), 0);
+
+        // Shared-exclusive: both modes move the gauge symmetrically.
+        SharedExclusiveLock::acquire_shared(&l, &owner, a, 4).unwrap();
+        assert_eq!(owner.gauge_level(Gauge::LocksHeld), 1);
+        SharedExclusiveLock::release_shared(&l, &owner, a, 4).unwrap();
+        SharedExclusiveLock::acquire_exclusive(&l, &owner, a, 4).unwrap();
+        assert_eq!(owner.gauge_level(Gauge::LocksHeld), 1);
+        SharedExclusiveLock::release_exclusive(&l, &owner, a, 4).unwrap();
+        assert_eq!(owner.gauge_level(Gauge::LocksHeld), 0);
+
+        // Lease steal: ownership transfers — the thief does not bump and
+        // the fenced zombie does not decrement, so the *cluster sum*
+        // stays exact (1 while the thief holds, 0 after it releases).
+        let t = LeaseLock::acquire(&l, &owner, a, 1, 1, 50_000, 0).unwrap();
+        assert_eq!(owner.gauge_level(Gauge::LocksHeld), 1);
+        thief.charge_local(200_000);
+        let s = LeaseLock::acquire(&l, &thief, a, 2, 1, 1_000_000, 0).unwrap();
+        assert!(s.stole);
+        assert_eq!(thief.gauge_level(Gauge::LocksHeld), 0, "steal is a transfer");
+        assert_eq!(
+            LeaseLock::release(&l, &owner, a, t).unwrap_err(),
+            LockError::Stolen
+        );
+        assert_eq!(owner.gauge_level(Gauge::LocksHeld), 1, "fenced release is a no-op");
+        LeaseLock::release(&l, &thief, a, s).unwrap();
+        let cluster = owner.gauge_level(Gauge::LocksHeld) + thief.gauge_level(Gauge::LocksHeld);
+        assert_eq!(cluster, 0, "cluster-level holds return to zero");
     }
 
     #[test]
