@@ -4,8 +4,8 @@
 //! `results/BENCH_summary.json`, or `$BENCH_RESULTS_DIR`) against the
 //! committed baseline (default `results/BENCH_baseline.json`) using
 //! the one-sided tolerance bands in [`bench::regression`]: tps −5%,
-//! `wire_rts_per_txn` +2%, `p99_ns` +10%, `time_to_recovery_ns` +25%
-//! (chaos runs). Exits non-zero on any breach or on a gated
+//! `wire_rts_per_txn` +2%, `p99_ns` +10%, `time_to_recovery_ns` and
+//! `dip_depth` +25% (chaos/reshard runs). Exits non-zero on any breach or on a gated
 //! experiment/metric that vanished.
 //!
 //! Both files must come from the same `BENCH_SCALE`; the virtual

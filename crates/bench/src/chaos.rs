@@ -10,7 +10,7 @@
 //!
 //! Timeline (rounds split in thirds):
 //!
-//! 1. **pre** — healthy baseline. A seeded [`FaultPlan`] injects first-N
+//! 1. **pre** — healthy baseline. A seeded fault plan injects first-N
 //!    transient failures and a short partition of a group-1 node; the
 //!    DSM retry policy absorbs both (they never surface as aborts).
 //! 2. **fault** — a "zombie" session grabs lease locks on hot keys and
@@ -31,7 +31,7 @@ use dsmdb::{
     Architecture, CcProtocol, Cluster, ClusterConfig, NodeStatus, Op, Session, TxnError,
 };
 use rdma_sim::{
-    ChromeTrace, ContentionSnapshot, FaultPlan, HealthSnapshot, NetworkProfile, PhaseSnapshot,
+    ChromeTrace, ContentionSnapshot, HealthSnapshot, NetworkProfile, PhaseSnapshot,
     SeriesSnapshot, DEFAULT_WINDOW_NS,
 };
 use telemetry::analysis;
@@ -54,6 +54,37 @@ pub const PARTITION_START_NS: u64 = 40_000;
 
 /// Ground-truth instant the background partition heals (virtual ns).
 pub const PARTITION_END_NS: u64 = 70_000;
+
+/// Named fault scenarios shared by every chaos-family experiment
+/// (C13, O3 via [`run_chaos`], E1) so the plans cannot drift apart.
+pub mod scenarios {
+    use rdma_sim::{FaultPlan, NodeId};
+
+    use super::{PARTITION_END_NS, PARTITION_START_NS};
+
+    /// Baseline-phase noise: first-N transient completions plus a short
+    /// early partition of `victim`. Both are absorbed by the DSM retry
+    /// policy (reads degrade to the mirror mid-partition) — the
+    /// watchdog must stay silent through this.
+    pub fn background_noise(seed: u64, victim: NodeId) -> FaultPlan {
+        FaultPlan::new(seed)
+            .transient_first_n(victim, 2)
+            .partition(victim, PARTITION_START_NS, PARTITION_END_NS)
+    }
+
+    /// Crash aftershock: from `from_ns` on, every verb against the
+    /// surviving node `survivor` pays an extra `spike_ns` — the cluster
+    /// limps rather than failing clean.
+    pub fn survivor_slowdown(seed: u64, survivor: NodeId, from_ns: u64, spike_ns: u64) -> FaultPlan {
+        FaultPlan::new(seed ^ 0xC13).latency_spike(survivor, from_ns, u64::MAX, spike_ns)
+    }
+
+    /// Partition `coordinator` away during `[from_ns, to_ns)` — the
+    /// mid-handover coordinator loss E1 resolves with epoch fencing.
+    pub fn coordinator_partition(seed: u64, coordinator: NodeId, from_ns: u64, to_ns: u64) -> FaultPlan {
+        FaultPlan::new(seed ^ 0xE1).partition(coordinator, from_ns, to_ns)
+    }
+}
 
 /// Knobs for one chaos run. All sizes are full-scale; callers shrink via
 /// [`crate::scale_down`].
@@ -234,11 +265,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     // short partition of group 1's primary. Both are absorbed by the DSM
     // retry policy (reads degrade to the mirror mid-partition).
     if cfg.inject {
-        fabric.install_fault_plan(
-            FaultPlan::new(cfg.seed)
-                .transient_first_n(g1_primary, 2)
-                .partition(g1_primary, PARTITION_START_NS, PARTITION_END_NS),
-        );
+        fabric.install_fault_plan(scenarios::background_noise(cfg.seed, g1_primary));
     }
 
     let mut sessions: Vec<Session> = (0..cfg.sessions).map(|t| cluster.session(0, t)).collect();
@@ -339,10 +366,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
             }
 
             // Survivors also get slower: latency spike on group 1.
-            fabric.install_fault_plan(
-                FaultPlan::new(cfg.seed ^ 0xC13)
-                    .latency_spike(g1_primary, t_crash, u64::MAX, 2_000),
-            );
+            fabric.install_fault_plan(scenarios::survivor_slowdown(
+                cfg.seed, g1_primary, t_crash, 2_000,
+            ));
         }
         if round == r_recover {
             let t = max_clock(&sessions);

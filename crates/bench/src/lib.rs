@@ -20,6 +20,7 @@ pub mod chaos;
 pub mod config;
 pub mod observatory;
 pub mod regression;
+pub mod reshard;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -13,10 +13,11 @@
 //! | `wire_rts_per_txn`    | lower better  | +2%   |
 //! | `p99_ns`              | lower better  | +10%  |
 //! | `time_to_recovery_ns` | lower better  | +25%  |
+//! | `dip_depth`           | lower better  | +25%  |
 //!
-//! `time_to_recovery_ns` comes out of the windowed time-series (one
-//! window of quantization either way), so its band is wider than the
-//! scalar metrics'.
+//! `time_to_recovery_ns` and `dip_depth` come out of the windowed
+//! time-series (one window of quantization either way), so their bands
+//! are wider than the scalar metrics'.
 //!
 //! Experiments present in the baseline but absent from the fresh
 //! summary also fail the gate: a silently vanished experiment is the
@@ -43,7 +44,7 @@ pub fn band_for(metric: &str) -> Option<(Direction, f64)> {
         Some((Direction::LowerBetter, 0.02))
     } else if metric == "p99_ns" {
         Some((Direction::LowerBetter, 0.10))
-    } else if metric == "time_to_recovery_ns" {
+    } else if metric == "time_to_recovery_ns" || metric == "dip_depth" {
         Some((Direction::LowerBetter, 0.25))
     } else {
         None
@@ -226,6 +227,17 @@ mod tests {
         let out = compare(&base, &outside).unwrap();
         assert_eq!(out.breaches.len(), 1);
         assert_eq!(out.breaches[0].metric, "time_to_recovery_ns");
+    }
+
+    #[test]
+    fn dip_depth_gates_reshard_runs() {
+        let base = summary(&[("e1", &[("dip_depth", 0.40)])]);
+        let inside = summary(&[("e1", &[("dip_depth", 0.49)])]);
+        assert!(compare(&base, &inside).unwrap().ok());
+        let outside = summary(&[("e1", &[("dip_depth", 0.51)])]);
+        let out = compare(&base, &outside).unwrap();
+        assert_eq!(out.breaches.len(), 1);
+        assert_eq!(out.breaches[0].metric, "dip_depth");
     }
 
     #[test]

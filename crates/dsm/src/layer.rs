@@ -13,7 +13,7 @@
 //!   as in the paper's recovery discussion.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use memnode::{AllocError, AllocStats, MemoryNode, OffloadFn};
@@ -106,6 +106,9 @@ struct MirrorGroup {
     /// Group members; index 0 is the primary whose fabric id names the
     /// group in addresses and whose allocator is authoritative.
     members: Vec<Arc<MemoryNode>>,
+    /// A retired group (memory-node leave) accepts no fresh
+    /// allocations; its extents stay readable until drained.
+    retired: AtomicBool,
 }
 
 impl MirrorGroup {
@@ -118,9 +121,12 @@ impl MirrorGroup {
 /// addressed memory with database-facing APIs (§3).
 pub struct DsmLayer {
     fabric: Arc<Fabric>,
-    groups: Vec<MirrorGroup>,
+    /// Mirror groups: shared-read on the data path, write-locked only
+    /// by the rare membership changes (join/retire append or flag —
+    /// existing indices never move or disappear).
+    groups: parking_lot::RwLock<Vec<Arc<MirrorGroup>>>,
     /// fabric NodeId of a group primary -> group index.
-    by_primary: HashMap<NodeId, usize>,
+    by_primary: parking_lot::RwLock<HashMap<NodeId, usize>>,
     next_group: AtomicUsize,
     replication: usize,
     /// Retry policy applied to every data-path verb (transient faults
@@ -153,16 +159,68 @@ impl DsmLayer {
             // handed out and GlobalAddr::NULL stays unambiguous.
             members[0].alloc(8).expect("fresh node");
             by_primary.insert(members[0].id(), groups.len());
-            groups.push(MirrorGroup { members });
+            groups.push(Arc::new(MirrorGroup {
+                members,
+                retired: AtomicBool::new(false),
+            }));
         }
         Arc::new(Self {
             fabric: fabric.clone(),
-            groups,
-            by_primary,
+            groups: parking_lot::RwLock::new(groups),
+            by_primary: parking_lot::RwLock::new(by_primary),
             next_group: AtomicUsize::new(0),
             replication: config.replication,
             retry: parking_lot::RwLock::new(RetryPolicy::default()),
         })
+    }
+
+    /// Add a fresh mirror group mid-run (memory-node join): spins up
+    /// `replication` new memory nodes, wires them as one group, and
+    /// makes them immediately eligible for round-robin allocation.
+    /// Returns the new group's index.
+    pub fn join_group(
+        &self,
+        capacity_per_node: usize,
+        mem_cores: usize,
+        weak_cpu_factor: f64,
+    ) -> usize {
+        let members: Vec<Arc<MemoryNode>> = (0..self.replication)
+            .map(|_| {
+                Arc::new(MemoryNode::new(
+                    &self.fabric,
+                    capacity_per_node,
+                    mem_cores,
+                    weak_cpu_factor,
+                ))
+            })
+            .collect();
+        members[0].alloc(8).expect("fresh node");
+        let group = Arc::new(MirrorGroup {
+            members,
+            retired: AtomicBool::new(false),
+        });
+        let mut groups = self.groups.write();
+        let idx = groups.len();
+        self.by_primary.write().insert(group.primary().id(), idx);
+        groups.push(group);
+        idx
+    }
+
+    /// Mark a group non-allocatable (memory-node leave). Its extents
+    /// stay readable and writable until the caller drains them (live
+    /// migration); only fresh allocations skip the group.
+    pub fn retire_group(&self, idx: usize) {
+        self.groups.read()[idx].retired.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether group `idx` has been retired.
+    pub fn group_retired(&self, idx: usize) -> bool {
+        self.groups.read()[idx].retired.load(Ordering::Relaxed)
+    }
+
+    /// Group index owned by the primary with fabric id `node`, if any.
+    pub fn group_index_of(&self, node: NodeId) -> Option<usize> {
+        self.by_primary.read().get(&node).copied()
     }
 
     /// Replace the data-path retry policy (e.g. [`RetryPolicy::none`] to
@@ -188,7 +246,7 @@ impl DsmLayer {
 
     /// Number of mirror groups (= allocation domains).
     pub fn group_count(&self) -> usize {
-        self.groups.len()
+        self.groups.read().len()
     }
 
     /// Replication factor `k`.
@@ -198,30 +256,37 @@ impl DsmLayer {
 
     /// The primary memory node of group `idx` (experiments poke at
     /// allocators and offload executors through this).
-    pub fn group_primary(&self, idx: usize) -> &Arc<MemoryNode> {
-        self.groups[idx].primary()
+    pub fn group_primary(&self, idx: usize) -> Arc<MemoryNode> {
+        self.groups.read()[idx].primary().clone()
     }
 
     /// All members of group `idx`.
-    pub fn group_members(&self, idx: usize) -> &[Arc<MemoryNode>] {
-        &self.groups[idx].members
+    pub fn group_members(&self, idx: usize) -> Vec<Arc<MemoryNode>> {
+        self.groups.read()[idx].members.clone()
     }
 
-    fn group_of(&self, addr: GlobalAddr) -> DsmResult<&MirrorGroup> {
-        self.by_primary
+    fn group_of(&self, addr: GlobalAddr) -> DsmResult<Arc<MirrorGroup>> {
+        let idx = self
+            .by_primary
+            .read()
             .get(&addr.node())
-            .map(|&i| &self.groups[i])
-            .ok_or(DsmError::UnknownAddress(addr))
+            .copied()
+            .ok_or(DsmError::UnknownAddress(addr))?;
+        Ok(self.groups.read()[idx].clone())
     }
 
     /// Allocate `size` bytes somewhere in the pool (round-robin across
-    /// groups, falling back to any group with room).
+    /// non-retired groups, falling back to any group with room).
     pub fn alloc(&self, size: u64) -> DsmResult<GlobalAddr> {
-        let n = self.groups.len();
+        let groups = self.groups.read().clone();
+        let n = groups.len();
         let start = self.next_group.fetch_add(1, Ordering::Relaxed) % n;
         let mut last_err = AllocError::ZeroSize;
         for i in 0..n {
-            let g = &self.groups[(start + i) % n];
+            let g = &groups[(start + i) % n];
+            if g.retired.load(Ordering::Relaxed) {
+                continue;
+            }
             match g.primary().alloc(size) {
                 Ok(off) => return Ok(GlobalAddr::new(g.primary().id(), off)),
                 Err(e) => last_err = e,
@@ -231,9 +296,10 @@ impl DsmLayer {
     }
 
     /// Allocate on a specific group (tables place their pages
-    /// deterministically with this).
+    /// deterministically with this; explicit placement may target a
+    /// retired group, e.g. to rebuild it).
     pub fn alloc_on(&self, group: usize, size: u64) -> DsmResult<GlobalAddr> {
-        let g = &self.groups[group];
+        let g = self.groups.read()[group].clone();
         let off = g.primary().alloc(size)?;
         Ok(GlobalAddr::new(g.primary().id(), off))
     }
@@ -458,7 +524,7 @@ impl DsmLayer {
     /// Register an offload handler on *every* node (so any group can serve
     /// it).
     pub fn register_offload(&self, fn_id: u32, f: OffloadFn) {
-        for g in &self.groups {
+        for g in self.groups.read().iter() {
             for m in &g.members {
                 m.register_offload(fn_id, f.clone());
             }
@@ -482,7 +548,7 @@ impl DsmLayer {
             free_extents: 0,
             live_allocations: 0,
         };
-        for g in &self.groups {
+        for g in self.groups.read().iter() {
             let s = g.primary().alloc_stats();
             total.capacity += s.capacity;
             total.allocated += s.allocated;
@@ -496,7 +562,8 @@ impl DsmLayer {
 
     /// Crash a specific member of a group (failure injection).
     pub fn crash_member(&self, group: usize, member: usize) -> DsmResult<()> {
-        Ok(self.fabric.crash(self.groups[group].members[member].id())?)
+        let id = self.groups.read()[group].members[member].id();
+        Ok(self.fabric.crash(id)?)
     }
 
     /// Recover a crashed/replaced member by copying contents from a live
@@ -509,7 +576,7 @@ impl DsmLayer {
         group: usize,
         member: usize,
     ) -> DsmResult<u64> {
-        let g = &self.groups[group];
+        let g = self.groups.read()[group].clone();
         let failed = &g.members[member];
         let capacity = failed.capacity() as usize;
         // Fresh hardware under the same logical id.
@@ -542,7 +609,7 @@ impl DsmLayer {
 impl std::fmt::Debug for DsmLayer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DsmLayer")
-            .field("groups", &self.groups.len())
+            .field("groups", &self.groups.read().len())
             .field("replication", &self.replication)
             .finish()
     }
@@ -697,6 +764,48 @@ mod tests {
         let err = l.read_u64(&ep, a).unwrap_err();
         assert_eq!(err, DsmError::Rdma(RdmaError::Transient(0)));
         assert!(err.is_transient());
+    }
+
+    #[test]
+    fn join_group_serves_reads_and_writes_immediately() {
+        let (f, l) = layer(2, 2);
+        let ep = f.endpoint();
+        assert_eq!(l.group_count(), 1);
+        let idx = l.join_group(1 << 20, 1, 4.0);
+        assert_eq!(idx, 1);
+        assert_eq!(l.group_count(), 2);
+        let a = l.alloc_on(idx, 64).unwrap();
+        assert_eq!(l.group_index_of(a.node()), Some(idx));
+        l.write(&ep, a, &[0xAB; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        l.read(&ep, a, &mut buf).unwrap();
+        assert_eq!(buf, [0xAB; 64]);
+        // The joined group mirrors like any other: kill its primary,
+        // reads fail over to the new sibling.
+        l.crash_member(idx, 0).unwrap();
+        l.read(&ep, a, &mut buf).unwrap();
+        assert_eq!(buf, [0xAB; 64]);
+    }
+
+    #[test]
+    fn retired_group_keeps_serving_but_stops_allocating() {
+        let (f, l) = layer(1, 2);
+        let ep = f.endpoint();
+        let a = l.alloc_on(0, 32).unwrap();
+        l.write(&ep, a, &[3; 32]).unwrap();
+        l.retire_group(0);
+        assert!(l.group_retired(0));
+        assert!(!l.group_retired(1));
+        // Existing data still readable and writable.
+        let mut buf = [0u8; 32];
+        l.read(&ep, a, &mut buf).unwrap();
+        assert_eq!(buf, [3; 32]);
+        l.write(&ep, a, &[4; 32]).unwrap();
+        // Round-robin allocation only ever lands on group 1 now.
+        for _ in 0..8 {
+            let b = l.alloc(16).unwrap();
+            assert_eq!(l.group_index_of(b.node()), Some(1));
+        }
     }
 
     #[test]

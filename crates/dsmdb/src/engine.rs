@@ -305,6 +305,22 @@ impl Cluster {
         }
         v
     }
+
+    /// Drop every compute-side cached page (3b coherent caches and 3c
+    /// owner pools alike). Called when a live migration flips a range
+    /// to its new home: cached frames were fetched from the old one and
+    /// must be refetched, not trusted. Write-through pools hold no
+    /// dirty state, so this costs only refetches.
+    pub fn drop_compute_caches(&self, ep: &Endpoint) {
+        for node in &self.nodes {
+            if let Some(cache) = &node.cache {
+                cache.pool.drop_all(ep);
+            }
+            if let Some(pool) = &node.shard_pool {
+                pool.drop_all(ep);
+            }
+        }
+    }
 }
 
 /// Lock-ownership tag for `(owner, epoch)`. Lease-based locking packs the
@@ -415,15 +431,18 @@ impl Session {
     /// A session that survived a crash-recover cycle (or was merely
     /// partitioned while the cluster declared its node dead) must call
     /// this before doing new work — until then its prepares are fenced.
-    pub fn refresh_epoch(&mut self) {
-        if let Ok(e) =
-            self.cluster
-                .membership
-                .epoch(&self.cluster.layer, &self.ep, self.node)
-        {
-            self.epoch = e;
-            self.worker_tag = compose_worker_tag(self.cluster.config.cc, self.owner_tag, e);
-        }
+    /// The read rides the membership table's control-plane
+    /// [`dsm::RetryPolicy`], so transients are absorbed; a hard fault
+    /// surfaces (the session keeps its old — fenced — epoch) rather
+    /// than being silently dropped. Returns the epoch now in force.
+    pub fn refresh_epoch(&mut self) -> dsm::DsmResult<u64> {
+        let e = self
+            .cluster
+            .membership
+            .epoch(&self.cluster.layer, &self.ep, self.node)?;
+        self.epoch = e;
+        self.worker_tag = compose_worker_tag(self.cluster.config.cc, self.owner_tag, e);
+        Ok(e)
     }
 
     /// Expired-lease locks this session stole from crashed/stalled owners
@@ -1313,7 +1332,7 @@ mod tests {
                 "stale coordinator must be fenced, got {err}"
             );
             // After re-reading the membership table it commits.
-            s0.refresh_epoch();
+            s0.refresh_epoch().unwrap();
             assert_eq!(s0.epoch(), 2);
             s0.execute_retrying(&ops, 50).unwrap();
             stop.store(true, Ordering::Relaxed);

@@ -25,11 +25,13 @@ pub mod coherence;
 pub mod config;
 pub mod engine;
 pub mod membership;
+pub mod migrate;
 pub mod shard;
 
 pub use config::{Architecture, CcProtocol, ClusterConfig, CoherenceMode};
 pub use engine::{Cluster, EngineError, Session, SessionStats};
 pub use membership::{Membership, NodeStatus};
+pub use migrate::{MigrateError, MigrationState, Migrator, RecoveryOutcome};
 pub use shard::ShardMap;
 
 pub use txn::{AbortCause, Op, TxnError, TxnOutput};

@@ -12,7 +12,7 @@
 //!
 //! Epochs start at 1 so an epoch of 0 always means "never initialized".
 
-use dsm::{DsmLayer, DsmResult, GlobalAddr};
+use dsm::{DsmLayer, DsmResult, GlobalAddr, RetryPolicy};
 use rdma_sim::{Endpoint, Gauge, Metric};
 
 /// Per-node liveness as recorded in the table (informational; the epoch
@@ -46,6 +46,11 @@ const STATUS_OFF: u64 = 8;
 pub struct Membership {
     base: GlobalAddr,
     nodes: usize,
+    /// Control-plane retry policy. Epoch/status reads decide fencing —
+    /// a transient here must not surface as a spurious unavailability
+    /// abort, even when the data-plane policy is trimmed to
+    /// [`RetryPolicy::none`] by an experiment.
+    retry: RetryPolicy,
 }
 
 impl Membership {
@@ -59,6 +64,7 @@ impl Membership {
         Ok(Self {
             base,
             nodes: compute_nodes,
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -71,9 +77,10 @@ impl Membership {
         self.nodes
     }
 
-    /// Current epoch of `node` (one 8-byte read).
+    /// Current epoch of `node` (one 8-byte read, control-plane retried).
     pub fn epoch(&self, layer: &DsmLayer, ep: &Endpoint, node: usize) -> DsmResult<u64> {
-        layer.read_u64(ep, Self::slot(self.base, node, EPOCH_OFF))
+        self.retry
+            .run(ep, || layer.read_u64(ep, Self::slot(self.base, node, EPOCH_OFF)))
     }
 
     /// Advance `node`'s epoch (one FAA), invalidating everything signed
@@ -96,11 +103,12 @@ impl Membership {
         layer.write_u64(ep, Self::slot(self.base, node, STATUS_OFF), status.to_word())
     }
 
-    /// `node`'s recorded liveness.
+    /// `node`'s recorded liveness (control-plane retried).
     pub fn status(&self, layer: &DsmLayer, ep: &Endpoint, node: usize) -> DsmResult<NodeStatus> {
-        Ok(NodeStatus::from_word(
-            layer.read_u64(ep, Self::slot(self.base, node, STATUS_OFF))?,
-        ))
+        let w = self
+            .retry
+            .run(ep, || layer.read_u64(ep, Self::slot(self.base, node, STATUS_OFF)))?;
+        Ok(NodeStatus::from_word(w))
     }
 }
 
@@ -134,5 +142,32 @@ mod tests {
         assert_eq!(m.epoch(&layer, &ep, 0).unwrap(), 1, "other nodes untouched");
         m.mark(&layer, &ep, 1, NodeStatus::Down).unwrap();
         assert_eq!(m.status(&layer, &ep, 1).unwrap(), NodeStatus::Down);
+    }
+
+    #[test]
+    fn epoch_reads_absorb_transients_even_without_data_plane_retries() {
+        use dsm::RetryPolicy;
+        use rdma_sim::FaultPlan;
+
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let layer = DsmLayer::build(
+            &fabric,
+            DsmConfig {
+                memory_nodes: 1,
+                capacity_per_node: 1 << 20,
+                replication: 1,
+                mem_cores: 1,
+                weak_cpu_factor: 4.0,
+            },
+        );
+        let ep = fabric.endpoint();
+        let m = Membership::create(&layer, &ep, 2).unwrap();
+        // Trim the data plane so every fault surfaces to callers...
+        layer.set_retry_policy(RetryPolicy::none());
+        let victim = layer.group_primary(0).id();
+        fabric.install_fault_plan(FaultPlan::new(7).transient_first_n(victim, 2));
+        // ...the control-plane policy still absorbs the hiccup.
+        assert_eq!(m.epoch(&layer, &ep, 0).unwrap(), 1);
+        fabric.clear_fault_plan();
     }
 }

@@ -132,6 +132,69 @@ pub fn recovery_facts(s: &SeriesSnapshot, fault_ns: u64, frac: f64) -> RecoveryF
     }
 }
 
+/// [`recovery_facts`] for a series whose traffic regime changes over
+/// the run (membership churn: sessions join and leave). The baseline
+/// is the mean rate over the complete windows inside
+/// `[regime_start_ns, fault_ns)` — not the whole prefix — and the
+/// dip/detection/recovery scan stops at `regime_end_ns`, so windows
+/// from a different session count can neither dilute the baseline nor
+/// register as a fake dip or a fake failure to recover.
+pub fn recovery_facts_between(
+    s: &SeriesSnapshot,
+    fault_ns: u64,
+    frac: f64,
+    regime_start_ns: u64,
+    regime_end_ns: u64,
+) -> RecoveryFacts {
+    if s.window_ns == 0 {
+        return recovery_facts(s, fault_ns, frac);
+    }
+    let w = s.window_ns;
+    let rates = s.rate_per_sec(Metric::Commits);
+    // First window fully inside the regime, first window at the fault,
+    // and the scan cap: the window holding the regime end is partial
+    // (mixed session counts) and the final window is usually truncated,
+    // so both are excluded.
+    let b0 = (regime_start_ns.div_ceil(w) as usize).min(s.len());
+    let b1 = ((fault_ns / w) as usize).min(s.len());
+    let scan_end = ((regime_end_ns / w) as usize).min(rates.len().saturating_sub(1));
+    let baseline = if b1 > b0 {
+        let commits: u64 = (b0..b1).map(|i| s.get(i, Metric::Commits)).sum();
+        commits as f64 * 1e9 / ((b1 - b0) as u64 * w) as f64
+    } else {
+        0.0
+    };
+    let first = b1;
+    let dip_tps = if first < scan_end {
+        rates[first..scan_end].iter().copied().fold(f64::INFINITY, f64::min)
+    } else {
+        baseline
+    };
+    let dip_depth = if baseline > 0.0 {
+        (1.0 - dip_tps / baseline).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let detect = (baseline > 0.0)
+        .then(|| (first..scan_end).find(|&i| rates[i] < frac * baseline))
+        .flatten();
+    let time_to_detection_ns =
+        detect.map(|i| s.window_start_ns(i + 1).saturating_sub(fault_ns));
+    let time_to_recovery_ns = match detect {
+        None => Some(0),
+        Some(d) => ((d + 1)..scan_end)
+            .find(|&i| rates[i] >= frac * baseline)
+            .map(|i| s.window_start_ns(i + 1).saturating_sub(fault_ns)),
+    };
+    RecoveryFacts {
+        baseline_tps: baseline,
+        dip_tps,
+        dip_depth,
+        time_to_detection_ns,
+        time_to_recovery_ns,
+    }
+}
+
 /// Error-budget burn rate: the fraction of windows below
 /// `obj.target_tps` divided by `obj.error_budget`. 1.0 means the run
 /// consumed exactly its budget; above 1.0 the objective was missed.
@@ -270,6 +333,51 @@ mod tests {
         assert_eq!(time_to_recovery(&s, 500, base, 0.9), Some(0));
         let f = recovery_facts(&s, 500, 0.9);
         assert_eq!(f.dip_depth, 0.0);
+    }
+
+    /// Three traffic regimes, 100ns windows: 5 commits/window (old
+    /// sessions), 20/window after a "join" at 500ns, a 3-window dip to
+    /// 14/window after a fault at 1000ns, back to 20/window, then
+    /// 5/window again after a "leave" at 2000ns.
+    fn churned() -> SeriesSnapshot {
+        let r = SeriesRecorder::new();
+        r.enable(100);
+        for w in 0..25u64 {
+            let commits = match w {
+                0..=4 => 5,
+                10..=12 => 14,
+                20..=24 => 5,
+                _ => 20,
+            };
+            r.note(w * 100 + 50, Metric::Commits, commits);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn regime_bounds_keep_membership_churn_out_of_the_recovery_story() {
+        let s = churned();
+        // Whole-series analysis is confounded twice over: the pre-join
+        // windows dilute the baseline so the real dip (14/window) never
+        // crosses its threshold, and the post-leave regime (5/window)
+        // then registers as the "dip" — below threshold to the end of
+        // the series, so recovery is never declared.
+        let naive = recovery_facts(&s, 1_000, 0.9);
+        assert_eq!(naive.time_to_recovery_ns, None);
+        // Bounded to the joined regime, the story is exact: baseline
+        // 20/window = 2e8, dip 1.4e8, detected at the close of window
+        // 10, recovered at the close of window 13.
+        let f = recovery_facts_between(&s, 1_000, 0.9, 500, 2_000);
+        assert!((f.baseline_tps - 2e8).abs() < 1.0, "baseline {}", f.baseline_tps);
+        assert!((f.dip_tps - 1.4e8).abs() < 1.0, "dip {}", f.dip_tps);
+        assert!((f.dip_depth - 0.3).abs() < 1e-9);
+        assert_eq!(f.time_to_detection_ns, Some(100));
+        assert_eq!(f.time_to_recovery_ns, Some(400));
+        // No dip inside the regime => Some(0), same contract as the
+        // unbounded analysis.
+        let calm = recovery_facts_between(&s, 600, 0.9, 500, 900);
+        assert_eq!(calm.time_to_recovery_ns, Some(0));
+        assert_eq!(calm.dip_depth, 0.0);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::timeseries::MAX_WINDOWS;
 use std::cell::{Cell, RefCell};
 
 /// Number of tracked gauges (length of a gauge window vector).
-pub const GAUGES: usize = 6;
+pub const GAUGES: usize = 7;
 
 /// One tracked level. The discriminant is the window-vector index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +47,8 @@ pub enum Gauge {
     VerbsOutstanding = 4,
     /// Membership epoch bumps observed (level = epochs advanced).
     MembershipEpoch = 5,
+    /// Page-range migrations currently in their dual-ownership window.
+    MigrationInFlight = 6,
 }
 
 impl Gauge {
@@ -58,6 +60,7 @@ impl Gauge {
         Gauge::PoolDirty,
         Gauge::VerbsOutstanding,
         Gauge::MembershipEpoch,
+        Gauge::MigrationInFlight,
     ];
 
     /// Stable JSON/registry name.
@@ -69,6 +72,7 @@ impl Gauge {
             Gauge::PoolDirty => "pool_dirty",
             Gauge::VerbsOutstanding => "verbs_outstanding",
             Gauge::MembershipEpoch => "membership_epoch",
+            Gauge::MigrationInFlight => "migration_in_flight",
         }
     }
 

@@ -31,7 +31,7 @@
 use std::cell::{Cell, RefCell};
 
 /// Number of tracked metrics (length of a window vector).
-pub const METRICS: usize = 26;
+pub const METRICS: usize = 27;
 
 /// Hard cap on windows held by one recorder; crossing it doubles the
 /// window width (pairwise coalesce), keeping memory bounded at
@@ -97,6 +97,8 @@ pub enum Metric {
     Invals = 24,
     /// Buffer-pool frames evicted to make room.
     Evictions = 25,
+    /// Bytes copied to a new home by the live-migration copier.
+    MigratedBytes = 26,
 }
 
 impl Metric {
@@ -128,6 +130,7 @@ impl Metric {
         Metric::EpochBumps,
         Metric::Invals,
         Metric::Evictions,
+        Metric::MigratedBytes,
     ];
 
     /// Stable JSON/registry name.
@@ -159,6 +162,7 @@ impl Metric {
             Metric::EpochBumps => "epoch_bumps",
             Metric::Invals => "invals",
             Metric::Evictions => "evictions",
+            Metric::MigratedBytes => "migrated_bytes",
         }
     }
 

@@ -31,7 +31,7 @@ use crate::live::{Gauge, HealthSnapshot, GAUGES};
 use crate::timeseries::{Metric, SeriesSnapshot, METRICS};
 
 /// Number of watchdog rules (one per [`AlertKind`]).
-pub const RULES: usize = 7;
+pub const RULES: usize = 8;
 
 /// What went wrong. The discriminant is the rule-state index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +50,9 @@ pub enum AlertKind {
     CacheThrash = 5,
     /// Sessions in flight but neither commits nor aborts for a while.
     StuckSession = 6,
+    /// A dual-ownership migration window is open but copy progress is
+    /// flat (no bytes migrated for several windows).
+    MigrationStalled = 7,
 }
 
 impl AlertKind {
@@ -62,6 +65,7 @@ impl AlertKind {
         AlertKind::InvalidationStorm,
         AlertKind::CacheThrash,
         AlertKind::StuckSession,
+        AlertKind::MigrationStalled,
     ];
 
     /// Stable JSON name.
@@ -74,6 +78,7 @@ impl AlertKind {
             AlertKind::InvalidationStorm => "invalidation_storm",
             AlertKind::CacheThrash => "cache_thrash",
             AlertKind::StuckSession => "stuck_session",
+            AlertKind::MigrationStalled => "migration_stalled",
         }
     }
 
@@ -175,6 +180,9 @@ pub struct WatchdogConfig {
     /// Windows with sessions in flight but zero commits+aborts before
     /// [`AlertKind::StuckSession`] opens (its open debounce).
     pub stuck_windows: u32,
+    /// Windows with a dual-ownership migration open but zero migrated
+    /// bytes before [`AlertKind::MigrationStalled`] opens.
+    pub migration_stall_windows: u32,
 }
 
 impl WatchdogConfig {
@@ -200,6 +208,7 @@ impl WatchdogConfig {
             thrash_min_lookups: 32,
             thrash: Debounce::new(2, 4),
             stuck_windows: 8,
+            migration_stall_windows: 8,
         }
     }
 }
@@ -324,6 +333,14 @@ impl Watchdog {
         let stuck = in_flight > 0 && commits + aborts == 0;
         let db = Debounce::new(self.cfg.stuck_windows, 1);
         self.step(AlertKind::StuckSession, db, stuck, end_ns, in_flight as f64, 0.0);
+
+        // Migration stalled: a dual-ownership window is open but the
+        // copier moved nothing this window. Needs the gauge plane.
+        let migrating = levels.map_or(0, |l| l[Gauge::MigrationInFlight as usize]);
+        let moved = counters[Metric::MigratedBytes as usize];
+        let stalled = migrating > 0 && moved == 0;
+        let db = Debounce::new(self.cfg.migration_stall_windows, 1);
+        self.step(AlertKind::MigrationStalled, db, stalled, end_ns, migrating as f64, 0.0);
     }
 
     /// Debounced open/clear state machine for one rule.
@@ -595,6 +612,43 @@ mod tests {
         wd.observe_window(5 * W, &window(1), Some(&levels), None);
         assert_eq!(wd.log().len(), 2);
         assert_eq!(wd.log()[1].state, AlertState::Clear);
+    }
+
+    #[test]
+    fn migration_stall_needs_an_open_window_and_flat_progress() {
+        let mut cfg = WatchdogConfig::new(W, 1);
+        cfg.migration_stall_windows = 3;
+        let mut wd = Watchdog::new(cfg);
+        let mut levels = [0i64; GAUGES];
+        levels[Gauge::MigrationInFlight as usize] = 1;
+        let mut moving = window(5);
+        moving[Metric::MigratedBytes as usize] = 4_096;
+        // Progressing windows never breach.
+        for i in 1..=4u64 {
+            wd.observe_window(i * W, &moving, Some(&levels), None);
+        }
+        assert!(wd.log().is_empty(), "{:?}", wd.log());
+        // Flat progress with the window still open: opens after 3.
+        for i in 5..=7u64 {
+            wd.observe_window(i * W, &window(5), Some(&levels), None);
+        }
+        let log = wd.log();
+        assert_eq!(log.len(), 1, "{log:?}");
+        assert_eq!(log[0].kind, AlertKind::MigrationStalled);
+        assert_eq!(log[0].at_ns, 7 * W);
+        assert_eq!(log[0].value, 1.0);
+        // Progress resumes: clears immediately (clear_after = 1).
+        wd.observe_window(8 * W, &moving, Some(&levels), None);
+        assert_eq!(wd.log().len(), 2);
+        assert_eq!(wd.log()[1].state, AlertState::Clear);
+        // Once the dual window closes, flat progress is not a stall.
+        let mut wd2 = Watchdog::new({
+            let mut c = WatchdogConfig::new(W, 1);
+            c.migration_stall_windows = 1;
+            c
+        });
+        wd2.observe_window(W, &window(5), Some(&[0i64; GAUGES]), None);
+        assert!(wd2.log().is_empty());
     }
 
     #[test]

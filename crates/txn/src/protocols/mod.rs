@@ -225,7 +225,7 @@ impl PayloadIo for DirectIo {
         v: usize,
         dst: &mut [u8],
     ) -> DsmResult<()> {
-        table.layer().read(ep, table.payload_addr(key, v), dst)
+        table.layer().read(ep, table.payload_read_addr(key, v), dst)
     }
 
     fn write_payload(
@@ -236,7 +236,12 @@ impl PayloadIo for DirectIo {
         v: usize,
         src: &[u8],
     ) -> DsmResult<()> {
-        table.layer().write(ep, table.payload_addr(key, v), src)
+        let (old, dual) = table.payload_write_targets(key, v);
+        table.layer().write(ep, old, src)?;
+        if let Some(new) = dual {
+            table.layer().write(ep, new, src)?;
+        }
+        Ok(())
     }
 }
 

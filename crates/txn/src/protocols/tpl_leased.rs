@@ -203,10 +203,17 @@ impl ConcurrencyControl for LeasedTpl {
             let _span = ctx.ep.span(Phase::Writeback);
             let mut writes: Vec<(u64, &Vec<u8>)> = pending.iter().map(|(k, v)| (*k, v)).collect();
             writes.sort_unstable_by_key(|(k, _)| *k);
-            let reqs: Vec<(GlobalAddr, &[u8])> = writes
-                .iter()
-                .map(|(k, v)| (ctx.table.payload_addr(*k, 0), v.as_slice()))
-                .collect();
+            // While a key sits in an open dual-ownership window the
+            // write must land on both homes; the batch carries both
+            // targets in one doorbell.
+            let mut reqs: Vec<(GlobalAddr, &[u8])> = Vec::with_capacity(writes.len());
+            for (k, v) in &writes {
+                let (old, dual) = ctx.table.payload_write_targets(*k, 0);
+                reqs.push((old, v.as_slice()));
+                if let Some(new) = dual {
+                    reqs.push((new, v.as_slice()));
+                }
+            }
             if let Err(e) = layer.write_batch(ctx.ep, &reqs) {
                 failed = Some(e.into());
             }
