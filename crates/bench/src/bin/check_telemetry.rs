@@ -14,16 +14,25 @@
 //! never go negative) and `alerts` (a typed watchdog log whose events
 //! must alternate open/clear per kind at non-decreasing window
 //! boundaries inside the sampled run span).
+//! Schema v4 adds a mandatory `forensics` section: blame-share
+//! histogram whose per-category nanoseconds must sum to the recorded
+//! total, a worst-K exemplar reservoir sorted slowest-first and no
+//! deeper than its declared capacity, and a `critical_path_wire_share`
+//! in `[0, 1]`; reports whose headline carries `p99_ns` must also
+//! carry the `p999_ns` and `max_ns` tail rungs the exemplars explain.
 //! `results/exp_*_trace.json` files are Chrome `trace_event` exports
-//! and must hold a non-empty `traceEvents` array. `BENCH_summary.json`
-//! must parse and reference only experiments whose report file exists.
+//! and must hold a non-empty `traceEvents` array;
+//! `results/exp_*_exemplars.json` files are standalone worst-K
+//! artifacts mapping part names to forensics sections.
+//! `BENCH_summary.json` must parse and reference only experiments
+//! whose report file exists.
 //!
 //! Exits non-zero with a message per violation.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use bench::report::{alerts_from_json, health_from_json, results_dir, Json};
+use bench::report::{alerts_from_json, forensics_from_json, health_from_json, results_dir, Json};
 use bench::{AlertState, Gauge};
 
 fn check_phases(path: &Path, ctx: &str, v: &Json, errors: &mut Vec<String>) {
@@ -347,6 +356,72 @@ fn check_alerts(path: &Path, json: &Json, errors: &mut Vec<String>) {
     }
 }
 
+/// Validate the report's top-level `forensics` section (schema v4):
+/// it must parse back into a typed summary, the per-category blame
+/// nanoseconds must sum to the recorded `total_ns`, the worst-K
+/// reservoir must respect its capacity and be sorted slowest-first,
+/// every exemplar's `attributed_share` must be a share, and the
+/// `critical_path_wire_share` the regression gate watches must exist.
+fn check_forensics(path: &Path, json: &Json, errors: &mut Vec<String>) {
+    let mut err = |msg: String| errors.push(format!("{}: forensics: {msg}", path.display()));
+    let Some(section) = json.get("forensics") else {
+        err("missing (every report must carry a forensics section)".into());
+        return;
+    };
+    let Some(sum) = forensics_from_json(section) else {
+        err("does not parse back into a forensics summary \
+             (missing blame bucket or malformed exemplar?)"
+            .into());
+        return;
+    };
+    let blame_total: u64 = sum.blame_ns.iter().sum();
+    match section.get("total_ns").and_then(|v| v.as_u64()) {
+        Some(total) if total == blame_total => {}
+        Some(total) => err(format!("total_ns = {total}, blame buckets sum to {blame_total}")),
+        None => err("missing total_ns".into()),
+    }
+    match section.get("critical_path_wire_share").and_then(|v| v.as_f64()) {
+        Some(s) if (0.0..=1.0).contains(&s) => {}
+        Some(s) => err(format!("critical_path_wire_share = {s} outside [0, 1]")),
+        None => err("missing critical_path_wire_share".into()),
+    }
+    if sum.worst.len() as u64 > sum.k {
+        err(format!("{} exemplars exceed reservoir capacity {}", sum.worst.len(), sum.k));
+    }
+    if sum.worst.len() as u64 > sum.txns {
+        err(format!("{} exemplars but only {} transactions", sum.worst.len(), sum.txns));
+    }
+    let mut prev = u64::MAX;
+    for (i, &(total_ns, share, _events)) in sum.worst.iter().enumerate() {
+        if total_ns > prev {
+            err(format!("worst[{i}] not sorted by total_ns desc"));
+        }
+        prev = total_ns;
+        if !(0.0..=1.0).contains(&share) {
+            err(format!("worst[{i}].attributed_share = {share} outside [0, 1]"));
+        }
+    }
+}
+
+/// Reports that headline `p99_ns` must also headline the deeper tail
+/// rungs the forensics section explains.
+fn check_headline_tail(path: &Path, json: &Json, errors: &mut Vec<String>) {
+    let Some(headline) = json.get("headline") else {
+        return;
+    };
+    if headline.get("p99_ns").is_none() {
+        return;
+    }
+    for key in ["p999_ns", "max_ns"] {
+        if headline.get(key).is_none() {
+            errors.push(format!(
+                "{}: headline has p99_ns but no {key} (tail rungs are mandatory)",
+                path.display()
+            ));
+        }
+    }
+}
+
 /// Validate a Chrome `trace_event` export: parses and carries a
 /// non-empty `traceEvents` array whose entries have a `ph` tag.
 fn check_trace(path: &Path, errors: &mut Vec<String>) {
@@ -412,6 +487,8 @@ fn check_report(path: &Path, errors: &mut Vec<String>) -> Option<String> {
     check_timeseries(path, &json, errors);
     check_health(path, &json, errors);
     check_alerts(path, &json, errors);
+    check_forensics(path, &json, errors);
+    check_headline_tail(path, &json, errors);
     experiment
 }
 
@@ -446,6 +523,11 @@ fn main() -> ExitCode {
             .and_then(|n| n.to_str())
             .is_some_and(|n| n.ends_with("_alerts.json"))
     });
+    let (exemplar_files, entries): (Vec<_>, Vec<_>) = entries.into_iter().partition(|p| {
+        p.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with("_exemplars.json"))
+    });
     if entries.is_empty() {
         eprintln!("no exp_*.json reports in {}", dir.display());
         return ExitCode::FAILURE;
@@ -457,6 +539,29 @@ fn main() -> ExitCode {
     }
     for path in &traces {
         check_trace(path, &mut errors);
+    }
+    // Standalone worst-K artifacts map part names to forensics sections.
+    for path in &exemplar_files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(Json::O(parts)) if !parts.is_empty() => {
+                    for (name, section) in &parts {
+                        if forensics_from_json(section).is_none() {
+                            errors.push(format!(
+                                "{}: part \"{name}\" is not a forensics section",
+                                path.display()
+                            ));
+                        }
+                    }
+                }
+                Ok(_) => errors.push(format!(
+                    "{}: not a non-empty object of forensics sections",
+                    path.display()
+                )),
+                Err(e) => errors.push(format!("{}: invalid JSON: {e}", path.display())),
+            },
+            Err(e) => errors.push(format!("{}: unreadable: {e}", path.display())),
+        }
     }
     // Standalone alert-log artifacts hold exactly an `alerts` section.
     for path in &alert_logs {
@@ -495,10 +600,12 @@ fn main() -> ExitCode {
 
     if errors.is_empty() {
         println!(
-            "ok: {} report(s) + {} trace(s) + {} alert log(s) + BENCH_summary.json valid in {}",
+            "ok: {} report(s) + {} trace(s) + {} alert log(s) + {} exemplar file(s) \
+             + BENCH_summary.json valid in {}",
             reports.len(),
             traces.len(),
             alert_logs.len(),
+            exemplar_files.len(),
             dir.display()
         );
         ExitCode::SUCCESS

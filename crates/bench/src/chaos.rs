@@ -209,6 +209,9 @@ pub struct ChaosOutcome {
     /// Virtual instant the recovery actions ran (mirror rebuild + epoch
     /// bump + zombie fencing), ns; 0 when faults were not injected.
     pub t_recover_ns: u64,
+    /// Tail-latency forensics merged across all sessions: blame-share
+    /// histogram plus the worst-K exemplar reservoir.
+    pub forensics: crate::ForensicsSnapshot,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -272,8 +275,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     // Flight recording, series sampling, and gauge health sampling are
     // free in virtual time, so enabling them cannot perturb the
     // measured timeline.
-    for s in &sessions {
+    for s in &mut sessions {
         s.endpoint().enable_flight_recorder(TRACE_RING);
+        s.enable_forensics(crate::config::exemplars());
         if cfg.window_ns > 0 {
             s.endpoint().enable_timeseries(cfg.window_ns);
             s.endpoint().enable_health(cfg.window_ns);
@@ -310,6 +314,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         health: HealthSnapshot::empty(),
         latency_samples: Vec::with_capacity(cfg.sessions * cfg.rounds),
         t_recover_ns: 0,
+        forensics: crate::ForensicsSnapshot::empty(),
     };
 
     let r_crash = cfg.rounds / 3;
@@ -475,6 +480,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         out.contention.merge(&s.endpoint().contention_snapshot());
         out.series.merge(&s.endpoint().series_snapshot());
         out.health.merge(&s.endpoint().health_snapshot());
+        out.forensics.merge(&s.forensics_snapshot());
         out.trace.name_thread(0, t as u64 + 1, &format!("session{t}"));
         s.endpoint().export_chrome_trace(&mut out.trace, 0, t as u64 + 1);
     }
@@ -624,6 +630,7 @@ pub fn report_for(cfg: &ChaosConfig, out: &ChaosOutcome) -> Report {
     }
     rep.health(health_json(&out.health));
     rep.alerts(alerts_json(&watchdog_log(cfg, out, None)));
+    rep.forensics(crate::report::forensics_json(&out.forensics));
     rep.headline("pre_tps", Json::F(out.pre.tps()));
     rep.headline("fault_tps", Json::F(out.fault.tps()));
     rep.headline("post_tps", Json::F(out.post.tps()));

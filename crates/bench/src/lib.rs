@@ -33,8 +33,15 @@ use rdma_sim::{
 
 pub use config::scale_down;
 pub use telemetry::{
-    sparkline, AlertEvent, AlertKind, AlertState, Gauge, Metric, Watchdog, WatchdogConfig,
+    sparkline, AlertEvent, AlertKind, AlertState, ForensicsSnapshot, Gauge, Metric, Watchdog,
+    WatchdogConfig,
 };
+
+/// Flight-recorder ring depth [`run_cluster_workload`] gives each
+/// session: deep enough to hold any single transaction's event chain
+/// (forensics only reads back the current txn's events), shallow enough
+/// to stay cheap at thousands of sessions.
+pub const WORKLOAD_TRACE_RING: usize = 1024;
 
 /// Drive `clients` virtual clients in lockstep for `rounds` rounds. The
 /// closure runs one operation for one client; returns the makespan (max
@@ -148,6 +155,10 @@ pub struct WorkloadResult {
     /// Concurrent sessions that fed the run (nodes x threads) — the
     /// watchdog's lock-wait budget denominator.
     pub sessions: u32,
+    /// Tail-latency forensics: blame-share histogram over every
+    /// transaction plus the worst-K exemplar reservoir, merged across
+    /// sessions.
+    pub forensics: ForensicsSnapshot,
 }
 
 impl WorkloadResult {
@@ -230,6 +241,7 @@ where
     let phases = Mutex::new(PhaseSnapshot::default());
     let series = Mutex::new(SeriesSnapshot::empty());
     let health = Mutex::new(HealthSnapshot::empty());
+    let forensics = Mutex::new(ForensicsSnapshot::empty());
     std::thread::scope(|sc| {
         for n in 0..nodes {
             for t in 0..threads {
@@ -246,10 +258,13 @@ where
                 let phases = &phases;
                 let series = &series;
                 let health = &health;
+                let forensics = &forensics;
                 sc.spawn(move || {
                     let mut s: Session = cluster.session(n, t);
                     s.endpoint().enable_timeseries(DEFAULT_WINDOW_NS);
                     s.endpoint().enable_health(DEFAULT_WINDOW_NS);
+                    s.endpoint().enable_flight_recorder(WORKLOAD_TRACE_RING);
+                    s.enable_forensics(config::exemplars());
                     let mut my_aborts = AbortCauses::default();
                     for i in 0..txns_per_session {
                         let ops = gen(n, t, i);
@@ -291,6 +306,7 @@ where
                         .merge(&s.endpoint().contention_snapshot());
                     series.lock().unwrap().merge(&s.endpoint().series_snapshot());
                     health.lock().unwrap().merge(&s.endpoint().health_snapshot());
+                    forensics.lock().unwrap().merge(&s.forensics_snapshot());
                 });
             }
         }
@@ -307,6 +323,7 @@ where
         series: series.into_inner().unwrap(),
         health: health.into_inner().unwrap(),
         sessions: total_workers as u32,
+        forensics: forensics.into_inner().unwrap(),
     }
 }
 
@@ -353,7 +370,7 @@ pub mod report {
         alerts_from_json, alerts_json, health_from_json, health_json, hist_json, phases_json,
         series_from_json, series_json,
     };
-    pub use telemetry::{Json, Report};
+    pub use telemetry::{forensics_from_json, forensics_json, Json, Report};
 
     use crate::{AbortCauses, AlertEvent, WatchdogConfig, WorkloadResult};
 
@@ -406,20 +423,24 @@ pub mod report {
     }
 
     /// Install the standard headline block for the run the experiment
-    /// considers its flagship configuration: tps, p50/p99 latency, wire
-    /// round trips per txn, and phase shares — and attach the flagship
-    /// run's windowed time-series, health plane, and watchdog alert log
-    /// as the report's schema-v3 `timeseries`/`health`/`alerts`
-    /// sections.
+    /// considers its flagship configuration: tps, the latency ladder
+    /// through p999 and max (p99 alone hides the exemplars the
+    /// forensics section exists for), wire round trips per txn, and
+    /// phase shares — and attach the flagship run's windowed
+    /// time-series, health plane, watchdog alert log, and forensics as
+    /// the report's schema-v3/v4 sections.
     pub fn standard_headline(rep: &mut Report, r: &WorkloadResult) {
-        let (p50, _p95, p99, _p999) = r.latency.percentiles();
+        let (p50, _p95, p99, p999) = r.latency.percentiles();
         rep.headline("tps", Json::F(r.tps()));
         rep.headline("p50_ns", Json::U(p50));
         rep.headline("p99_ns", Json::U(p99));
+        rep.headline("p999_ns", Json::U(p999));
+        rep.headline("max_ns", Json::U(r.latency.max()));
         rep.headline("wire_rts_per_txn", Json::F(r.wire_rts_per_txn()));
         rep.headline("phases", phases_json(&r.phases));
         attach_timeseries(rep, r);
         attach_live_plane(rep, r);
+        rep.forensics(forensics_json(&r.forensics));
     }
 
     /// Replay the flagship run through a default-threshold [`crate::Watchdog`]

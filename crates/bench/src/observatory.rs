@@ -112,6 +112,9 @@ pub struct ObsOutcome {
     /// Virtual instant of the antagonist's first squat (max session
     /// clock at the onset round), ns; 0 when it squats from round 0.
     pub t_antagonist_ns: u64,
+    /// Tail-latency forensics merged across sessions (empty when
+    /// `trace_ring` is 0).
+    pub forensics: crate::ForensicsSnapshot,
 }
 
 impl ObsOutcome {
@@ -148,9 +151,10 @@ pub fn run_observatory(cfg: &ObsConfig) -> ObsOutcome {
 
     let mut sessions: Vec<Session> =
         (0..cfg.sessions).map(|t| cluster.session(0, t)).collect();
-    for s in &sessions {
+    for s in &mut sessions {
         if cfg.trace_ring > 0 {
             s.endpoint().enable_flight_recorder(cfg.trace_ring);
+            s.enable_forensics(crate::config::exemplars());
         }
         if cfg.window_ns > 0 {
             s.endpoint().enable_timeseries(cfg.window_ns);
@@ -168,6 +172,7 @@ pub fn run_observatory(cfg: &ObsConfig) -> ObsOutcome {
         series: SeriesSnapshot::empty(),
         health: HealthSnapshot::empty(),
         t_antagonist_ns: 0,
+        forensics: crate::ForensicsSnapshot::empty(),
     };
 
     for round in 0..cfg.rounds {
@@ -183,6 +188,10 @@ pub fn run_observatory(cfg: &ObsConfig) -> ObsOutcome {
             }
             let mut arng = StdRng::seed_from_u64(cfg.seed ^ 0xA11A ^ ((round as u64) << 16));
             let key = zipf.next(&mut arng);
+            // Announce a synthetic per-squat trace id so sessions that
+            // block on the squat can name the antagonist as the holder
+            // (otherwise their waits degrade to anonymous backoff).
+            fabric.announce_trace(ANTAGONIST_TAG, (ANTAGONIST_TAG << 32) | (round as u64 + 1));
             ExclusiveLock::acquire(&layer, &antagonist, table.lock_addr(key), ANTAGONIST_TAG, 0)
                 .expect("all locks are free between rounds");
             Some(key)
@@ -214,6 +223,7 @@ pub fn run_observatory(cfg: &ObsConfig) -> ObsOutcome {
         if let Some(key) = squat {
             ExclusiveLock::release(&layer, &antagonist, table.lock_addr(key))
                 .expect("antagonist owns its squat");
+            fabric.retire_trace(ANTAGONIST_TAG);
         }
     }
 
@@ -227,6 +237,7 @@ pub fn run_observatory(cfg: &ObsConfig) -> ObsOutcome {
         out.contention.merge(&s.endpoint().contention_snapshot());
         out.series.merge(&s.endpoint().series_snapshot());
         out.health.merge(&s.endpoint().health_snapshot());
+        out.forensics.merge(&s.forensics_snapshot());
         if cfg.trace_ring > 0 {
             out.trace.name_thread(0, t as u64 + 1, &format!("session{t}"));
             s.endpoint().export_chrome_trace(&mut out.trace, 0, t as u64 + 1);

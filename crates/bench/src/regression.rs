@@ -7,13 +7,14 @@
 //!
 //! Gated metrics (only regressions trip; improvements pass silently):
 //!
-//! | metric                | direction     | band  |
-//! |-----------------------|---------------|-------|
-//! | `tps`, `*_tps`        | higher better | −5%   |
-//! | `wire_rts_per_txn`    | lower better  | +2%   |
-//! | `p99_ns`              | lower better  | +10%  |
-//! | `time_to_recovery_ns` | lower better  | +25%  |
-//! | `dip_depth`           | lower better  | +25%  |
+//! | metric                          | direction     | band  |
+//! |---------------------------------|---------------|-------|
+//! | `tps`, `*_tps`                  | higher better | −5%   |
+//! | `wire_rts_per_txn`              | lower better  | +2%   |
+//! | `p99_ns`                        | lower better  | +10%  |
+//! | `critical_path_wire_share`      | lower better  | +10%  |
+//! | `time_to_recovery_ns`           | lower better  | +25%  |
+//! | `dip_depth`                     | lower better  | +25%  |
 //!
 //! `time_to_recovery_ns` and `dip_depth` come out of the windowed
 //! time-series (one window of quantization either way), so their bands
@@ -42,7 +43,7 @@ pub fn band_for(metric: &str) -> Option<(Direction, f64)> {
         Some((Direction::HigherBetter, 0.05))
     } else if metric == "wire_rts_per_txn" {
         Some((Direction::LowerBetter, 0.02))
-    } else if metric == "p99_ns" {
+    } else if metric == "p99_ns" || metric == "critical_path_wire_share" {
         Some((Direction::LowerBetter, 0.10))
     } else if metric == "time_to_recovery_ns" || metric == "dip_depth" {
         Some((Direction::LowerBetter, 0.25))
@@ -238,6 +239,17 @@ mod tests {
         let out = compare(&base, &outside).unwrap();
         assert_eq!(out.breaches.len(), 1);
         assert_eq!(out.breaches[0].metric, "dip_depth");
+    }
+
+    #[test]
+    fn critical_path_wire_share_rise_fails() {
+        let base = summary(&[("o4", &[("critical_path_wire_share", 0.50)])]);
+        let inside = summary(&[("o4", &[("critical_path_wire_share", 0.54)])]);
+        assert!(compare(&base, &inside).unwrap().ok());
+        let outside = summary(&[("o4", &[("critical_path_wire_share", 0.56)])]);
+        let out = compare(&base, &outside).unwrap();
+        assert_eq!(out.breaches.len(), 1);
+        assert_eq!(out.breaches[0].metric, "critical_path_wire_share");
     }
 
     #[test]

@@ -85,7 +85,13 @@ fn every_committed_report_has_a_consistent_timeseries() {
     for entry in std::fs::read_dir(dir).expect("results dir") {
         let path = entry.expect("dir entry").path();
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
-        if !name.starts_with("exp_") || !name.ends_with(".json") || name.ends_with("_trace.json") {
+        if !name.starts_with("exp_")
+            || !name.ends_with(".json")
+            || name.ends_with("_trace.json")
+            // Worst-K exemplar artifacts are forensics sections, not
+            // reports — check_telemetry validates them separately.
+            || name.ends_with("_exemplars.json")
+        {
             continue;
         }
         let rep = committed(&name);

@@ -63,6 +63,33 @@ fn identical_runs_render_identical_json() {
     assert!(a.contains("\"health\""));
     assert!(a.contains("\"sessions_in_flight\""));
     assert!(a.contains("\"alerts\""));
+    // Schema v4: tail headlines and the forensics section are mandatory.
+    assert!(a.contains("\"p999_ns\""));
+    assert!(a.contains("\"max_ns\""));
+    assert!(a.contains("\"forensics\""));
+}
+
+#[test]
+fn forensics_section_is_byte_identical_and_fully_attributed() {
+    let ra = run_once();
+    let rb = run_once();
+    assert!(ra.forensics.txns > 0, "probe recorded no transactions");
+    assert!(!ra.forensics.worst.is_empty(), "empty worst-K reservoir");
+    let a = report::forensics_json(&ra.forensics).render_pretty(2);
+    let b = report::forensics_json(&rb.forensics).render_pretty(2);
+    assert_eq!(a, b, "same-seed forensics sections diverged");
+    // The probe's ring is big enough that nothing wraps: every exemplar
+    // must be 100% attributed to typed categories.
+    for t in &ra.forensics.worst {
+        assert!(
+            (t.attributed_share() - 1.0).abs() < 1e-12,
+            "exemplar {} lost coverage: attributed {}",
+            t.trace,
+            t.attributed_share()
+        );
+        assert_eq!(t.blame_ns.iter().sum::<u64>(), t.total_ns);
+        assert!(!t.chain.is_empty(), "exemplar {} has an empty chain", t.trace);
+    }
 }
 
 #[test]

@@ -285,6 +285,7 @@ impl Cluster {
             arena: PageArena::default(),
             txn_lat: Histogram::new(),
             txn_seq: 0,
+            forensics: None,
         }
     }
 
@@ -404,6 +405,10 @@ pub struct Session {
     /// is unique cluster-wide yet independent of thread interleaving, so
     /// same-seed runs stamp identical ids into the flight recorder.
     txn_seq: u64,
+    /// Tail-latency forensics: critical-path extraction + worst-K
+    /// exemplar reservoir over this session's transactions. `None`
+    /// until [`Session::enable_forensics`].
+    forensics: Option<telemetry::ForensicsCollector>,
 }
 
 impl Session {
@@ -462,12 +467,42 @@ impl Session {
         self.ep.phase_snapshot()
     }
 
+    /// Turn on tail-latency forensics with a worst-`k` exemplar
+    /// reservoir. Requires the flight recorder (enable it with a ring
+    /// deep enough for one transaction's events); extraction reads the
+    /// recorder and the virtual clock but never advances the clock.
+    pub fn enable_forensics(&mut self, k: usize) {
+        self.forensics = Some(telemetry::ForensicsCollector::new(k));
+    }
+
+    /// Copy out this session's forensics rollup (empty when forensics
+    /// was never enabled).
+    pub fn forensics_snapshot(&self) -> telemetry::ForensicsSnapshot {
+        self.forensics
+            .as_ref()
+            .map(|f| f.snapshot())
+            .unwrap_or_else(telemetry::ForensicsSnapshot::empty)
+    }
+
     /// Execute one transaction. `Err(TxnError::Aborted)` is retryable.
     pub fn execute(&mut self, ops: &[Op]) -> Result<TxnOutput, TxnError> {
         // Stay a good citizen: serve pending cluster work first.
         self.serve_pending(4);
         self.txn_seq += 1;
-        self.ep.set_trace_id((self.owner_tag << 32) | self.txn_seq);
+        let trace = (self.owner_tag << 32) | self.txn_seq;
+        self.ep.set_trace_id(trace);
+        // Publish this txn's trace under the tags it writes into lock
+        // words, so blocked waiters can resolve us as their holder. The
+        // lease protocol's words carry only the low-16 owner id.
+        let announce = self.ep.flight_recorder_enabled();
+        if announce {
+            let fabric = self.ep.fabric();
+            fabric.announce_trace(self.worker_tag, trace);
+            if self.worker_tag & 0xFFFF != self.worker_tag {
+                fabric.announce_trace(self.worker_tag & 0xFFFF, trace);
+            }
+        }
+        let pushed0 = self.forensics.as_ref().map(|_| self.ep.flight_pushed());
         let t0 = self.ep.clock().now_ns();
         self.ep.gauge_add(Gauge::SessionsInFlight, 1);
         self.ep.phase_enter(Phase::Execute);
@@ -484,6 +519,25 @@ impl Session {
             Architecture::CacheShard => self.execute_sharded(ops),
         };
         self.ep.phase_exit();
+        if let (Some(collector), Some(pushed0)) = (&mut self.forensics, pushed0) {
+            let end = self.ep.clock().now_ns();
+            // This txn's own coverage is provably lost exactly when it
+            // pushed more events than the ring holds (its first event is
+            // overwritten after `capacity` newer pushes — older txns'
+            // events being recycled is harmless). The residual then
+            // reports as unattributed, not compute.
+            let lost =
+                self.ep.flight_pushed() - pushed0 > self.ep.flight_capacity() as u64;
+            let events = self.ep.forensic_events_for(trace);
+            collector.record(telemetry::extract(trace, t0, end, &events, result.is_ok(), lost));
+        }
+        if announce {
+            let fabric = self.ep.fabric();
+            fabric.retire_trace(self.worker_tag);
+            if self.worker_tag & 0xFFFF != self.worker_tag {
+                fabric.retire_trace(self.worker_tag & 0xFFFF);
+            }
+        }
         self.ep.clear_trace_id();
         self.ep.gauge_add(Gauge::SessionsInFlight, -1);
         self.txn_lat.record(self.ep.clock().now_ns().saturating_sub(t0));
@@ -548,7 +602,12 @@ impl Session {
         keys.sort_unstable();
         keys.dedup();
         self.ep.charge_local(50 * keys.len() as u64); // local lock table
-        if !node.locks.try_lock_all(&keys) {
+        if let Err(holder) = node.locks.try_lock_all(&keys, self.ep.trace_id()) {
+            self.ep.note_local_lock_wait(
+                keys.first().copied().unwrap_or(0),
+                50 * keys.len() as u64,
+                holder,
+            );
             return Err(TxnError::Aborted("local-lock-busy"));
         }
         let result = self.run_ops_on_pool(ops);
@@ -633,8 +692,15 @@ impl Session {
         local_keys.sort_unstable();
         local_keys.dedup();
         self.ep.charge_local(50 * local_keys.len() as u64);
-        if !local_keys.is_empty() && !node.locks.try_lock_all(&local_keys) {
-            return Err(TxnError::Aborted("local-lock-busy"));
+        if !local_keys.is_empty() {
+            if let Err(holder) = node.locks.try_lock_all(&local_keys, self.ep.trace_id()) {
+                self.ep.note_local_lock_wait(
+                    local_keys[0],
+                    50 * local_keys.len() as u64,
+                    holder,
+                );
+                return Err(TxnError::Aborted("local-lock-busy"));
+            }
         }
         let local_exec = if local_ops.is_empty() {
             Ok((TxnOutput::default(), Vec::new()))
@@ -665,7 +731,7 @@ impl Session {
                     encode_2pc(
                         MsgKind::Prepare,
                         txn_id,
-                        &encode_prepare(self.epoch, self.node, ops),
+                        &encode_prepare(self.epoch, self.node, self.ep.trace_id(), ops),
                     ),
                 )
             }))
@@ -838,7 +904,7 @@ impl Session {
         match m.kind {
             MsgKind::Prepare => {
                 self.ep.phase_enter(Phase::TwoPcPrepare);
-                let (coord_epoch, coord_node, ops) = decode_prepare(&m.body);
+                let (coord_epoch, coord_node, coord_trace, ops) = decode_prepare(&m.body);
                 // Epoch fence: once the cluster bumps a node's epoch
                 // (declaring it crashed and its locks stealable), prepares
                 // signed with the older epoch are refused — a zombie
@@ -865,7 +931,11 @@ impl Session {
                 keys.sort_unstable();
                 keys.dedup();
                 self.ep.charge_local(50 * keys.len() as u64);
-                if !node.locks.try_lock_all(&keys) {
+                // Participant locks are held on behalf of the
+                // *coordinator's* transaction: later conflicters blame
+                // the coordinator's trace, not the serving session's.
+                if let Err(holder) = node.locks.try_lock_all(&keys, coord_trace) {
+                    self.ep.note_local_lock_wait(keys[0], 50 * keys.len() as u64, holder);
                     let _ = self.ep.send(
                         msg.from,
                         node_inbox_id(self.node),
@@ -937,20 +1007,24 @@ const OP_READ: u8 = 0;
 const OP_UPDATE: u8 = 1;
 const OP_RMW: u8 = 2;
 
-/// Prepare body: `[epoch u64 | coordinator node u64 | subtxn]`. The
-/// (node, epoch) pair is the coordinator's signature for epoch fencing.
-fn encode_prepare(epoch: u64, node: usize, ops: &[Op]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16 + 2 + ops.len() * 12);
+/// Prepare body: `[epoch u64 | coordinator node u64 | coordinator trace
+/// u64 | subtxn]`. The (node, epoch) pair is the coordinator's signature
+/// for epoch fencing; the trace id lets the participant hold locks in
+/// the coordinator's name so conflicters blame the right transaction.
+fn encode_prepare(epoch: u64, node: usize, trace: u64, ops: &[Op]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + 2 + ops.len() * 12);
     out.extend_from_slice(&epoch.to_le_bytes());
     out.extend_from_slice(&(node as u64).to_le_bytes());
+    out.extend_from_slice(&trace.to_le_bytes());
     out.extend_from_slice(&encode_subtxn(ops));
     out
 }
 
-fn decode_prepare(body: &[u8]) -> (u64, usize, Vec<Op>) {
+fn decode_prepare(body: &[u8]) -> (u64, usize, u64, Vec<Op>) {
     let epoch = u64::from_le_bytes(body[0..8].try_into().unwrap());
     let node = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
-    (epoch, node, decode_subtxn(&body[16..]))
+    let trace = u64::from_le_bytes(body[16..24].try_into().unwrap());
+    (epoch, node, trace, decode_subtxn(&body[24..]))
 }
 
 fn encode_subtxn(ops: &[Op]) -> Vec<u8> {
@@ -1074,7 +1148,7 @@ mod tests {
         assert_eq!(decode_subtxn(&encode_subtxn(&ops)), ops);
         let reads = vec![(1u64, vec![9u8; 16]), (2, vec![])];
         assert_eq!(decode_reads(&encode_reads(&reads)), reads);
-        assert_eq!(decode_prepare(&encode_prepare(7, 3, &ops)), (7, 3, ops));
+        assert_eq!(decode_prepare(&encode_prepare(7, 3, 99, &ops)), (7, 3, 99, ops));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! instead of remote RDMA locks for owned keys — the "best leverage local
 //! memory" property of the sharded design.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock};
@@ -121,10 +121,13 @@ impl ShardMap {
 }
 
 /// Owner-local, no-wait lock table (the local half of §4 Challenge 7's
-/// local/global split for the sharded architecture).
+/// local/global split for the sharded architecture). Each held key
+/// remembers the holding transaction's trace id so a conflicting
+/// attempt learns *who* blocked it — the blocking-edge annotation
+/// tail-latency forensics follows.
 #[derive(Debug, Default)]
 pub struct LockTable {
-    locked: Mutex<HashSet<u64>>,
+    locked: Mutex<HashMap<u64, u64>>,
 }
 
 impl LockTable {
@@ -133,22 +136,24 @@ impl LockTable {
         Self::default()
     }
 
-    /// Try to lock every key in `keys` (sorted, deduped by the caller).
-    /// All-or-nothing: on conflict nothing is held and `false` returns.
-    pub fn try_lock_all(&self, keys: &[u64]) -> bool {
-        let mut set = self.locked.lock();
-        if keys.iter().any(|k| set.contains(k)) {
-            return false;
+    /// Try to lock every key in `keys` (sorted, deduped by the caller)
+    /// for the transaction with trace id `trace`. All-or-nothing: on
+    /// conflict nothing is held and `Err(holder)` returns the blocking
+    /// transaction's trace id (0 when the holder recorded none).
+    pub fn try_lock_all(&self, keys: &[u64], trace: u64) -> Result<(), u64> {
+        let mut held = self.locked.lock();
+        if let Some(&holder) = keys.iter().find_map(|k| held.get(k)) {
+            return Err(holder);
         }
-        set.extend(keys.iter().copied());
-        true
+        held.extend(keys.iter().map(|&k| (k, trace)));
+        Ok(())
     }
 
     /// Release previously locked keys.
     pub fn unlock_all(&self, keys: &[u64]) {
-        let mut set = self.locked.lock();
+        let mut held = self.locked.lock();
         for k in keys {
-            set.remove(k);
+            held.remove(k);
         }
     }
 
@@ -212,14 +217,15 @@ mod tests {
     }
 
     #[test]
-    fn lock_table_all_or_nothing() {
+    fn lock_table_all_or_nothing_and_names_the_blocker() {
         let t = LockTable::new();
-        assert!(t.try_lock_all(&[1, 2, 3]));
-        assert!(!t.try_lock_all(&[3, 4]), "conflict on 3");
+        assert!(t.try_lock_all(&[1, 2, 3], 71).is_ok());
+        assert_eq!(t.try_lock_all(&[3, 4], 72), Err(71), "conflict on 3 blames txn 71");
         assert_eq!(t.held(), 3, "failed attempt held nothing");
-        assert!(t.try_lock_all(&[4, 5]));
+        assert!(t.try_lock_all(&[4, 5], 72).is_ok());
         t.unlock_all(&[1, 2, 3]);
-        assert!(t.try_lock_all(&[3]));
+        assert!(t.try_lock_all(&[3], 73).is_ok());
         assert_eq!(t.held(), 3);
+        assert_eq!(t.try_lock_all(&[5], 73), Err(72));
     }
 }

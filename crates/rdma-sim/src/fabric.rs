@@ -4,7 +4,7 @@ use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use telemetry::{
     ChromeTrace, ContentionSnapshot, Gauge, GaugeRecorder, HealthSnapshot, HistSnapshot,
     Histogram, Metric, Phase, PhaseSnapshot, PhaseTracker, Sample, SeriesRecorder, SeriesSnapshot,
@@ -44,6 +44,12 @@ pub struct Fabric {
     /// and re-read when `fault_gen` moves.
     fault_plan: RwLock<Option<Arc<FaultPlan>>>,
     fault_gen: AtomicU64,
+    /// Lock-owner tag → live transaction trace id. The session layer
+    /// announces its trace under its lock-owner tag(s) for the duration
+    /// of each transaction, so a blocked waiter can resolve the tag it
+    /// read out of a lock word into the *holder's* trace id at block
+    /// time — the blocking-edge annotation tail-latency forensics needs.
+    trace_registry: Mutex<std::collections::BTreeMap<u64, u64>>,
 }
 
 impl Fabric {
@@ -55,7 +61,35 @@ impl Fabric {
             mailboxes: MailboxRegistry::new(),
             fault_plan: RwLock::new(None),
             fault_gen: AtomicU64::new(0),
+            trace_registry: Mutex::new(std::collections::BTreeMap::new()),
         })
+    }
+
+    /// Publish `trace` as the transaction currently running under lock
+    /// owner tag `owner_tag`. Waiters that lose a lock race to this tag
+    /// resolve it via [`Fabric::trace_of`].
+    pub fn announce_trace(&self, owner_tag: u64, trace: u64) {
+        if owner_tag == 0 {
+            return;
+        }
+        self.trace_registry.lock().insert(owner_tag, trace);
+    }
+
+    /// Withdraw the trace announced under `owner_tag` (transaction end).
+    pub fn retire_trace(&self, owner_tag: u64) {
+        if owner_tag == 0 {
+            return;
+        }
+        self.trace_registry.lock().remove(&owner_tag);
+    }
+
+    /// The live trace id announced under `owner_tag`, or 0 when the
+    /// holder is unknown (crashed, zombie, or never announced).
+    pub fn trace_of(&self, owner_tag: u64) -> u64 {
+        if owner_tag == 0 {
+            return 0;
+        }
+        self.trace_registry.lock().get(&owner_tag).copied().unwrap_or(0)
     }
 
     /// Install (or swap) the fault schedule. Every endpoint picks it up on
@@ -510,6 +544,19 @@ impl Endpoint {
         self.recorder.dropped()
     }
 
+    /// Events appended to the recorder ring so far. Forensics compares
+    /// the per-transaction delta against [`Endpoint::flight_capacity`]:
+    /// a transaction's own coverage is lost exactly when it pushed more
+    /// events than the ring holds.
+    pub fn flight_pushed(&self) -> u64 {
+        self.recorder.pushed()
+    }
+
+    /// The recorder ring's capacity (0 = recording off).
+    pub fn flight_capacity(&self) -> usize {
+        self.recorder.capacity()
+    }
+
     /// Render this endpoint's flight events onto `trace` as the
     /// `(pid, tid)` track.
     pub fn export_chrome_trace(&self, trace: &mut ChromeTrace, pid: u64, tid: u64) {
@@ -537,15 +584,83 @@ impl Endpoint {
     }
 
     /// Account `ns` of lock/latch waiting attributed to the packed
-    /// address `addr` (feeds the hot-key wait sketch).
+    /// address `addr` (feeds the hot-key wait sketch). Holder unknown —
+    /// equivalent to [`Endpoint::note_lock_wait_traced`] with tag 0.
     #[inline]
     pub fn note_lock_wait(&self, addr: u64, ns: u64) {
+        self.note_lock_wait_traced(addr, ns, 0);
+    }
+
+    /// Account `ns` of lock waiting on `addr` where the lock word named
+    /// `holder_tag` as the current owner. Feeds the hot-key wait sketch
+    /// and series like [`Endpoint::note_lock_wait`]; additionally, when
+    /// the flight recorder is on, records a [`EventKind::Wait`] event
+    /// whose `aux` is the holder's trace id resolved through the
+    /// fabric's trace registry at block time — the blocking edge
+    /// critical-path extraction follows.
+    pub fn note_lock_wait_traced(&self, addr: u64, ns: u64, holder_tag: u64) {
         self.contention.note_wait(addr, ns);
         if self.series.enabled() {
             let now = self.clock.now_ns();
             self.series.note(now, Metric::LockWaits, 1);
             self.series.note(now, Metric::LockWaitNs, ns);
         }
+        if self.recorder.enabled() {
+            self.record_wait(addr, ns, self.fabric.trace_of(holder_tag));
+        }
+    }
+
+    /// Account `ns` of waiting on a *local* (in-process) lock whose
+    /// holder's trace id is already known. Local keys are not packed
+    /// global addresses, so this skips the hot-key wait sketch (where
+    /// they would alias fabric addresses) but still lands in the series
+    /// and, when the recorder is on, the event ring.
+    pub fn note_local_lock_wait(&self, addr: u64, ns: u64, holder_trace: u64) {
+        if self.series.enabled() {
+            let now = self.clock.now_ns();
+            self.series.note(now, Metric::LockWaits, 1);
+            self.series.note(now, Metric::LockWaitNs, ns);
+        }
+        if self.recorder.enabled() {
+            self.record_wait(addr, ns, holder_trace);
+        }
+    }
+
+    #[inline]
+    fn record_wait(&self, addr: u64, ns: u64, holder_trace: u64) {
+        self.recorder.push(Event {
+            ts_ns: self.clock.now_ns().saturating_sub(ns),
+            dur_ns: ns,
+            kind: EventKind::Wait,
+            peer: u16::MAX,
+            addr,
+            bytes: 0,
+            outcome: outcome::OK,
+            txn: self.trace_id.get(),
+            phase: self.tracker.innermost() as u8,
+            aux: holder_trace,
+        });
+    }
+
+    /// Whether the flight recorder is on.
+    #[inline]
+    pub fn flight_recorder_enabled(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Recorded flight events carrying trace id `txn`, oldest first.
+    pub fn flight_events_for(&self, txn: u64) -> Vec<Event> {
+        self.recorder.events_for(txn)
+    }
+
+    /// Trace id `txn`'s recorded events translated into forensic
+    /// critical-path steps (phase boundaries elided), oldest first.
+    pub fn forensic_events_for(&self, txn: u64) -> Vec<telemetry::PathEvent> {
+        self.recorder
+            .events_for(txn)
+            .iter()
+            .filter_map(crate::recorder::to_path_event)
+            .collect()
     }
 
     /// Record a lock wait-for edge: `waiter` wanted `addr`, which
@@ -593,6 +708,7 @@ impl Endpoint {
             outcome: outcome_code,
             txn: self.trace_id.get(),
             phase: self.tracker.innermost() as u8,
+            aux: 0,
         });
     }
 
@@ -1283,6 +1399,41 @@ mod tests {
             assert_eq!(snap.cas_top[0].key, pack_addr(node, 16));
             snap.cas_top[0].count
         }
+    }
+
+    #[test]
+    fn traced_waits_resolve_the_holders_live_trace() {
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(64);
+        // Holder announces its trace under its lock-owner tag.
+        fabric.announce_trace(42, 0x42_0001);
+        let waiter = fabric.endpoint();
+        waiter.enable_flight_recorder(16);
+        waiter.set_trace_id(0x7_0001);
+        waiter.charge_local(500);
+        waiter.note_lock_wait_traced(pack_addr(node, 16), 500, 42);
+        // Unknown tag (never announced, e.g. a zombie) resolves to 0.
+        waiter.charge_local(200);
+        waiter.note_lock_wait_traced(pack_addr(node, 16), 200, 999);
+        // Local lock wait with a directly known holder trace.
+        waiter.charge_local(100);
+        waiter.note_local_lock_wait(7, 100, 0x9_0003);
+        let evs = waiter.flight_events_for(0x7_0001);
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].kind, EventKind::Wait);
+        assert_eq!(evs[0].aux, 0x42_0001);
+        assert_eq!(evs[0].ts_ns, 0, "wait charge is backdated");
+        assert_eq!(evs[1].aux, 0);
+        assert_eq!(evs[2].aux, 0x9_0003);
+        // Retired traces stop resolving.
+        fabric.retire_trace(42);
+        assert_eq!(fabric.trace_of(42), 0);
+        // The forensic translation keeps the holders.
+        let path = waiter.forensic_events_for(0x7_0001);
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0].step, telemetry::StepKind::Wait { holder: 0x42_0001 });
+        // Local waits stay out of the hot-key sketch; fabric waits feed it.
+        assert_eq!(waiter.contention_snapshot().wait_ns_total, 700);
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub enum EventKind {
     Verb(OpKind),
     /// An injected fault surfaced to the caller before the verb ran.
     Fault,
+    /// A lock/latch wait charged by the lock layer ([`Event::aux`]
+    /// carries the holder's trace id, 0 when unknown).
+    Wait,
     /// A phase span opened (`addr` = bucket index).
     PhaseBegin,
     /// The innermost phase span closed.
@@ -101,6 +104,9 @@ pub struct Event {
     /// Innermost phase bucket at record time (`telemetry::OTHER_BUCKET`
     /// when unspanned).
     pub phase: u8,
+    /// Kind-specific extra: for [`EventKind::Wait`], the *holder's*
+    /// trace id at block time (0 = unknown holder); 0 otherwise.
+    pub aux: u64,
 }
 
 /// Bounded ring buffer of [`Event`]s. Capacity 0 (the default) disables
@@ -110,6 +116,7 @@ pub struct FlightRecorder {
     cap: Cell<usize>,
     next: Cell<usize>,
     dropped: Cell<u64>,
+    pushed: Cell<u64>,
     buf: RefCell<Vec<Event>>,
 }
 
@@ -119,9 +126,15 @@ impl FlightRecorder {
         self.cap.set(cap);
         self.next.set(0);
         self.dropped.set(0);
+        self.pushed.set(0);
         let mut buf = self.buf.borrow_mut();
         buf.clear();
         buf.reserve(cap.min(1 << 20));
+    }
+
+    /// Current ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap.get()
     }
 
     /// Whether recording is on.
@@ -138,6 +151,7 @@ impl FlightRecorder {
             return;
         }
         let mut buf = self.buf.borrow_mut();
+        self.pushed.set(self.pushed.get() + 1);
         if buf.len() < cap {
             buf.push(ev);
         } else {
@@ -151,6 +165,14 @@ impl FlightRecorder {
     /// Events overwritten so far (ring wrapped).
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
+    }
+
+    /// Events appended since the capacity was last set. A window's own
+    /// coverage is provably lost exactly when more than `capacity`
+    /// events were pushed inside it: its first event is the first to be
+    /// overwritten, after `capacity` newer pushes.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.get()
     }
 
     /// Recorded events, oldest first.
@@ -171,7 +193,14 @@ impl FlightRecorder {
     pub fn clear(&self) {
         self.next.set(0);
         self.dropped.set(0);
+        self.pushed.set(0);
         self.buf.borrow_mut().clear();
+    }
+
+    /// Recorded events carrying transaction trace id `txn`, oldest
+    /// first — the raw material for critical-path extraction.
+    pub fn events_for(&self, txn: u64) -> Vec<Event> {
+        self.events().into_iter().filter(|e| e.txn == txn).collect()
     }
 }
 
@@ -186,11 +215,48 @@ fn verb_name(kind: OpKind) -> &'static str {
     }
 }
 
+/// Translate one recorder event into the forensics domain. Phase
+/// boundaries return `None` (the phase bucket already rides on every
+/// event); everything else maps 1:1 onto a typed critical-path step.
+pub fn to_path_event(e: &Event) -> Option<telemetry::PathEvent> {
+    let step = match e.kind {
+        EventKind::Wait => telemetry::StepKind::Wait { holder: e.aux },
+        EventKind::Verb(k) => telemetry::StepKind::Verb {
+            op: verb_name(k),
+            ok: e.outcome == outcome::OK,
+            lost_race: e.outcome == outcome::CAS_LOST,
+        },
+        EventKind::Fault => telemetry::StepKind::Fault,
+        EventKind::PhaseBegin | EventKind::PhaseEnd => return None,
+    };
+    Some(telemetry::PathEvent {
+        ts_ns: e.ts_ns,
+        dur_ns: e.dur_ns,
+        step,
+        peer: if e.peer == u16::MAX { 0 } else { e.peer },
+        phase: e.phase,
+        addr: e.addr,
+    })
+}
+
 /// Render one endpoint's event log onto a [`ChromeTrace`] as the
 /// `(pid, tid)` track: verbs become `"X"` complete events, phase spans
-/// become `"B"`/`"E"` pairs, faults become instants.
+/// become `"B"`/`"E"` pairs, faults become instants, lock waits become
+/// `"X"` slices plus a `blocked-on` flow start whose id is the holder's
+/// trace id. Every transaction in the batch also terminates its own
+/// flow id at its last event, so waiter→holder arrows resolve across
+/// tracks when the holder's endpoint is exported onto the same trace.
 pub fn export_chrome(events: &[Event], pid: u64, tid: u64, trace: &mut ChromeTrace) {
+    // (txn, end-ts of its last event) for flow termination.
+    let mut last_end: Vec<(u64, u64)> = Vec::new();
     for ev in events {
+        if ev.txn != 0 && !matches!(ev.kind, EventKind::PhaseBegin | EventKind::PhaseEnd) {
+            let end = ev.ts_ns + ev.dur_ns;
+            match last_end.iter_mut().find(|(t, _)| *t == ev.txn) {
+                Some((_, e)) => *e = (*e).max(end),
+                None => last_end.push((ev.txn, end)),
+            }
+        }
         match ev.kind {
             EventKind::Verb(k) => {
                 let mut args = vec![
@@ -211,6 +277,17 @@ pub fn export_chrome(events: &[Event], pid: u64, tid: u64, trace: &mut ChromeTra
                 let name = format!("fault:{}", outcome::name(ev.outcome));
                 trace.instant(&name, "fault", ev.ts_ns, pid, tid);
             }
+            EventKind::Wait => {
+                let args = vec![
+                    ("addr", Json::U(ev.addr)),
+                    ("txn", Json::U(ev.txn)),
+                    ("holder_txn", Json::U(ev.aux)),
+                ];
+                trace.complete("lock-wait", "wait", ev.ts_ns, ev.dur_ns, pid, tid, args);
+                if ev.aux != 0 {
+                    trace.flow_start("blocked-on", ev.aux, ev.ts_ns, pid, tid);
+                }
+            }
             EventKind::PhaseBegin => {
                 trace.begin(bucket_name(ev.addr as usize), "phase", ev.ts_ns, pid, tid);
             }
@@ -218,6 +295,9 @@ pub fn export_chrome(events: &[Event], pid: u64, tid: u64, trace: &mut ChromeTra
                 trace.end(ev.ts_ns, pid, tid);
             }
         }
+    }
+    for (txn, end) in last_end {
+        trace.flow_finish("blocked-on", txn, end, pid, tid);
     }
 }
 
@@ -343,6 +423,7 @@ mod tests {
             outcome: outcome::OK,
             txn: 0,
             phase: telemetry::OTHER_BUCKET as u8,
+            aux: 0,
         }
     }
 
@@ -384,6 +465,57 @@ mod tests {
         assert!(s.contains("fault:transient"));
         assert!(s.contains("\"READ\""));
         assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn wait_events_export_slices_and_blocking_flows() {
+        let mut t = ChromeTrace::new();
+        let events = [
+            Event { txn: 70, ..ev(10) },
+            Event { kind: EventKind::Wait, txn: 70, aux: 71, dur_ns: 300, ..ev(20) },
+            Event { kind: EventKind::Wait, txn: 70, aux: 0, dur_ns: 100, ..ev(400) },
+        ];
+        export_chrome(&events, 1, 2, &mut t);
+        let s = t.render();
+        assert!(s.contains("\"lock-wait\""));
+        assert!(s.contains("\"holder_txn\":71"));
+        // The known-holder wait starts flow 71; the unknown-holder one
+        // starts none; txn 70 terminates its own flow id once.
+        assert!(s.contains("\"ph\":\"s\""));
+        assert!(s.contains("\"id\":71"));
+        assert!(s.contains("\"ph\":\"f\""));
+        assert!(s.contains("\"id\":70"));
+        // 3 source events + 1 flow start + 1 flow finish.
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn path_events_translate_verbs_waits_and_faults() {
+        use telemetry::StepKind;
+        let w = to_path_event(&Event { kind: EventKind::Wait, aux: 9, dur_ns: 50, ..ev(5) }).unwrap();
+        assert_eq!(w.step, StepKind::Wait { holder: 9 });
+        assert_eq!(w.dur_ns, 50);
+        let v = to_path_event(&Event { outcome: outcome::TIMEOUT, ..ev(6) }).unwrap();
+        assert_eq!(v.step, StepKind::Verb { op: "READ", ok: false, lost_race: false });
+        let c = to_path_event(&Event { outcome: outcome::CAS_LOST, ..ev(6) }).unwrap();
+        assert_eq!(c.step, StepKind::Verb { op: "READ", ok: false, lost_race: true });
+        let f = to_path_event(&Event { kind: EventKind::Fault, ..ev(7) }).unwrap();
+        assert_eq!(f.step, StepKind::Fault);
+        assert!(to_path_event(&Event { kind: EventKind::PhaseBegin, ..ev(8) }).is_none());
+        // Non-node-addressed verbs normalize peer u16::MAX to 0.
+        let m = to_path_event(&Event { peer: u16::MAX, ..ev(9) }).unwrap();
+        assert_eq!(m.peer, 0);
+    }
+
+    #[test]
+    fn events_for_filters_by_trace_id() {
+        let r = FlightRecorder::default();
+        r.set_capacity(8);
+        r.push(Event { txn: 1, ..ev(0) });
+        r.push(Event { txn: 2, ..ev(1) });
+        r.push(Event { txn: 1, ..ev(2) });
+        let got: Vec<u64> = r.events_for(1).iter().map(|e| e.ts_ns).collect();
+        assert_eq!(got, vec![0, 2]);
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //!   monitor that evaluates a fixed rule set over the closing windows
 //!   and emits a deterministic, typed, virtual-timestamped alert log
 //!   with open/clear semantics and debounce.
+//! * [`forensics`] — tail-latency forensics: per-transaction critical
+//!   paths reconstructed from the flight-recorder event ring, typed
+//!   blame attribution for every nanosecond of a slow transaction, and
+//!   a deterministic worst-K exemplar reservoir merged cross-session.
 //! * [`json`] + [`report`] — a small no-dependency JSON
 //!   serializer/parser and the [`report::Report`] type every `exp_*`
 //!   binary serializes next to its `.txt`, plus the cross-PR
@@ -42,6 +46,7 @@
 
 pub mod analysis;
 pub mod contention;
+pub mod forensics;
 pub mod hist;
 pub mod json;
 pub mod live;
@@ -55,6 +60,10 @@ pub use analysis::{sparkline, RecoveryFacts, RollingBaseline, SloObjective};
 pub use live::{Gauge, GaugeRecorder, HealthSnapshot, GAUGES};
 pub use contention::{
     merge_top, wait_for_analysis, ContentionSnapshot, TopEntry, TopK, WaitEdge, WaitForSummary,
+};
+pub use forensics::{
+    blame_name, blame_of, extract, forensics_from_json, forensics_json, Blame, ForensicsCollector,
+    ForensicsSnapshot, PathEvent, StepKind, TxnForensics, BLAME_KINDS,
 };
 pub use hist::{HistSnapshot, Histogram};
 pub use json::Json;

@@ -24,7 +24,10 @@ use crate::watchdog::{AlertEvent, AlertKind, AlertState};
 /// v3: every report carries mandatory `health` ([`health_json`]) and
 /// `alerts` ([`alerts_json`]) sections — empty but well-formed when the
 /// experiment wires no live plane.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4: every report carries a mandatory `forensics` section
+/// ([`crate::forensics::forensics_json`]) — blame-share histogram plus
+/// worst-K exemplars, empty but well-formed when forensics is unwired.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One experiment's machine-readable output.
 #[derive(Debug, Clone)]
@@ -36,6 +39,7 @@ pub struct Report {
     timeseries: Option<Json>,
     health: Option<Json>,
     alerts: Option<Json>,
+    forensics: Option<Json>,
     headline: Vec<(String, Json)>,
 }
 
@@ -51,6 +55,7 @@ impl Report {
             timeseries: None,
             health: None,
             alerts: None,
+            forensics: None,
             headline: Vec::new(),
         }
     }
@@ -100,10 +105,20 @@ impl Report {
         self
     }
 
-    /// The full report document. The schema-v3 `health` and `alerts`
-    /// sections are mandatory: experiments that wire no live plane get
-    /// well-formed empty sections rather than missing keys, so every
-    /// consumer can rely on their presence.
+    /// Install the report's `forensics` section (blame-share histogram
+    /// plus worst-K exemplars, rendered by
+    /// [`crate::forensics::forensics_json`]). Idempotent: the last call
+    /// wins.
+    pub fn forensics(&mut self, section: Json) -> &mut Self {
+        self.forensics = Some(section);
+        self
+    }
+
+    /// The full report document. The schema-v3 `health`/`alerts` and
+    /// schema-v4 `forensics` sections are mandatory: experiments that
+    /// wire no live plane or forensics get well-formed empty sections
+    /// rather than missing keys, so every consumer can rely on their
+    /// presence.
     pub fn to_json(&self) -> Json {
         let mut members = vec![
             ("schema_version".to_string(), Json::U(SCHEMA_VERSION)),
@@ -119,6 +134,11 @@ impl Report {
         members.push(("health".to_string(), health));
         let alerts = self.alerts.clone().unwrap_or_else(|| alerts_json(&[]));
         members.push(("alerts".to_string(), alerts));
+        let forensics = self
+            .forensics
+            .clone()
+            .unwrap_or_else(|| crate::forensics::forensics_json(&crate::forensics::ForensicsSnapshot::empty()));
+        members.push(("forensics".to_string(), forensics));
         members.push(("headline".to_string(), Json::O(self.headline.clone())));
         Json::O(members)
     }
@@ -465,6 +485,10 @@ mod tests {
         let alerts = doc.get("alerts").expect("alerts is mandatory in v3");
         assert_eq!(alerts.get("count").unwrap().as_u64(), Some(0));
         assert_eq!(alerts_from_json(alerts), Some(vec![]));
+        let forensics = doc.get("forensics").expect("forensics is mandatory in v4");
+        let sum = crate::forensics::forensics_from_json(forensics).expect("well-formed");
+        assert_eq!(sum.txns, 0);
+        assert!(sum.worst.is_empty());
     }
 
     #[test]

@@ -113,6 +113,37 @@ impl ChromeTrace {
         ]));
     }
 
+    /// An `"s"` flow-start event: begins flow `id` at `(pid, tid)`.
+    /// Perfetto draws an arrow from here to the matching
+    /// [`ChromeTrace::flow_finish`] with the same `id` — used to link a
+    /// lock waiter's slice to its holder's transaction.
+    pub fn flow_start(&mut self, name: &str, id: u64, ts_ns: u64, pid: u64, tid: u64) {
+        self.events.push(Json::obj(vec![
+            ("name", Json::S(name.into())),
+            ("cat", Json::S("flow".into())),
+            ("ph", Json::S("s".into())),
+            ("id", Json::U(id)),
+            ("ts", us(ts_ns)),
+            ("pid", Json::U(pid)),
+            ("tid", Json::U(tid)),
+        ]));
+    }
+
+    /// An `"f"` flow-finish event terminating flow `id` (binding point
+    /// `"e"`: attaches to the enclosing slice).
+    pub fn flow_finish(&mut self, name: &str, id: u64, ts_ns: u64, pid: u64, tid: u64) {
+        self.events.push(Json::obj(vec![
+            ("name", Json::S(name.into())),
+            ("cat", Json::S("flow".into())),
+            ("ph", Json::S("f".into())),
+            ("bp", Json::S("e".into())),
+            ("id", Json::U(id)),
+            ("ts", us(ts_ns)),
+            ("pid", Json::U(pid)),
+            ("tid", Json::U(tid)),
+        ]));
+    }
+
     /// An `"i"` instant event (thread scope) — faults, steals, marks.
     pub fn instant(&mut self, name: &str, cat: &str, ts_ns: u64, pid: u64, tid: u64) {
         self.events.push(Json::obj(vec![
@@ -180,6 +211,19 @@ mod tests {
         // Metadata precedes events.
         assert!(s.find("process_name").unwrap() < s.find("READ").unwrap());
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn flow_events_carry_ids_and_binding_points() {
+        let mut t = ChromeTrace::new();
+        t.flow_start("blocked-on", 42, 1000, 0, 1);
+        t.flow_finish("blocked-on", 42, 2000, 0, 2);
+        let s = t.render();
+        assert!(s.contains("\"ph\":\"s\""));
+        assert!(s.contains("\"ph\":\"f\""));
+        assert!(s.contains("\"bp\":\"e\""));
+        assert!(s.contains("\"id\":42"));
+        assert_eq!(t.len(), 2);
     }
 
     #[test]

@@ -71,12 +71,15 @@ impl std::error::Error for LockError {}
 /// Exponential virtual-time backoff between lock attempts: 100 ns
 /// doubling up to ~25 µs, so contenders drain instead of hammering the
 /// remote atomic unit. The wait is attributed to `lock` in the
-/// endpoint's hot-key contention sketch.
+/// endpoint's hot-key contention sketch, and — when the lock word named
+/// a holder (`holder_tag != 0`) — annotated with the holder's live
+/// trace id so forensics can follow the blocking edge (0 = unknown
+/// holder, e.g. a latch or an anonymous writer bit).
 #[inline]
-fn backoff(ep: &Endpoint, attempt: u32, lock: GlobalAddr) {
+fn backoff(ep: &Endpoint, attempt: u32, lock: GlobalAddr, holder_tag: u64) {
     let ns = 100u64 << attempt.min(8);
     ep.charge_local(ns);
-    ep.note_lock_wait(lock.to_raw(), ns);
+    ep.note_lock_wait_traced(lock.to_raw(), ns, holder_tag);
 }
 
 /// The 1-round-trip exclusive CAS spinlock.
@@ -106,7 +109,7 @@ impl ExclusiveLock {
             // wait-for edge for the contention observatory.
             ep.note_wait_edge(owner_tag, prev, lock.to_raw());
             if attempt < max_retries {
-                backoff(ep, attempt, lock);
+                backoff(ep, attempt, lock, prev);
             }
         }
         Err(LockError::Busy)
@@ -148,7 +151,8 @@ impl SharedExclusiveLock {
     ) -> Result<u64, LockError> {
         for attempt in 0..=max_retries {
             if attempt > 0 {
-                backoff(ep, attempt - 1, addr);
+                // The latch word carries no holder identity.
+                backoff(ep, attempt - 1, addr, 0);
             }
             if layer.cas(ep, Self::latch(addr), 0, 1)? == 0 {
                 // Same round trip in spirit (doorbell-batched with the
@@ -199,7 +203,7 @@ impl SharedExclusiveLock {
                 ep.note_wait_edge(0, 0, addr.to_raw());
                 Self::exit(layer, ep, addr, meta)?;
                 if attempt < max_retries {
-                    backoff(ep, attempt, addr);
+                    backoff(ep, attempt, addr, 0);
                 }
                 continue;
             }
@@ -243,7 +247,7 @@ impl SharedExclusiveLock {
                 ep.note_wait_edge(0, 0, addr.to_raw());
                 Self::exit(layer, ep, addr, meta)?;
                 if attempt < max_retries {
-                    backoff(ep, attempt, addr);
+                    backoff(ep, attempt, addr, 0);
                 }
                 continue;
             }
@@ -360,7 +364,7 @@ impl LeaseLock {
             }
             ep.note_wait_edge(owner as u64, prev_owner as u64, lock.to_raw());
             if attempt < max_retries {
-                backoff(ep, attempt, lock);
+                backoff(ep, attempt, lock, prev_owner as u64);
             }
         }
         Err(LockError::Timeout)
