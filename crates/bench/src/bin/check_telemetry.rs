@@ -20,10 +20,19 @@
 //! deeper than its declared capacity, and a `critical_path_wire_share`
 //! in `[0, 1]`; reports whose headline carries `p99_ns` must also
 //! carry the `p999_ns` and `max_ns` tail rungs the exemplars explain.
+//! Schema v5 adds a mandatory `utilization` section: the fabric
+//! heatmap — per-node windowed ingress/egress/verbs/remote-ns/queue
+//! tracks whose derived totals must equal their own window sums,
+//! occupancy stamps with `allocated <= capacity`, space-saving heat
+//! top-K lists sorted by count desc with `err <= count`, and
+//! imbalance indices (`gini_*` in `[0, 1]`, `max_mean_bytes >= 0`).
 //! `results/exp_*_trace.json` files are Chrome `trace_event` exports
 //! and must hold a non-empty `traceEvents` array;
 //! `results/exp_*_exemplars.json` files are standalone worst-K
-//! artifacts mapping part names to forensics sections.
+//! artifacts mapping part names to forensics sections;
+//! `results/exp_*_heat.json` files are standalone utilization
+//! snapshots and `results/exp_*_moveplan.json` files are typed
+//! placement-advisor move plans — both must parse back typed.
 //! `BENCH_summary.json` must parse and reference only experiments
 //! whose report file exists.
 //!
@@ -32,7 +41,10 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use bench::report::{alerts_from_json, forensics_from_json, health_from_json, results_dir, Json};
+use bench::report::{
+    alerts_from_json, forensics_from_json, health_from_json, move_plan_from_json, results_dir,
+    utilization_from_json, Json,
+};
 use bench::{AlertState, Gauge};
 
 fn check_phases(path: &Path, ctx: &str, v: &Json, errors: &mut Vec<String>) {
@@ -403,6 +415,122 @@ fn check_forensics(path: &Path, json: &Json, errors: &mut Vec<String>) {
     }
 }
 
+/// A space-saving top-K list (heat ranges, sessions): entries sorted
+/// by count desc, each overestimate bound no larger than its count.
+fn check_topk_list(path: &Path, ctx: &str, list: &Json, count_key: &str, errors: &mut Vec<String>) {
+    let mut err = |msg: String| errors.push(format!("{}: utilization: {msg}", path.display()));
+    let Some(items) = list.as_array() else {
+        err(format!("{ctx} is not an array"));
+        return;
+    };
+    let mut prev = u64::MAX;
+    for (i, item) in items.iter().enumerate() {
+        match (
+            item.get(count_key).and_then(|v| v.as_u64()),
+            item.get("err").and_then(|v| v.as_u64()),
+        ) {
+            (Some(count), Some(e)) => {
+                if count > prev {
+                    err(format!("{ctx}[{i}] not sorted by {count_key} desc"));
+                }
+                if e > count {
+                    err(format!("{ctx}[{i}]: err {e} exceeds {count_key} {count}"));
+                }
+                prev = count;
+            }
+            _ => err(format!("{ctx}[{i}] missing {count_key}/err")),
+        }
+    }
+}
+
+/// Validate the report's top-level `utilization` section (schema v5):
+/// it must parse back into a [`rdma_sim::UtilSnapshot`], every node's
+/// derived totals must equal the sums of its own window tracks,
+/// occupancy stamps must satisfy `allocated <= capacity`, the heat and
+/// session top-K lists must be sorted with bounded error, and the
+/// derived imbalance indices must be well-formed.
+fn util_err(errors: &mut Vec<String>, path: &Path, msg: String) {
+    errors.push(format!("{}: utilization: {msg}", path.display()));
+}
+
+fn check_utilization(path: &Path, json: &Json, errors: &mut Vec<String>) {
+    let Some(section) = json.get("utilization") else {
+        util_err(errors, path, "missing (schema v5: every report must carry a utilization section)".into());
+        return;
+    };
+    let Some(snap) = utilization_from_json(section) else {
+        util_err(errors, path, "does not parse back into a UtilSnapshot \
+             (wrong track length, unknown phase name, or missing field?)"
+            .into());
+        return;
+    };
+    if snap.window_ns == 0 && !snap.is_empty() {
+        util_err(errors, path, "windows recorded with window_ns = 0".into());
+        return;
+    }
+    if let Some(Json::A(nodes)) = section.get("nodes") {
+        for (i, n) in nodes.iter().enumerate() {
+            let sum = |key: &str| -> u64 {
+                n.get(key)
+                    .and_then(|v| v.as_array())
+                    .map(|a| a.iter().filter_map(|w| w.as_u64()).sum())
+                    .unwrap_or(0)
+            };
+            let want_bytes = sum("ingress_bytes") + sum("egress_bytes");
+            let want_verbs = sum("verbs");
+            let want_ns = sum("remote_ns");
+            for (key, want) in [("bytes", want_bytes), ("verbs", want_verbs), ("remote_ns", want_ns)]
+            {
+                match n.get("totals").and_then(|t| t.get(key)).and_then(|v| v.as_u64()) {
+                    Some(got) if got == want => {}
+                    Some(got) => util_err(errors, path, format!(
+                        "nodes[{i}].totals.{key} = {got}, window tracks sum to {want}"
+                    )),
+                    None => util_err(errors, path, format!("nodes[{i}].totals.{key} missing")),
+                }
+            }
+            let capacity = n.get("capacity_bytes").and_then(|v| v.as_u64()).unwrap_or(0);
+            let allocated = n.get("allocated_bytes").and_then(|v| v.as_u64()).unwrap_or(0);
+            if capacity > 0 && allocated > capacity {
+                util_err(errors, path, format!(
+                    "nodes[{i}]: allocated {allocated} exceeds capacity {capacity}"
+                ));
+            }
+        }
+    }
+    if let Some(heat) = section.get("heat") {
+        for list in ["by_bytes", "by_verbs", "by_remote_ns"] {
+            match heat.get(list) {
+                Some(l) => check_topk_list(path, &format!("heat.{list}"), l, "count", errors),
+                None => util_err(errors, path, format!("heat missing \"{list}\"")),
+            }
+        }
+    } else {
+        util_err(errors, path, "missing heat".into());
+    }
+    match section.get("by_session") {
+        Some(l) => check_topk_list(path, "by_session", l, "bytes", errors),
+        None => util_err(errors, path, "missing by_session".into()),
+    }
+    match section.get("imbalance") {
+        Some(imb) => {
+            for key in ["gini_bytes", "gini_verbs"] {
+                match imb.get(key).and_then(|v| v.as_f64()) {
+                    Some(g) if (0.0..=1.0).contains(&g) => {}
+                    Some(g) => util_err(errors, path, format!("imbalance.{key} = {g} outside [0, 1]")),
+                    None => util_err(errors, path, format!("imbalance.{key} missing")),
+                }
+            }
+            match imb.get("max_mean_bytes").and_then(|v| v.as_f64()) {
+                Some(m) if m >= 0.0 => {}
+                Some(m) => util_err(errors, path, format!("imbalance.max_mean_bytes = {m} is negative")),
+                None => util_err(errors, path, "imbalance.max_mean_bytes missing".into()),
+            }
+        }
+        None => util_err(errors, path, "missing imbalance".into()),
+    }
+}
+
 /// Reports that headline `p99_ns` must also headline the deeper tail
 /// rungs the forensics section explains.
 fn check_headline_tail(path: &Path, json: &Json, errors: &mut Vec<String>) {
@@ -488,6 +616,7 @@ fn check_report(path: &Path, errors: &mut Vec<String>) -> Option<String> {
     check_health(path, &json, errors);
     check_alerts(path, &json, errors);
     check_forensics(path, &json, errors);
+    check_utilization(path, &json, errors);
     check_headline_tail(path, &json, errors);
     experiment
 }
@@ -528,6 +657,16 @@ fn main() -> ExitCode {
             .and_then(|n| n.to_str())
             .is_some_and(|n| n.ends_with("_exemplars.json"))
     });
+    let (heat_files, entries): (Vec<_>, Vec<_>) = entries.into_iter().partition(|p| {
+        p.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with("_heat.json"))
+    });
+    let (moveplan_files, entries): (Vec<_>, Vec<_>) = entries.into_iter().partition(|p| {
+        p.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with("_moveplan.json"))
+    });
     if entries.is_empty() {
         eprintln!("no exp_*.json reports in {}", dir.display());
         return ExitCode::FAILURE;
@@ -558,6 +697,31 @@ fn main() -> ExitCode {
                     "{}: not a non-empty object of forensics sections",
                     path.display()
                 )),
+                Err(e) => errors.push(format!("{}: invalid JSON: {e}", path.display())),
+            },
+            Err(e) => errors.push(format!("{}: unreadable: {e}", path.display())),
+        }
+    }
+    // Standalone heat artifacts hold exactly a utilization section.
+    for path in &heat_files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(json) if utilization_from_json(&json).is_some() => {}
+                Ok(_) => errors.push(format!(
+                    "{}: not a typed utilization snapshot",
+                    path.display()
+                )),
+                Err(e) => errors.push(format!("{}: invalid JSON: {e}", path.display())),
+            },
+            Err(e) => errors.push(format!("{}: unreadable: {e}", path.display())),
+        }
+    }
+    // Standalone move-plan artifacts hold exactly an advisor plan.
+    for path in &moveplan_files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(json) if move_plan_from_json(&json).is_some() => {}
+                Ok(_) => errors.push(format!("{}: not a typed move plan", path.display())),
                 Err(e) => errors.push(format!("{}: invalid JSON: {e}", path.display())),
             },
             Err(e) => errors.push(format!("{}: unreadable: {e}", path.display())),
@@ -601,11 +765,13 @@ fn main() -> ExitCode {
     if errors.is_empty() {
         println!(
             "ok: {} report(s) + {} trace(s) + {} alert log(s) + {} exemplar file(s) \
-             + BENCH_summary.json valid in {}",
+             + {} heat file(s) + {} move plan(s) + BENCH_summary.json valid in {}",
             reports.len(),
             traces.len(),
             alert_logs.len(),
             exemplar_files.len(),
+            heat_files.len(),
+            moveplan_files.len(),
             dir.display()
         );
         ExitCode::SUCCESS

@@ -18,6 +18,7 @@
 
 pub mod chaos;
 pub mod config;
+pub mod heatmap;
 pub mod observatory;
 pub mod regression;
 pub mod reshard;
@@ -28,7 +29,7 @@ use std::sync::Mutex;
 use dsmdb::{AbortCause, Cluster, Op, Session, TxnError};
 use rdma_sim::{
     ContentionSnapshot, Endpoint, HealthSnapshot, HistSnapshot, PhaseSnapshot, SeriesSnapshot,
-    DEFAULT_WINDOW_NS,
+    UtilSnapshot, DEFAULT_WINDOW_NS,
 };
 
 pub use config::scale_down;
@@ -159,6 +160,10 @@ pub struct WorkloadResult {
     /// transaction plus the worst-K exemplar reservoir, merged across
     /// sessions.
     pub forensics: ForensicsSnapshot,
+    /// Fabric-utilization plane: per-memory-node windowed load with
+    /// occupancy stamps, page-range heat top-K, and session/phase
+    /// splits, merged across every session endpoint.
+    pub utilization: UtilSnapshot,
 }
 
 impl WorkloadResult {
@@ -242,6 +247,7 @@ where
     let series = Mutex::new(SeriesSnapshot::empty());
     let health = Mutex::new(HealthSnapshot::empty());
     let forensics = Mutex::new(ForensicsSnapshot::empty());
+    let utilization = Mutex::new(UtilSnapshot::empty());
     std::thread::scope(|sc| {
         for n in 0..nodes {
             for t in 0..threads {
@@ -259,10 +265,15 @@ where
                 let series = &series;
                 let health = &health;
                 let forensics = &forensics;
+                let utilization = &utilization;
                 sc.spawn(move || {
                     let mut s: Session = cluster.session(n, t);
                     s.endpoint().enable_timeseries(DEFAULT_WINDOW_NS);
                     s.endpoint().enable_health(DEFAULT_WINDOW_NS);
+                    s.endpoint().enable_utilization(DEFAULT_WINDOW_NS);
+                    // Stable worker id (1-based; 0 = untagged) for the
+                    // by-session heat split.
+                    s.endpoint().set_util_session((n * threads + t + 1) as u64);
                     s.endpoint().enable_flight_recorder(WORKLOAD_TRACE_RING);
                     s.enable_forensics(config::exemplars());
                     let mut my_aborts = AbortCauses::default();
@@ -307,10 +318,25 @@ where
                     series.lock().unwrap().merge(&s.endpoint().series_snapshot());
                     health.lock().unwrap().merge(&s.endpoint().health_snapshot());
                     forensics.lock().unwrap().merge(&s.forensics_snapshot());
+                    utilization
+                        .lock()
+                        .unwrap()
+                        .merge(&s.endpoint().utilization_snapshot());
                 });
             }
         }
     });
+    // Occupancy is allocator state, not fabric flow: stamp it onto the
+    // merged snapshot from the layer that owns the memory nodes (cold
+    // groups get idle tracks, which is what imbalance-over-occupancy
+    // needs to see).
+    let mut utilization = utilization.into_inner().unwrap();
+    let layer = cluster.layer();
+    for g in 0..layer.group_count() {
+        let primary = layer.group_primary(g);
+        let stats = primary.alloc_stats();
+        utilization.stamp_occupancy(primary.id() as u64, stats.capacity, stats.allocated);
+    }
     WorkloadResult {
         commits: commits.load(Ordering::Relaxed) as u64,
         aborts: aborts.into_inner().unwrap(),
@@ -324,6 +350,7 @@ where
         health: health.into_inner().unwrap(),
         sessions: total_workers as u32,
         forensics: forensics.into_inner().unwrap(),
+        utilization,
     }
 }
 
@@ -335,6 +362,7 @@ pub fn enable_series(eps: &[Endpoint]) {
     for ep in eps {
         ep.enable_timeseries(DEFAULT_WINDOW_NS);
         ep.enable_health(DEFAULT_WINDOW_NS);
+        ep.enable_utilization(DEFAULT_WINDOW_NS);
     }
 }
 
@@ -359,6 +387,18 @@ pub fn merged_health(eps: &[Endpoint]) -> HealthSnapshot {
     h
 }
 
+/// Merge the fabric-utilization planes recorded by `eps` (the third
+/// companion of [`merged_series`] for endpoint-level runs). Occupancy
+/// is not stamped here — callers that own the allocators stamp it onto
+/// the returned snapshot.
+pub fn merged_utilization(eps: &[Endpoint]) -> UtilSnapshot {
+    let mut u = UtilSnapshot::empty();
+    for ep in eps {
+        u.merge(&ep.utilization_snapshot());
+    }
+    u
+}
+
 /// Machine-readable experiment output: every `exp_*` binary builds a
 /// [`telemetry::Report`] alongside its printed table and calls
 /// [`report::emit`], which writes `results/<experiment>.json` and folds
@@ -370,7 +410,10 @@ pub mod report {
         alerts_from_json, alerts_json, health_from_json, health_json, hist_json, phases_json,
         series_from_json, series_json,
     };
-    pub use telemetry::{forensics_from_json, forensics_json, Json, Report};
+    pub use telemetry::{
+        forensics_from_json, forensics_json, move_plan_from_json, move_plan_json,
+        utilization_from_json, utilization_json, Json, Report,
+    };
 
     use crate::{AbortCauses, AlertEvent, WatchdogConfig, WorkloadResult};
 
@@ -441,6 +484,7 @@ pub mod report {
         attach_timeseries(rep, r);
         attach_live_plane(rep, r);
         rep.forensics(forensics_json(&r.forensics));
+        rep.utilization(utilization_json(&r.utilization));
     }
 
     /// Replay the flagship run through a default-threshold [`crate::Watchdog`]
@@ -483,6 +527,7 @@ pub mod report {
         let health = crate::merged_health(eps);
         rep.health(health_json(&health));
         rep.alerts(alerts_json(&watchdog_replay(&series, &health, eps.len() as u32)));
+        rep.utilization(utilization_json(&crate::merged_utilization(eps)));
     }
 
     /// The default-threshold watchdog log over an already-recorded

@@ -88,9 +88,12 @@ fn every_committed_report_has_a_consistent_timeseries() {
         if !name.starts_with("exp_")
             || !name.ends_with(".json")
             || name.ends_with("_trace.json")
-            // Worst-K exemplar artifacts are forensics sections, not
-            // reports — check_telemetry validates them separately.
+            // Worst-K exemplar, heat top-K, and move-plan artifacts
+            // are standalone sections, not reports — check_telemetry
+            // validates them separately.
             || name.ends_with("_exemplars.json")
+            || name.ends_with("_heat.json")
+            || name.ends_with("_moveplan.json")
         {
             continue;
         }

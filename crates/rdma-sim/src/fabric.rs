@@ -8,6 +8,7 @@ use parking_lot::{Mutex, RwLock};
 use telemetry::{
     ChromeTrace, ContentionSnapshot, Gauge, GaugeRecorder, HealthSnapshot, HistSnapshot,
     Histogram, Metric, Phase, PhaseSnapshot, PhaseTracker, Sample, SeriesRecorder, SeriesSnapshot,
+    UtilRecorder, UtilSnapshot,
 };
 
 use crate::clock::{Clock, SharedTimeline};
@@ -238,6 +239,7 @@ impl Fabric {
             series: SeriesRecorder::new(),
             series_wire_mark: Cell::new(0),
             health: GaugeRecorder::new(),
+            util: UtilRecorder::new(),
         }
     }
 }
@@ -294,6 +296,11 @@ pub struct Endpoint {
     /// Streaming gauge plane (disabled by default; see
     /// [`Endpoint::enable_health`]). Reads the clock, never advances it.
     health: GaugeRecorder,
+    /// Fabric-utilization plane: per-memory-node windowed load and
+    /// page-range heat (disabled by default; see
+    /// [`Endpoint::enable_utilization`]). Reads the clock, never
+    /// advances it.
+    util: UtilRecorder,
 }
 
 /// Position of a verb class in [`Endpoint`]'s latency histogram array.
@@ -444,6 +451,28 @@ impl Endpoint {
         }
     }
 
+    /// Record one node-addressed verb into the utilization plane:
+    /// `bytes` moved to (`ingress`) or from (`!ingress`) `(node,
+    /// offset)` costing `cost_ns`, of which `queue_ns` was atomic-unit
+    /// queueing. Heat is attributed to the innermost open phase and the
+    /// session tag installed by [`Endpoint::set_util_session`]. No-op
+    /// while utilization capture is off; never advances the clock.
+    #[inline]
+    fn note_util(&self, node: NodeId, offset: u64, ingress: bool, bytes: usize, cost_ns: u64, queue_ns: u64) {
+        if self.util.enabled() {
+            self.util.note(
+                self.clock.now_ns(),
+                node as u64,
+                offset,
+                ingress,
+                bytes as u64,
+                cost_ns,
+                queue_ns,
+                self.tracker.innermost(),
+            );
+        }
+    }
+
     /// Reset clock, counters, and telemetry (between experiment phases).
     /// The fault view is re-seeded too, so per-peer injection counters
     /// restart deterministically with the phase.
@@ -462,6 +491,7 @@ impl Endpoint {
         self.series.clear();
         self.series_wire_mark.set(0);
         self.health.clear();
+        self.util.clear();
         self.trace_id.set(0);
     }
 
@@ -532,6 +562,38 @@ impl Endpoint {
     /// off — levels only accumulate while the health plane records).
     pub fn gauge_level(&self, gauge: Gauge) -> i64 {
         self.health.level(gauge)
+    }
+
+    /// Turn on fabric-utilization capture with `width_ns`-wide
+    /// virtual-time windows (0 turns it back off): per-memory-node
+    /// ingress/egress bytes, verbs, remote ns, and atomic-queue
+    /// high-water marks, plus page-range heat top-K sketches. Like the
+    /// series and gauges, capture reads the clock but never advances
+    /// it — the virtual timeline is byte-identical with utilization on
+    /// or off.
+    pub fn enable_utilization(&self, width_ns: u64) {
+        self.util.enable(width_ns);
+    }
+
+    /// Whether fabric-utilization capture is on.
+    pub fn utilization_enabled(&self) -> bool {
+        self.util.enabled()
+    }
+
+    /// Copy out the utilization plane recorded so far (empty when off).
+    /// Occupancy is not stamped here — the layer that owns the
+    /// allocators stamps it onto the merged snapshot.
+    pub fn utilization_snapshot(&self) -> UtilSnapshot {
+        self.util.snapshot()
+    }
+
+    /// Install the session tag attributed to subsequent traffic in the
+    /// utilization by-session heat split (0 = untagged). The session
+    /// layer sets a stable worker id here — unlike the per-transaction
+    /// trace id, the tag survives for the whole run, so the split
+    /// answers "which session burned the fabric", not "which txn".
+    pub fn set_util_session(&self, tag: u64) {
+        self.util.set_session(tag);
     }
 
     /// Recorded flight events, oldest first.
@@ -774,6 +836,7 @@ impl Endpoint {
         self.clock.advance(cost);
         self.stats.record(OpKind::Read, dst.len());
         self.note_verb(OpKind::Read, Some(node), cost, dst.len());
+        self.note_util(node, offset, false, dst.len(), cost, 0);
         self.record_event(
             EventKind::Verb(OpKind::Read),
             Some(node),
@@ -794,6 +857,7 @@ impl Endpoint {
         self.clock.advance(cost);
         self.stats.record(OpKind::Write, src.len());
         self.note_verb(OpKind::Write, Some(node), cost, src.len());
+        self.note_util(node, offset, true, src.len(), cost, 0);
         self.record_event(
             EventKind::Verb(OpKind::Write),
             Some(node),
@@ -840,6 +904,7 @@ impl Endpoint {
             self.clock.advance(cost);
             self.stats.record(OpKind::Read, dst.len());
             self.note_verb(OpKind::Read, Some(*node), cost, dst.len());
+            self.note_util(*node, *offset, false, dst.len(), cost, 0);
             self.record_event(
                 EventKind::Verb(OpKind::Read),
                 Some(*node),
@@ -867,6 +932,7 @@ impl Endpoint {
             self.clock.advance(cost);
             self.stats.record(OpKind::Write, src.len());
             self.note_verb(OpKind::Write, Some(*node), cost, src.len());
+            self.note_util(*node, *offset, true, src.len(), cost, 0);
             self.record_event(
                 EventKind::Verb(OpKind::Write),
                 Some(*node),
@@ -899,6 +965,7 @@ impl Endpoint {
         // exactly what the per-verb tail should expose.
         let dur = self.clock.now_ns() - start;
         self.note_verb(OpKind::Cas, Some(node), dur, 8);
+        self.note_util(node, offset, true, 8, dur, dur.saturating_sub(self.profile.atomic_cost_ns() + extra));
         let code = if prev != expected {
             self.stats.record_cas_failure();
             // A lost CAS is the contention signal: feed the hot-word
@@ -936,6 +1003,7 @@ impl Endpoint {
         self.stats.record(OpKind::Faa, 8);
         let dur = self.clock.now_ns() - start;
         self.note_verb(OpKind::Faa, Some(node), dur, 8);
+        self.note_util(node, offset, true, 8, dur, dur.saturating_sub(self.profile.atomic_cost_ns() + extra));
         self.record_event(
             EventKind::Verb(OpKind::Faa),
             Some(node),
@@ -956,6 +1024,7 @@ impl Endpoint {
         self.clock.advance(cost);
         self.stats.record(OpKind::Read, 8);
         self.note_verb(OpKind::Read, Some(node), cost, 8);
+        self.note_util(node, offset, false, 8, cost, 0);
         self.record_event(
             EventKind::Verb(OpKind::Read),
             Some(node),
@@ -978,6 +1047,7 @@ impl Endpoint {
         self.clock.advance(cost);
         self.stats.record(OpKind::Write, 8);
         self.note_verb(OpKind::Write, Some(node), cost, 8);
+        self.note_util(node, offset, true, 8, cost, 0);
         self.record_event(
             EventKind::Verb(OpKind::Write),
             Some(node),
@@ -1483,6 +1553,91 @@ mod tests {
         ep.reset();
         assert!(ep.series_snapshot().is_empty());
         assert!(ep.timeseries_enabled());
+    }
+
+    #[test]
+    fn utilization_is_free_in_virtual_time_and_attributes_load() {
+        let run = |capture: bool| {
+            let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+            let n0 = fabric.register_node(1 << 20);
+            let n1 = fabric.register_node(1 << 20);
+            let ep = fabric.endpoint();
+            if capture {
+                ep.enable_utilization(10_000);
+                ep.set_util_session(9);
+            }
+            {
+                let _g = ep.span(Phase::PageFetch);
+                let mut buf = [0u8; 128];
+                ep.read(n0, 0, &mut buf).unwrap();
+            }
+            {
+                let _g = ep.span(Phase::Writeback);
+                ep.write(n0, 0, &[7u8; 64]).unwrap();
+                ep.write(n1, 1 << 17, &[7u8; 32]).unwrap();
+            }
+            ep.cas(n0, 0, 0, 1).unwrap();
+            (ep.clock().now_ns(), ep.utilization_snapshot())
+        };
+        let (t_off, u_off) = run(false);
+        let (t_on, u_on) = run(true);
+        assert_eq!(t_off, t_on, "utilization capture must not advance virtual time");
+        assert!(u_off.is_empty());
+        assert_eq!(u_on.window_ns, 10_000);
+        assert_eq!(u_on.nodes.len(), 2);
+        let t0 = u_on.nodes[0].totals();
+        assert_eq!(t0.egress_bytes, 128);
+        assert_eq!(t0.ingress_bytes, 64 + 8); // write + CAS payload
+        assert_eq!(t0.verbs, 3);
+        assert!(t0.remote_ns > 0);
+        let t1 = u_on.nodes[1].totals();
+        assert_eq!(t1.ingress_bytes, 32);
+        // Heat: node 0's range 0 is hottest by bytes; node 1's write at
+        // 128 KiB lands in its own range (node ids are registration
+        // order: 0 then 1).
+        assert_eq!(u_on.heat_bytes[0].key, telemetry::heat_key(0, 0));
+        assert!(u_on
+            .heat_bytes
+            .iter()
+            .any(|e| e.key == telemetry::heat_key(1, 1 << 17)));
+        // Session and phase splits.
+        assert_eq!(u_on.by_session[0].key, 9);
+        assert_eq!(u_on.by_phase[Phase::PageFetch as usize].bytes, 128);
+        assert_eq!(u_on.by_phase[Phase::Writeback as usize].bytes, 96);
+        // reset() drops the windows but keeps capture on.
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(64);
+        let ep = fabric.endpoint();
+        ep.enable_utilization(10_000);
+        ep.read_u64(node, 0).unwrap();
+        ep.reset();
+        assert!(ep.utilization_snapshot().is_empty());
+        assert!(ep.utilization_enabled());
+    }
+
+    #[test]
+    fn cas_queueing_surfaces_in_the_utilization_hwm() {
+        // Two endpoints hammer one atomic unit; the loser's queue delay
+        // must appear as a non-zero high-water mark.
+        let fabric = Fabric::new(NetworkProfile::rdma_cx6());
+        let node = fabric.register_node(64);
+        let a = fabric.endpoint();
+        let b = fabric.endpoint();
+        a.enable_utilization(10_000);
+        b.enable_utilization(10_000);
+        for _ in 0..32 {
+            let _ = a.cas(node, 0, 0, 1);
+            let _ = b.cas(node, 0, 1, 0);
+        }
+        let mut merged = a.utilization_snapshot();
+        merged.merge(&b.utilization_snapshot());
+        let hwm = merged.nodes[0]
+            .windows
+            .iter()
+            .map(|w| w.queue_hwm_ns)
+            .max()
+            .unwrap();
+        assert!(hwm > 0, "atomic-unit queueing must surface in the hwm");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! window's *end* minus the fault instant — the moment a monitor
 //! watching the series could have raised (or cleared) the alarm.
 
+use crate::json::Json;
 use crate::timeseries::{Metric, SeriesSnapshot};
 
 /// Recovery facts computed from a series around one fault instant.
@@ -277,6 +278,187 @@ pub fn sparkline(vals: &[f64], max_chars: usize) -> String {
         .collect()
 }
 
+/// Gini coefficient of a load vector: 0.0 for perfectly uniform load
+/// (including the empty and all-zero vectors), approaching
+/// `1 - 1/n` when one node carries everything. Computed as
+/// `Σᵢⱼ |xᵢ−xⱼ| / (2·n²·μ)` — permutation-invariant, scale-invariant,
+/// and strictly increased by any transfer from a below-mean node to an
+/// above-mean node, which is exactly the "placement skew" ordering the
+/// advisor optimizes against.
+pub fn gini(loads: &[u64]) -> f64 {
+    let n = loads.len();
+    let total: u128 = loads.iter().map(|&x| x as u128).sum();
+    if n < 2 || total == 0 {
+        return 0.0;
+    }
+    // Sort once: Σᵢⱼ|xᵢ−xⱼ| = 2·Σᵢ (2i+1−n)·x₍ᵢ₎ over ascending x₍ᵢ₎.
+    let mut sorted: Vec<u64> = loads.to_vec();
+    sorted.sort_unstable();
+    let mut weighted: i128 = 0;
+    for (i, &x) in sorted.iter().enumerate() {
+        weighted += (2 * i as i128 + 1 - n as i128) * x as i128;
+    }
+    weighted as f64 / (n as f64 * total as f64)
+}
+
+/// Max/mean ratio of a load vector: 1.0 for uniform load, `n` when one
+/// node carries everything, 0.0 for empty/all-zero input. The blunter
+/// companion to [`gini`] — answers "how much hotter is the hottest node
+/// than the average" in one number.
+pub fn max_mean_ratio(loads: &[u64]) -> f64 {
+    let total: u128 = loads.iter().map(|&x| x as u128).sum();
+    if loads.is_empty() || total == 0 {
+        return 0.0;
+    }
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    let mean = total as f64 / loads.len() as f64;
+    max / mean
+}
+
+/// One recommended relocation: move the heat range `range_key` (a
+/// [`crate::utilization::heat_key`]) from its current node to a colder
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveRec {
+    /// The hot page range, as packed by [`crate::utilization::heat_key`].
+    pub range_key: u64,
+    /// Node currently serving the range.
+    pub src_node: u64,
+    /// Recommended destination (the coldest node at decision time).
+    pub dst_node: u64,
+    /// Estimated remote bytes the range drew (space-saving estimate;
+    /// an over-count by at most `err`).
+    pub est_bytes: u64,
+    /// Space-saving error bound on `est_bytes`.
+    pub err: u64,
+}
+
+/// A deterministic, typed placement recommendation: the ordered moves
+/// plus the imbalance index before and after (projected, under the
+/// estimate that each range's load follows it to the destination).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MovePlan {
+    /// Moves in recommendation order (hottest range first).
+    pub moves: Vec<MoveRec>,
+    /// Gini index over node bytes before any move.
+    pub index_before: f64,
+    /// Projected Gini index after all moves execute.
+    pub index_projected: f64,
+}
+
+/// The steady-state placement advisor: turn a merged
+/// [`crate::utilization::UtilSnapshot`] into a [`MovePlan`] the reshard
+/// layer (and the future autoscaler) can execute. Greedy and
+/// deterministic: walk the by-bytes heat list hottest-first, and for
+/// each range on an above-mean node, project moving it to the currently
+/// coldest *other* node (ties broken by lowest node id); keep the move
+/// only if the projected [`gini`] strictly drops. At most `max_moves`
+/// recommendations.
+pub fn placement_advisor(
+    snap: &crate::utilization::UtilSnapshot,
+    max_moves: usize,
+) -> MovePlan {
+    let node_bytes = snap.node_bytes();
+    let loads: Vec<u64> = node_bytes.iter().map(|&(_, b)| b).collect();
+    let index_before = gini(&loads);
+    let mut plan = MovePlan {
+        moves: Vec::new(),
+        index_before,
+        index_projected: index_before,
+    };
+    if node_bytes.len() < 2 {
+        return plan;
+    }
+    let total: u128 = loads.iter().map(|&x| x as u128).sum();
+    let mean = total / node_bytes.len() as u128;
+    let mut projected = loads;
+    for e in &snap.heat_bytes {
+        if plan.moves.len() >= max_moves {
+            break;
+        }
+        let src = crate::utilization::heat_key_node(e.key);
+        let Some(si) = node_bytes.iter().position(|&(n, _)| n == src) else {
+            continue;
+        };
+        if (projected[si] as u128) <= mean {
+            continue;
+        }
+        // Coldest other node, lowest id on ties.
+        let (di, _) = projected
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != si)
+            .min_by_key(|&(i, &b)| (b, node_bytes[i].0))
+            .expect("≥2 nodes");
+        let shift = e.count.min(projected[si]);
+        let mut trial = projected.clone();
+        trial[si] -= shift;
+        trial[di] += shift;
+        let trial_gini = gini(&trial);
+        if trial_gini < plan.index_projected {
+            plan.moves.push(MoveRec {
+                range_key: e.key,
+                src_node: src,
+                dst_node: node_bytes[di].0,
+                est_bytes: e.count,
+                err: e.err,
+            });
+            projected = trial;
+            plan.index_projected = trial_gini;
+        }
+    }
+    plan
+}
+
+/// Move plan → deterministic JSON (the `exp_o5` artifact and the
+/// autoscaler's future input format).
+pub fn move_plan_json(plan: &MovePlan) -> Json {
+    Json::obj(vec![
+        (
+            "moves",
+            Json::A(
+                plan.moves
+                    .iter()
+                    .map(|m| {
+                        Json::obj(vec![
+                            ("range_key", Json::U(m.range_key)),
+                            ("src_node", Json::U(m.src_node)),
+                            ("dst_node", Json::U(m.dst_node)),
+                            (
+                                "base_offset",
+                                Json::U(crate::utilization::heat_key_base_offset(m.range_key)),
+                            ),
+                            ("est_bytes", Json::U(m.est_bytes)),
+                            ("err", Json::U(m.err)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("index_before", Json::F(plan.index_before)),
+        ("index_projected", Json::F(plan.index_projected)),
+    ])
+}
+
+/// Parse back a [`move_plan_json`] document (validator read side).
+pub fn move_plan_from_json(v: &Json) -> Option<MovePlan> {
+    let mut moves = Vec::new();
+    for m in v.get("moves")?.as_array()? {
+        moves.push(MoveRec {
+            range_key: m.get("range_key")?.as_u64()?,
+            src_node: m.get("src_node")?.as_u64()?,
+            dst_node: m.get("dst_node")?.as_u64()?,
+            est_bytes: m.get("est_bytes")?.as_u64()?,
+            err: m.get("err")?.as_u64()?,
+        });
+    }
+    Some(MovePlan {
+        moves,
+        index_before: v.get("index_before")?.as_f64()?,
+        index_projected: v.get("index_projected")?.as_f64()?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,5 +685,89 @@ mod tests {
         // Longer than max_chars: bucket-averaged down to max_chars.
         let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
         assert_eq!(sparkline(&vals, 16).chars().count(), 16);
+    }
+
+    #[test]
+    fn gini_degenerate_and_reference_values() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[7]), 0.0);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        assert_eq!(gini(&[5, 5, 5, 5]), 0.0);
+        // One of n carries everything: G = 1 - 1/n.
+        assert!((gini(&[0, 0, 0, 100]) - 0.75).abs() < 1e-12);
+        assert!((gini(&[0, 100]) - 0.5).abs() < 1e-12);
+        // Scale invariance.
+        assert!((gini(&[1, 2, 3]) - gini(&[100, 200, 300])).abs() < 1e-12);
+        // Concentration ordering.
+        assert!(gini(&[40, 30, 30]) < gini(&[80, 10, 10]));
+    }
+
+    #[test]
+    fn max_mean_degenerate_and_reference_values() {
+        assert_eq!(max_mean_ratio(&[]), 0.0);
+        assert_eq!(max_mean_ratio(&[0, 0]), 0.0);
+        assert!((max_mean_ratio(&[5, 5, 5]) - 1.0).abs() < 1e-12);
+        assert!((max_mean_ratio(&[0, 0, 30]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advisor_moves_heat_off_the_hot_node_and_shrinks_gini() {
+        use crate::utilization::{heat_key, UtilRecorder};
+        let r = UtilRecorder::new();
+        r.enable(1_000);
+        // Node 0 serves two hot 64 KiB ranges; nodes 1 and 2 are cool.
+        for i in 0..100u64 {
+            r.note(i * 10, 0, 0, false, 64, 100, 0, 1);
+            r.note(i * 10 + 1, 0, 1 << 16, false, 32, 80, 0, 1);
+        }
+        r.note(5, 1, 0, false, 64, 100, 0, 1);
+        r.note(6, 2, 0, false, 64, 100, 0, 1);
+        let plan = placement_advisor(&r.snapshot(), 4);
+        assert!(!plan.moves.is_empty());
+        assert!(plan.index_projected < plan.index_before);
+        let m = &plan.moves[0];
+        assert_eq!(m.src_node, 0);
+        assert_eq!(m.range_key, heat_key(0, 0));
+        assert!(m.dst_node == 1 || m.dst_node == 2);
+        // JSON round trip.
+        let j = move_plan_json(&plan);
+        let back = move_plan_from_json(&Json::parse(&j.render_pretty(2)).unwrap()).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn advisor_leaves_uniform_load_alone() {
+        use crate::utilization::UtilRecorder;
+        let r = UtilRecorder::new();
+        r.enable(1_000);
+        for node in 0..4u64 {
+            for i in 0..50u64 {
+                r.note(i * 10 + node, node, i * 8, false, 64, 100, 0, 1);
+            }
+        }
+        let plan = placement_advisor(&r.snapshot(), 4);
+        assert!(plan.moves.is_empty(), "plan: {plan:?}");
+        assert_eq!(plan.index_before, plan.index_projected);
+        assert!(plan.index_before < 1e-9);
+    }
+
+    #[test]
+    fn advisor_degenerate_inputs() {
+        use crate::utilization::{UtilRecorder, UtilSnapshot};
+        // Empty snapshot.
+        let plan = placement_advisor(&UtilSnapshot::empty(), 4);
+        assert!(plan.moves.is_empty());
+        assert_eq!(plan.index_before, 0.0);
+        // Single node: nowhere to move to.
+        let r = UtilRecorder::new();
+        r.enable(1_000);
+        r.note(1, 0, 0, false, 64, 100, 0, 1);
+        assert!(placement_advisor(&r.snapshot(), 4).moves.is_empty());
+        // max_moves = 0 recommends nothing.
+        let r2 = UtilRecorder::new();
+        r2.enable(1_000);
+        r2.note(1, 0, 0, false, 640, 100, 0, 1);
+        r2.note(2, 1, 0, false, 64, 100, 0, 1);
+        assert!(placement_advisor(&r2.snapshot(), 0).moves.is_empty());
     }
 }

@@ -35,6 +35,12 @@
 //!   paths reconstructed from the flight-recorder event ring, typed
 //!   blame attribution for every nanosecond of a slow transaction, and
 //!   a deterministic worst-K exemplar reservoir merged cross-session.
+//! * [`utilization`] — the capacity/placement plane: per-memory-node
+//!   ingress/egress/occupancy windows, space-saving heat top-K over
+//!   64 KiB page ranges split by session and txn phase, and the
+//!   [`analysis`] imbalance indices (Gini, max/mean) plus the
+//!   deterministic placement advisor that turns heat + cold nodes into
+//!   a typed move plan for the reshard layer.
 //! * [`json`] + [`report`] — a small no-dependency JSON
 //!   serializer/parser and the [`report::Report`] type every `exp_*`
 //!   binary serializes next to its `.txt`, plus the cross-PR
@@ -54,9 +60,13 @@ pub mod report;
 pub mod span;
 pub mod timeseries;
 pub mod trace;
+pub mod utilization;
 pub mod watchdog;
 
-pub use analysis::{sparkline, RecoveryFacts, RollingBaseline, SloObjective};
+pub use analysis::{
+    gini, max_mean_ratio, move_plan_from_json, move_plan_json, placement_advisor, sparkline,
+    MovePlan, MoveRec, RecoveryFacts, RollingBaseline, SloObjective,
+};
 pub use live::{Gauge, GaugeRecorder, HealthSnapshot, GAUGES};
 pub use contention::{
     merge_top, wait_for_analysis, ContentionSnapshot, TopEntry, TopK, WaitEdge, WaitForSummary,
@@ -71,4 +81,9 @@ pub use report::Report;
 pub use span::{bucket_name, Phase, PhaseSnapshot, PhaseTracker, Sample, OTHER_BUCKET, PHASE_BUCKETS};
 pub use timeseries::{Metric, SeriesRecorder, SeriesSnapshot, DEFAULT_WINDOW_NS, MAX_WINDOWS};
 pub use trace::ChromeTrace;
+pub use utilization::{
+    heat_key, heat_key_base_offset, heat_key_node, utilization_from_json, utilization_json,
+    NodeUtil, PhaseLoad, UtilRecorder, UtilSnapshot, UtilWindow, HEAT_RANGE_BYTES,
+    HEAT_RANGE_SHIFT, HEAT_TOP_K, UTIL_PHASES,
+};
 pub use watchdog::{AlertEvent, AlertKind, AlertState, Watchdog, WatchdogConfig};

@@ -419,6 +419,60 @@ mod tests {
     }
 
     #[test]
+    fn merge_of_two_empties_stays_the_identity() {
+        let mut a = HealthSnapshot::empty();
+        a.merge(&HealthSnapshot::empty());
+        assert!(a.is_empty());
+        assert_eq!(a.window_ns, 0);
+        for g in Gauge::ALL {
+            assert_eq!(a.final_level(g), 0);
+            assert_eq!(a.min_level(g), 0);
+            assert_eq!(a.max_level(g), 0);
+        }
+    }
+
+    #[test]
+    fn merge_single_window_inputs_adds_without_padding() {
+        let a = GaugeRecorder::new();
+        a.enable(100);
+        a.add(10, Gauge::LocksHeld, 2);
+        let b = GaugeRecorder::new();
+        b.enable(100);
+        b.add(90, Gauge::LocksHeld, 3);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        // Two single-window snapshots of the same width merge into one
+        // window — no phantom trailing windows appear.
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.deltas(Gauge::LocksHeld), [5]);
+        assert_eq!(m.final_level(Gauge::LocksHeld), 5);
+    }
+
+    #[test]
+    fn merge_zero_delta_windows_change_nothing_but_geometry() {
+        let a = GaugeRecorder::new();
+        a.enable(100);
+        a.add(50, Gauge::PoolResident, 7);
+        let mut m = a.snapshot();
+        // A snapshot whose windows exist but net to zero (acquire and
+        // release inside each window) must not disturb any level...
+        let z = GaugeRecorder::new();
+        z.enable(100);
+        for w in 0..3u64 {
+            z.add(w * 100 + 1, Gauge::PoolResident, 4);
+            z.add(w * 100 + 2, Gauge::PoolResident, -4);
+        }
+        let zs = z.snapshot();
+        assert_eq!(zs.len(), 3);
+        m.merge(&zs);
+        assert_eq!(m.deltas(Gauge::PoolResident), [7, 0, 0]);
+        assert_eq!(m.final_level(Gauge::PoolResident), 7);
+        assert_eq!(m.max_level(Gauge::PoolResident), 7);
+        // ...and the merged length covers the longer of the two inputs.
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
     fn delta_since_round_trips_through_merge() {
         let r = GaugeRecorder::new();
         r.enable(100);

@@ -27,7 +27,12 @@ use crate::watchdog::{AlertEvent, AlertKind, AlertState};
 /// v4: every report carries a mandatory `forensics` section
 /// ([`crate::forensics::forensics_json`]) — blame-share histogram plus
 /// worst-K exemplars, empty but well-formed when forensics is unwired.
-pub const SCHEMA_VERSION: u64 = 4;
+/// v5: every report carries a mandatory `utilization` section
+/// ([`crate::utilization::utilization_json`]) — per-memory-node
+/// occupancy/bandwidth windows, page-range heat top-K, session/phase
+/// splits, and imbalance indices; empty but well-formed when the
+/// utilization plane is unwired.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// One experiment's machine-readable output.
 #[derive(Debug, Clone)]
@@ -40,6 +45,7 @@ pub struct Report {
     health: Option<Json>,
     alerts: Option<Json>,
     forensics: Option<Json>,
+    utilization: Option<Json>,
     headline: Vec<(String, Json)>,
 }
 
@@ -56,6 +62,7 @@ impl Report {
             health: None,
             alerts: None,
             forensics: None,
+            utilization: None,
             headline: Vec::new(),
         }
     }
@@ -114,11 +121,20 @@ impl Report {
         self
     }
 
-    /// The full report document. The schema-v3 `health`/`alerts` and
-    /// schema-v4 `forensics` sections are mandatory: experiments that
-    /// wire no live plane or forensics get well-formed empty sections
-    /// rather than missing keys, so every consumer can rely on their
-    /// presence.
+    /// Install the report's `utilization` section (per-node fabric
+    /// load, heat top-K, and imbalance indices, rendered by
+    /// [`crate::utilization::utilization_json`]). Idempotent: the last
+    /// call wins.
+    pub fn utilization(&mut self, section: Json) -> &mut Self {
+        self.utilization = Some(section);
+        self
+    }
+
+    /// The full report document. The schema-v3 `health`/`alerts`,
+    /// schema-v4 `forensics`, and schema-v5 `utilization` sections are
+    /// mandatory: experiments that wire no live plane, forensics, or
+    /// utilization capture get well-formed empty sections rather than
+    /// missing keys, so every consumer can rely on their presence.
     pub fn to_json(&self) -> Json {
         let mut members = vec![
             ("schema_version".to_string(), Json::U(SCHEMA_VERSION)),
@@ -139,6 +155,10 @@ impl Report {
             .clone()
             .unwrap_or_else(|| crate::forensics::forensics_json(&crate::forensics::ForensicsSnapshot::empty()));
         members.push(("forensics".to_string(), forensics));
+        let utilization = self.utilization.clone().unwrap_or_else(|| {
+            crate::utilization::utilization_json(&crate::utilization::UtilSnapshot::empty())
+        });
+        members.push(("utilization".to_string(), utilization));
         members.push(("headline".to_string(), Json::O(self.headline.clone())));
         Json::O(members)
     }
@@ -489,6 +509,10 @@ mod tests {
         let sum = crate::forensics::forensics_from_json(forensics).expect("well-formed");
         assert_eq!(sum.txns, 0);
         assert!(sum.worst.is_empty());
+        let util = doc.get("utilization").expect("utilization is mandatory in v5");
+        let u = crate::utilization::utilization_from_json(util).expect("well-formed");
+        assert!(u.is_empty());
+        assert_eq!(util.get("windows").unwrap().as_u64(), Some(0));
     }
 
     #[test]

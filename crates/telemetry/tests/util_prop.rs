@@ -1,0 +1,156 @@
+//! Property tests for the fabric-utilization plane: the Gini-style
+//! imbalance index must be a true skew measure (zero on uniform load,
+//! monotone as load concentrates on one node, permutation-invariant),
+//! and per-session [`telemetry::UtilSnapshot`]s must merge into the
+//! same cluster heatmap regardless of merge order or grouping — the
+//! same determinism contract the forensics plane proptests.
+
+use proptest::prelude::*;
+
+const BIG: u64 = 1 << 40;
+const MID: u64 = 1 << 30;
+const OFF: u32 = 1 << 20;
+use telemetry::{gini, utilization_json, UtilRecorder, UtilSnapshot};
+
+/// One generated verb: `(time, node, offset, ingress, bytes, remote
+/// ns, queue ns, phase)`, drawn so multiple sessions hit overlapping
+/// nodes, ranges, and windows.
+type GenOp = ((u64, u8, u32, bool), (u16, u16, u16, u8));
+
+fn ops() -> impl Strategy<Value = Vec<GenOp>> {
+    proptest::collection::vec(
+        (
+            (0u64..4000, 0u8..4, 0u32..OFF, any::<bool>()),
+            (1u16..2048, 0u16..500, 0u16..100, 0u8..12),
+        ),
+        0..24,
+    )
+}
+
+fn record(ops: &[GenOp], session: u64, width_ns: u64) -> UtilSnapshot {
+    let r = UtilRecorder::new();
+    r.enable(width_ns);
+    r.set_session(session);
+    for &((t, node, offset, ingress), (bytes, ns, queue, phase)) in ops {
+        r.note(
+            t,
+            node as u64 % 4,
+            offset as u64,
+            ingress,
+            bytes as u64,
+            ns as u64,
+            queue as u64,
+            phase as usize % 12,
+        );
+    }
+    r.snapshot()
+}
+
+proptest! {
+    /// Uniform load means zero skew — exactly, not approximately.
+    #[test]
+    fn gini_is_zero_for_uniform_load(load in 1u64..BIG, n in 1usize..64) {
+        let loads = vec![load; n];
+        prop_assert_eq!(gini(&loads), 0.0);
+    }
+
+    /// Shifting any amount of load from a lighter node onto the
+    /// heaviest node never decreases the index, and full concentration
+    /// lands on the (n-1)/n ceiling.
+    #[test]
+    fn gini_is_monotone_in_single_node_concentration(
+        loads in proptest::collection::vec(1u64..1000, 2..16),
+    ) {
+        let mut loads = loads;
+        let heaviest = (0..loads.len())
+            .max_by_key(|&i| loads[i])
+            .unwrap();
+        let mut prev = gini(&loads);
+        prop_assert!((0.0..=1.0).contains(&prev));
+        // Step-by-step, drain every other node into the heaviest.
+        for i in 0..loads.len() {
+            if i == heaviest || loads[i] == 0 {
+                continue;
+            }
+            let shift = loads[i].div_ceil(2);
+            loads[i] -= shift;
+            loads[heaviest] += shift;
+            let g = gini(&loads);
+            prop_assert!(
+                g >= prev - 1e-12,
+                "shifting load onto the heaviest node lowered gini: {} -> {}", prev, g
+            );
+            prev = g;
+        }
+        let total: u64 = loads.iter().sum();
+        let n = loads.len();
+        let mut concentrated = vec![0u64; n];
+        concentrated[heaviest] = total;
+        let ceiling = 1.0 - 1.0 / n as f64;
+        prop_assert!((gini(&concentrated) - ceiling).abs() < 1e-12);
+        prop_assert!(gini(&loads) <= ceiling + 1e-12);
+    }
+
+    /// The index reads the load multiset, not the node order.
+    #[test]
+    fn gini_is_permutation_invariant(
+        loads in proptest::collection::vec(0u64..MID, 1..24),
+        rot in 0usize..24,
+    ) {
+        let mut rotated = loads.clone();
+        rotated.rotate_left(rot % loads.len());
+        prop_assert_eq!(gini(&loads), gini(&rotated));
+        let mut reversed = loads.clone();
+        reversed.reverse();
+        prop_assert_eq!(gini(&loads), gini(&reversed));
+    }
+}
+
+proptest! {
+    /// Per-session snapshots fold into one cluster heatmap that does
+    /// not depend on merge order or grouping: left fold, right fold,
+    /// and a rotated order must render byte-identical JSON.
+    #[test]
+    fn snapshot_merge_is_order_independent(
+        streams in proptest::collection::vec(ops(), 1..5),
+        widths in proptest::collection::vec(prop_oneof![Just(100u64), Just(200), Just(400)], 5),
+        rot in 0usize..5,
+    ) {
+        let snaps: Vec<UtilSnapshot> = streams
+            .iter()
+            .enumerate()
+            .map(|(i, stream)| record(stream, i as u64 + 1, widths[i % widths.len()]))
+            .collect();
+        let mut left = UtilSnapshot::empty();
+        for s in &snaps {
+            left.merge(s);
+        }
+        let mut right = UtilSnapshot::empty();
+        for s in snaps.iter().rev() {
+            right.merge(s);
+        }
+        let mut rotated_order: Vec<&UtilSnapshot> = snaps.iter().collect();
+        rotated_order.rotate_left(rot % snaps.len());
+        let mut rotated = UtilSnapshot::empty();
+        for s in rotated_order {
+            rotated.merge(s);
+        }
+        let want = utilization_json(&left).render();
+        prop_assert_eq!(&utilization_json(&right).render(), &want);
+        prop_assert_eq!(&utilization_json(&rotated).render(), &want);
+    }
+
+    /// Merging preserves mass: the cluster totals are the sums of the
+    /// per-session totals, whatever the window widths were.
+    #[test]
+    fn snapshot_merge_preserves_totals(a in ops(), b in ops()) {
+        let sa = record(&a, 1, 100);
+        let sb = record(&b, 2, 400);
+        let total = |s: &UtilSnapshot| -> u64 {
+            s.node_bytes().iter().map(|&(_, bytes)| bytes).sum()
+        };
+        let mut m = sa.clone();
+        m.merge(&sb);
+        prop_assert_eq!(total(&m), total(&sa) + total(&sb));
+    }
+}
